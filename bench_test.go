@@ -1,0 +1,301 @@
+// Benchmarks regenerating the paper's evaluation artefacts (one benchmark
+// per table/figure, §5) plus microbenchmarks of the pipeline stages.
+// Reported custom metrics carry the experiment's headline numbers:
+// L1D_miss_reduction_% and speedup_% for the headline figures.
+//
+//	go test -bench=. -benchmem
+package halo
+
+import (
+	"testing"
+
+	"halo/internal/cache"
+	"halo/internal/core"
+	"halo/internal/halloc"
+	"halo/internal/hds"
+	"halo/internal/isa"
+	"halo/internal/measure"
+	"halo/internal/rewrite"
+	"halo/internal/workloads"
+)
+
+// pipelineFor prepares the measurement policies for one workload at test
+// scale (benchmarks use test inputs to stay fast).
+func pipelineFor(b *testing.B, name string) (*isa.Program, *core.Optimized, measure.Policy, measure.Policy) {
+	b.Helper()
+	w := workloads.MustGet(name)
+	p := w.Build(w.TestScale)
+	cfg := core.Config{}
+	cfg.Profile.RecordTrace = true
+	if w.MaxGroups > 0 {
+		cfg.Group.MaxGroups = w.MaxGroups
+		cfg.HDS.MaxGroups = w.MaxGroups
+	}
+	opt, err := core.Optimize(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hr, err := core.AnalyzeHDS(opt.Profile, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hc := halloc.Config{ChunkSize: w.ChunkSize, NoSpare: w.NoSpare, AlwaysReuseChunks: w.AlwaysReuse}
+	haloPol := measure.Policy{
+		Kind:      measure.HALO,
+		Rewritten: opt.Rewrite.Prog,
+		Selectors: opt.BitSelectors,
+		NumBits:   opt.Rewrite.NumBits,
+		Halloc:    hc,
+	}
+	hdsPol := measure.Policy{Kind: measure.HDS, SiteGroups: hr.SiteGroups, Halloc: hc}
+	return p, opt, haloPol, hdsPol
+}
+
+func reportImprovement(b *testing.B, base, opt measure.RunResult) {
+	b.Helper()
+	b.ReportMetric(measure.Improvement(float64(base.Cache.L1D.Misses), float64(opt.Cache.L1D.Misses)), "L1D_miss_reduction_%")
+	b.ReportMetric(measure.Improvement(base.Seconds, opt.Seconds), "speedup_%")
+}
+
+// BenchmarkFig9PovrayGroups regenerates Figure 9: grouping the povray test
+// workload. The measured work is the full pipeline (profile + group +
+// identify + rewrite).
+func BenchmarkFig9PovrayGroups(b *testing.B) {
+	w := workloads.MustGet("povray")
+	p := w.Build(w.TestScale)
+	b.ResetTimer()
+	var groups int
+	for i := 0; i < b.N; i++ {
+		opt, err := core.Optimize(p, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		groups = len(opt.Groups)
+	}
+	b.ReportMetric(float64(groups), "groups")
+}
+
+// BenchmarkFig12AffinitySweep regenerates one point of Figure 12: the
+// omnetpp pipeline at the paper's chosen affinity distance (128 bytes).
+func BenchmarkFig12AffinitySweep(b *testing.B) {
+	w := workloads.MustGet("omnetpp")
+	p := w.Build(w.TestScale)
+	machine := cache.XeonW2195()
+	cfg := core.Config{}
+	cfg.Profile.AffinityDistance = 128
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt, err := core.Optimize(p, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pol := measure.Policy{
+			Kind: measure.HALO, Rewritten: opt.Rewrite.Prog,
+			Selectors: opt.BitSelectors, NumBits: opt.Rewrite.NumBits,
+		}
+		if _, err := measure.Run(p, pol, 1001, machine); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFig13 measures one workload's baseline-vs-HALO miss reduction (the
+// Figure 13 quantity) as a benchmark.
+func benchFig13(b *testing.B, name string) {
+	p, _, haloPol, _ := pipelineFor(b, name)
+	machine := cache.XeonW2195()
+	b.ResetTimer()
+	var base, hal measure.RunResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		base, err = measure.Run(p, measure.Policy{Kind: measure.Jemalloc}, 1001, machine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hal, err = measure.Run(p, haloPol, 1001, machine)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportImprovement(b, base, hal)
+}
+
+// BenchmarkFig13MissReduction covers the Figure 13 measurement for a
+// representative subset (one prior-work benchmark, one wrapper-heavy
+// CPU2017 benchmark, one deep-indirection benchmark).
+func BenchmarkFig13MissReduction(b *testing.B) {
+	for _, name := range []string{"health", "povray", "xalanc"} {
+		b.Run(name, func(b *testing.B) { benchFig13(b, name) })
+	}
+}
+
+// BenchmarkFig14Speedup measures the Figure 14 quantity (cycle-model
+// speedup) for the same subset, contrasting HALO with the HDS replication.
+func BenchmarkFig14Speedup(b *testing.B) {
+	for _, name := range []string{"health", "povray", "xalanc"} {
+		b.Run(name, func(b *testing.B) {
+			p, _, haloPol, hdsPol := pipelineFor(b, name)
+			machine := cache.XeonW2195()
+			b.ResetTimer()
+			var base, hal, hd measure.RunResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				if base, err = measure.Run(p, measure.Policy{Kind: measure.Jemalloc}, 1001, machine); err != nil {
+					b.Fatal(err)
+				}
+				if hal, err = measure.Run(p, haloPol, 1001, machine); err != nil {
+					b.Fatal(err)
+				}
+				if hd, err = measure.Run(p, hdsPol, 1001, machine); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportImprovement(b, base, hal)
+			b.ReportMetric(measure.Improvement(base.Seconds, hd.Seconds), "hds_speedup_%")
+		})
+	}
+}
+
+// BenchmarkFig15RandomPools measures the Figure 15 control: the random
+// 4-pool allocator's effect on a placement-sensitive benchmark.
+func BenchmarkFig15RandomPools(b *testing.B) {
+	w := workloads.MustGet("health")
+	p := w.Build(w.TestScale)
+	machine := cache.XeonW2195()
+	b.ResetTimer()
+	var base, rnd measure.RunResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if base, err = measure.Run(p, measure.Policy{Kind: measure.Jemalloc}, 1001, machine); err != nil {
+			b.Fatal(err)
+		}
+		if rnd, err = measure.Run(p, measure.Policy{Kind: measure.RandomPools, Pools: 4}, 1001, machine); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(measure.Improvement(base.Seconds, rnd.Seconds), "speedup_%")
+}
+
+// BenchmarkTable1Fragmentation measures the Table 1 quantity: grouped-data
+// fragmentation at peak usage under HALO's allocator.
+func BenchmarkTable1Fragmentation(b *testing.B) {
+	for _, name := range []string{"health", "leela"} {
+		b.Run(name, func(b *testing.B) {
+			p, _, haloPol, _ := pipelineFor(b, name)
+			machine := cache.XeonW2195()
+			b.ResetTimer()
+			var r measure.RunResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				if r, err = measure.Run(p, haloPol, 1001, machine); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.FragPct, "frag_%")
+			b.ReportMetric(float64(r.FragBytes), "frag_bytes")
+		})
+	}
+}
+
+// BenchmarkBaselineAllocators measures the §5.1 jemalloc-vs-ptmalloc
+// comparison on one benchmark.
+func BenchmarkBaselineAllocators(b *testing.B) {
+	w := workloads.MustGet("analyzer")
+	p := w.Build(w.TestScale)
+	machine := cache.XeonW2195()
+	b.ResetTimer()
+	var je, pt measure.RunResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if je, err = measure.Run(p, measure.Policy{Kind: measure.Jemalloc}, 1001, machine); err != nil {
+			b.Fatal(err)
+		}
+		if pt, err = measure.Run(p, measure.Policy{Kind: measure.Ptmalloc}, 1001, machine); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(measure.Improvement(float64(pt.Cache.L1D.Misses), float64(je.Cache.L1D.Misses)), "L1D_miss_reduction_%")
+}
+
+// BenchmarkRomsStreamExplosion measures the §5.2 representation-size
+// comparison: grammar/stream counts versus affinity-graph nodes on roms.
+func BenchmarkRomsStreamExplosion(b *testing.B) {
+	w := workloads.MustGet("roms")
+	p := w.Build(w.TestScale)
+	cfg := core.Config{}
+	cfg.Profile.RecordTrace = true
+	prof, err := core.Profile(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var res *hds.Result
+	for i := 0; i < b.N; i++ {
+		res = hds.Analyze(prof, hds.Config{})
+	}
+	b.ReportMetric(float64(res.Candidates), "candidate_streams")
+	b.ReportMetric(float64(prof.Graph.NumNodes()), "graph_nodes")
+}
+
+// --- pipeline-stage microbenchmarks ------------------------------------
+
+// BenchmarkProfiling measures the Pin-replacement's full-instrumentation
+// profiling throughput (the paper reports up to 500x slowdowns for its
+// tool; this quantifies ours).
+func BenchmarkProfiling(b *testing.B) {
+	w := workloads.MustGet("povray")
+	p := w.Build(w.TestScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Profile(p, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVMInterpreter measures raw interpretation speed without hooks.
+func BenchmarkVMInterpreter(b *testing.B) {
+	w := workloads.MustGet("art")
+	p := w.Build(w.TestScale)
+	machine := cache.XeonW2195()
+	_ = machine
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := measure.Run(p, measure.Policy{Kind: measure.Jemalloc}, 1, cache.XeonW2195())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(r.Steps))
+	}
+}
+
+// BenchmarkRewriter measures the post-link pass over every call site of
+// the largest workload binary.
+func BenchmarkRewriter(b *testing.B) {
+	w := workloads.MustGet("omnetpp")
+	p := w.Build(w.TestScale)
+	sites := p.CallSites()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rewrite.Instrument(p, sites); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeDecode measures binary image round-trips.
+func BenchmarkEncodeDecode(b *testing.B) {
+	w := workloads.MustGet("xalanc")
+	p := w.Build(w.TestScale)
+	img, err := p.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := isa.Decode(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,403 @@
+// Command halo drives the HALO pipeline over program binaries, mirroring
+// the paper artifact's workflow (halo baseline / halo run) plus the
+// individual stages:
+//
+//	halo build     -w povray -scale test -o povray.hbin    build a workload binary
+//	halo disasm    povray.hbin                             disassemble a binary
+//	halo profile   povray.hbin [-seed N]                   profile and print the affinity graph
+//	halo groups    povray.hbin                             print allocation groups (Figure 9 view)
+//	halo opt       povray.hbin -o povray.halo.hbin         rewrite + emit runtime policy
+//	halo run       povray.hbin [-policy p.json] [-alloc jemalloc|ptmalloc|halo|hds|random]
+//	halo pipeline  -w povray                               end-to-end: profile test, measure ref
+//	halo list                                              list workloads
+//
+// Binaries are the encoded mini-ISA images of internal/isa; policies are
+// JSON documents carrying selectors and group-allocator settings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"halo/internal/cache"
+	"halo/internal/core"
+	"halo/internal/halloc"
+	"halo/internal/isa"
+	"halo/internal/measure"
+	"halo/internal/rewrite"
+	"halo/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "build":
+		err = cmdBuild(args)
+	case "disasm":
+		err = cmdDisasm(args)
+	case "profile":
+		err = cmdProfile(args)
+	case "groups":
+		err = cmdGroups(args)
+	case "opt":
+		err = cmdOpt(args)
+	case "run":
+		err = cmdRun(args)
+	case "pipeline":
+		err = cmdPipeline(args)
+	case "list":
+		err = cmdList(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "halo: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "halo %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: halo <command> [flags]
+
+commands:
+  build     build a workload into a binary image
+  disasm    disassemble a binary image
+  profile   profile a binary and print its affinity graph
+  groups    print the allocation groups formed from a profile
+  opt       run the full pipeline, emit rewritten binary + policy
+  run       execute a binary under an allocator policy
+  pipeline  end-to-end: profile on test input, measure on ref input
+  list      list available workloads`)
+}
+
+// Policy is the JSON document `halo opt` emits and `halo run` consumes.
+type Policy struct {
+	Program   string         `json:"program"`
+	NumBits   int            `json:"num_bits"`
+	Selectors []PolicySel    `json:"selectors"`
+	Halloc    PolicyHalloc   `json:"halloc"`
+	Sites     map[string]int `json:"sites"` // site string -> bit
+}
+
+// PolicySel is one lowered selector.
+type PolicySel struct {
+	Group int     `json:"group"`
+	Conj  [][]int `json:"conj"`
+}
+
+// PolicyHalloc carries group-allocator tuning.
+type PolicyHalloc struct {
+	ChunkSize   uint64 `json:"chunk_size,omitempty"`
+	NoSpare     bool   `json:"no_spare,omitempty"`
+	AlwaysReuse bool   `json:"always_reuse,omitempty"`
+}
+
+func loadProgram(path string) (*isa.Program, error) {
+	img, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return isa.Decode(img)
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	name := fs.String("w", "", "workload name")
+	scaleSel := fs.String("scale", "test", "test, ref, or an integer")
+	out := fs.String("o", "", "output path (default <workload>.hbin)")
+	fs.Parse(args)
+	w, ok := workloads.Get(*name)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (try: halo list)", *name)
+	}
+	scale := w.TestScale
+	switch *scaleSel {
+	case "test":
+	case "ref":
+		scale = w.RefScale
+	default:
+		if _, err := fmt.Sscanf(*scaleSel, "%d", &scale); err != nil {
+			return fmt.Errorf("bad scale %q", *scaleSel)
+		}
+	}
+	p := w.Build(scale)
+	img, err := p.Encode()
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = *name + ".hbin"
+	}
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		return err
+	}
+	st := p.Stat()
+	fmt.Printf("wrote %s: %d bytes, %d functions (%d lib), %d instructions, %d call sites\n",
+		path, len(img), st.Funcs, st.LibFuncs, st.Insts, st.CallSites)
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: halo disasm <binary>")
+	}
+	p, err := loadProgram(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(p.Disasm())
+	return nil
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	seed := fs.Uint64("seed", 7, "training seed")
+	dist := fs.Uint64("affinity-distance", 128, "affinity distance A in bytes")
+	top := fs.Int("top", 20, "contexts to print")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: halo profile [flags] <binary>")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{ProfileSeed: *seed}
+	cfg.Profile.AffinityDistance = *dist
+	prof, err := core.Profile(p, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d allocations (%d tracked), %d contexts, %d macro accesses\n",
+		p.Name, prof.TotalAllocs, prof.TrackedAllocs, len(prof.Contexts), prof.TotalAccesses)
+	fmt.Printf("affinity graph: %d nodes, %d edges after 90%% coverage filter (%d raw nodes)\n",
+		prof.Graph.NumNodes(), prof.Graph.NumEdges(), prof.RawGraph.NumNodes())
+	fmt.Printf("\nhottest contexts:\n%s", prof.DescribeTop(*top))
+	return nil
+}
+
+func cmdGroups(args []string) error {
+	fs := flag.NewFlagSet("groups", flag.ExitOnError)
+	seed := fs.Uint64("seed", 7, "training seed")
+	maxGroups := fs.Int("max-groups", 0, "cap the number of groups")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: halo groups [flags] <binary>")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{ProfileSeed: *seed}
+	cfg.Group.MaxGroups = *maxGroups
+	opt, err := core.Optimize(p, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(opt.GroupReport())
+	fmt.Printf("\nselectors:\n")
+	for _, s := range opt.Selectors.Selectors {
+		fmt.Printf("  %s\n", s)
+	}
+	return nil
+}
+
+func cmdOpt(args []string) error {
+	fs := flag.NewFlagSet("opt", flag.ExitOnError)
+	out := fs.String("o", "", "rewritten binary path (default <in>.halo.hbin)")
+	polOut := fs.String("policy", "", "policy path (default <in>.policy.json)")
+	seed := fs.Uint64("seed", 7, "training seed")
+	chunk := fs.Uint64("chunk-size", 0, "group chunk size")
+	maxSpare := fs.Int("max-spare-chunks", 1, "spare chunks kept")
+	maxGroups := fs.Int("max-groups", 0, "cap the number of groups")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: halo opt [flags] <binary>")
+	}
+	in := fs.Arg(0)
+	p, err := loadProgram(in)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{ProfileSeed: *seed}
+	cfg.Group.MaxGroups = *maxGroups
+	opt, err := core.Optimize(p, cfg)
+	if err != nil {
+		return err
+	}
+	img, err := opt.Rewrite.Prog.Encode()
+	if err != nil {
+		return err
+	}
+	outPath := *out
+	if outPath == "" {
+		outPath = strings.TrimSuffix(in, ".hbin") + ".halo.hbin"
+	}
+	if err := os.WriteFile(outPath, img, 0o644); err != nil {
+		return err
+	}
+	pol := Policy{
+		Program: p.Name,
+		NumBits: opt.Rewrite.NumBits,
+		Sites:   map[string]int{},
+		Halloc: PolicyHalloc{
+			ChunkSize: *chunk,
+			NoSpare:   *maxSpare == 0,
+		},
+	}
+	for site, bit := range opt.Rewrite.SiteBits {
+		pol.Sites[site.String()] = bit
+	}
+	for _, s := range opt.BitSelectors {
+		pol.Selectors = append(pol.Selectors, PolicySel{Group: s.Group, Conj: s.Conj})
+	}
+	polPath := *polOut
+	if polPath == "" {
+		polPath = strings.TrimSuffix(in, ".hbin") + ".policy.json"
+	}
+	data, err := json.MarshalIndent(pol, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(polPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d instrumented sites, %d inserted instructions) and %s (%d selectors)\n",
+		outPath, opt.Rewrite.NumBits, opt.Rewrite.Inserted, polPath, len(pol.Selectors))
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	allocName := fs.String("alloc", "jemalloc", "jemalloc, ptmalloc, halo, or random")
+	polPath := fs.String("policy", "", "policy JSON for -alloc halo")
+	seed := fs.Uint64("seed", 1001, "run seed")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: halo run [flags] <binary>")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	pol := measure.Policy{}
+	switch *allocName {
+	case "jemalloc":
+		pol.Kind = measure.Jemalloc
+	case "ptmalloc":
+		pol.Kind = measure.Ptmalloc
+	case "random":
+		pol.Kind = measure.RandomPools
+	case "halo":
+		if *polPath == "" {
+			return fmt.Errorf("-alloc halo requires -policy")
+		}
+		data, err := os.ReadFile(*polPath)
+		if err != nil {
+			return err
+		}
+		var doc Policy
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return err
+		}
+		pol.Kind = measure.HALO
+		pol.Rewritten = p // the input should already be the rewritten binary
+		pol.NumBits = doc.NumBits
+		for _, s := range doc.Selectors {
+			pol.Selectors = append(pol.Selectors, halloc.BitSelector{Group: s.Group, Conj: s.Conj})
+		}
+		pol.Halloc = halloc.Config{
+			ChunkSize:         doc.Halloc.ChunkSize,
+			NoSpare:           doc.Halloc.NoSpare,
+			AlwaysReuseChunks: doc.Halloc.AlwaysReuse,
+		}
+	default:
+		return fmt.Errorf("unknown allocator %q", *allocName)
+	}
+	res, err := measure.Run(p, pol, *seed, cache.XeonW2195())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("result=%d steps=%d loads=%d stores=%d\n", res.Result, res.Steps, res.Loads, res.Stores)
+	fmt.Printf("%s\n", res.Cache)
+	fmt.Printf("cycles=%d time=%.6fs\n", res.Cycles, res.Seconds)
+	fmt.Printf("allocator: %s", res.Alloc)
+	if res.GroupedAllocs+res.ForwardedAlloc > 0 {
+		fmt.Printf("; grouped=%d forwarded=%d frag=%.2f%%/%dB",
+			res.GroupedAllocs, res.ForwardedAlloc, res.FragPct, res.FragBytes)
+	}
+	fmt.Println()
+	return nil
+}
+
+func cmdPipeline(args []string) error {
+	fs := flag.NewFlagSet("pipeline", flag.ExitOnError)
+	name := fs.String("w", "", "workload name")
+	trials := fs.Int("trials", 5, "measured trials")
+	fs.Parse(args)
+	w, ok := workloads.Get(*name)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (try: halo list)", *name)
+	}
+	machine := cache.XeonW2195()
+	test := w.Build(w.TestScale)
+	cfg := core.Config{}
+	opt, err := core.Optimize(test, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(opt.GroupReport())
+	ref := w.Build(w.RefScale)
+	rw, err := rewrite.Instrument(ref, opt.Selectors.Sites)
+	if err != nil {
+		return err
+	}
+	var sels []halloc.BitSelector
+	for _, s := range opt.Selectors.Selectors {
+		lowered, _ := rewrite.LowerSelectors(s.Conj, rw.SiteBits)
+		if len(lowered) > 0 {
+			sels = append(sels, halloc.BitSelector{Group: s.Group, Conj: lowered})
+		}
+	}
+	hc := halloc.Config{ChunkSize: w.ChunkSize, NoSpare: w.NoSpare, AlwaysReuseChunks: w.AlwaysReuse}
+	base, err := measure.MeasureTrials(ref, measure.Policy{Kind: measure.Jemalloc}, *trials, 1000, machine)
+	if err != nil {
+		return err
+	}
+	haloSum, err := measure.MeasureTrials(ref, measure.Policy{
+		Kind: measure.HALO, Rewritten: rw.Prog, Selectors: sels, NumBits: rw.NumBits, Halloc: hc,
+	}, *trials, 1000, machine)
+	if err != nil {
+		return err
+	}
+	miss := measure.Improvement(base.L1DMiss.Median, haloSum.L1DMiss.Median)
+	speed := measure.Improvement(base.Seconds.Median, haloSum.Seconds.Median)
+	fmt.Printf("\nref input (%d trials): L1D miss reduction %+.2f%%, speedup %+.2f%%\n", *trials, miss, speed)
+	fmt.Printf("baseline: %.0f misses, %.6fs; HALO: %.0f misses, %.6fs\n",
+		base.L1DMiss.Median, base.Seconds.Median, haloSum.L1DMiss.Median, haloSum.Seconds.Median)
+	return nil
+}
+
+func cmdList(args []string) error {
+	names := workloads.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		w := workloads.MustGet(n)
+		fmt.Printf("%-10s test=%-6d ref=%-6d %s\n", w.Name, w.TestScale, w.RefScale, w.Description)
+	}
+	return nil
+}

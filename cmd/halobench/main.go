@@ -1,0 +1,71 @@
+// Command halobench regenerates the paper's evaluation tables and figures
+// (§5) over the simulated substrate, printing aligned text tables and
+// optionally writing JSON results, in the spirit of the artifact's
+// `halo baseline` / `halo run` / `halo plot` workflow.
+//
+// Usage:
+//
+//	halobench [-run all|fig9,fig12,fig13,fig14,fig15,tab1,baseline,roms]
+//	          [-trials N] [-quick] [-workloads a,b,c] [-json out.json] [-v]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"halo/internal/experiments"
+)
+
+func main() {
+	var (
+		run       = flag.String("run", "all", "comma-separated experiment ids (fig9, fig12, fig13, fig14, fig15, tab1, baseline, roms) or 'all'")
+		trials    = flag.Int("trials", 5, "measured trials per configuration (paper: 10)")
+		quick     = flag.Bool("quick", false, "reduced trials and test-scale inputs")
+		workloads = flag.String("workloads", "", "restrict to a comma-separated workload subset")
+		jsonOut   = flag.String("json", "", "also write results as JSON to this file")
+		verbose   = flag.Bool("v", false, "log progress to stderr")
+		seed      = flag.Uint64("seed", 0, "measurement seed base (0 = default)")
+	)
+	flag.Parse()
+
+	var logw io.Writer
+	if *verbose {
+		logw = os.Stderr
+	}
+	opts := experiments.Options{
+		Trials: *trials,
+		Quick:  *quick,
+		Log:    logw,
+		Seed:   *seed,
+	}
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+
+	engine := experiments.NewEngine(opts)
+	ids := strings.Split(*run, ",")
+	tables, err := engine.Run(ids)
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "halobench: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "halobench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "halobench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+}

@@ -1,0 +1,100 @@
+package halo
+
+import (
+	"testing"
+
+	"halo/internal/measure"
+	"halo/internal/workloads"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// library-usage section does.
+func TestFacadeEndToEnd(t *testing.T) {
+	w := workloads.MustGet("art")
+	prog := w.Build(w.TestScale)
+
+	opt, err := Optimize(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Groups) == 0 || len(opt.BitSelectors) == 0 {
+		t.Fatalf("pipeline produced no policy: %d groups, %d selectors",
+			len(opt.Groups), len(opt.BitSelectors))
+	}
+
+	machine := XeonW2195()
+	base, err := Run(prog, Policy{Kind: measure.Jemalloc}, 1, machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(prog, Policy{
+		Kind:      measure.HALO,
+		Rewritten: opt.Rewrite.Prog,
+		Selectors: opt.BitSelectors,
+		NumBits:   opt.Rewrite.NumBits,
+	}, 1, machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Result != fast.Result {
+		t.Fatalf("results diverge: %d vs %d", base.Result, fast.Result)
+	}
+	if fast.GroupedAllocs == 0 {
+		t.Fatal("no allocations grouped")
+	}
+	// art is the clearest winner in the suite: the optimisation must
+	// reduce L1D misses here.
+	if fast.Cache.L1D.Misses >= base.Cache.L1D.Misses {
+		t.Fatalf("no miss reduction: %d -> %d", base.Cache.L1D.Misses, fast.Cache.L1D.Misses)
+	}
+}
+
+// TestFacadeProfileAndHDS exercises the two-stage API: profile once, then
+// derive both HALO and hot-data-streams policies from it.
+func TestFacadeProfileAndHDS(t *testing.T) {
+	w := workloads.MustGet("povray")
+	prog := w.Build(w.TestScale)
+	cfg := Config{}
+	cfg.Profile.RecordTrace = true
+
+	prof, err := ProfileProgram(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := OptimizeFromProfile(prog, prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := AnalyzeHDS(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// povray's defining property: HALO distinguishes contexts through the
+	// pov_malloc wrapper (several sites), the immediate-call-site scheme
+	// sees a single location.
+	if len(opt.Selectors.Sites) < 2 {
+		t.Fatalf("HALO found %d sites, want several", len(opt.Selectors.Sites))
+	}
+	distinctHDS := map[int]bool{}
+	for _, g := range hr.SiteGroups {
+		distinctHDS[g] = true
+	}
+	if len(hr.SiteGroups) > 1 {
+		t.Fatalf("HDS identified %d sites through the wrapper; povray should collapse to at most 1",
+			len(hr.SiteGroups))
+	}
+	_ = distinctHDS
+}
+
+// TestFacadeTrials exercises the trial aggregation path.
+func TestFacadeTrials(t *testing.T) {
+	w := workloads.MustGet("analyzer")
+	prog := w.Build(w.TestScale)
+	s, err := MeasureTrials(prog, Policy{Kind: measure.Jemalloc}, 2, 50, XeonW2195())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seconds.Median <= 0 {
+		t.Fatalf("median = %v", s.Seconds.Median)
+	}
+}

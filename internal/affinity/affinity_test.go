@@ -1,0 +1,232 @@
+package affinity
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fakeInter lets tests script co-allocatability conflicts.
+type fakeInter struct {
+	conflicts map[Ctx][]uint64 // context -> allocation serials
+}
+
+func (f fakeInter) AllocatedBetween(c Ctx, lo, hi uint64) bool {
+	for _, s := range f.conflicts[c] {
+		if s > lo && s < hi {
+			return true
+		}
+	}
+	return false
+}
+
+func acc(obj uint64, ctx Ctx, size uint32) Access {
+	return Access{Obj: obj, Ctx: ctx, Size: size, Serial: obj}
+}
+
+func TestQueueBasicAffinity(t *testing.T) {
+	g := NewGraph()
+	q := NewQueue(32, g, nil)
+	// Two 8-byte accesses to different objects, adjacent: affinitive.
+	q.Push(acc(1, 0, 8))
+	q.Push(acc(2, 1, 8))
+	if w := g.Weight(0, 1); w != 1 {
+		t.Fatalf("weight(0,1) = %d, want 1", w)
+	}
+	if g.TotalAccesses() != 2 {
+		t.Fatalf("total accesses = %d", g.TotalAccesses())
+	}
+}
+
+func TestQueueAffinityDistanceWindow(t *testing.T) {
+	// With A = 16 and 8-byte entries, an access is affinitive with the
+	// previous two entries (0 and 8 bytes between) but not the third
+	// (16 bytes between).
+	g := NewGraph()
+	q := NewQueue(16, g, nil)
+	q.Push(acc(1, 1, 8))
+	q.Push(acc(2, 2, 8))
+	q.Push(acc(3, 3, 8))
+	q.Push(acc(4, 4, 8))
+	if w := g.Weight(4, 3); w != 1 {
+		t.Errorf("adjacent pair weight = %d, want 1", w)
+	}
+	if w := g.Weight(4, 2); w != 1 {
+		t.Errorf("one-apart pair weight = %d, want 1", w)
+	}
+	if w := g.Weight(4, 1); w != 0 {
+		t.Errorf("beyond-window pair weight = %d, want 0", w)
+	}
+}
+
+func TestQueueMacroAccessDedup(t *testing.T) {
+	// Consecutive accesses to one object are a single macro access: no
+	// re-traversal, no access recount.
+	g := NewGraph()
+	q := NewQueue(64, g, nil)
+	q.Push(acc(1, 0, 8))
+	q.Push(acc(2, 1, 8))
+	q.Push(acc(2, 1, 8))
+	q.Push(acc(2, 1, 8))
+	if g.TotalAccesses() != 2 {
+		t.Fatalf("macro accesses = %d, want 2", g.TotalAccesses())
+	}
+	if w := g.Weight(0, 1); w != 1 {
+		t.Fatalf("weight = %d, want 1 (no duplicate edges)", w)
+	}
+}
+
+func TestQueueNoSelfAffinity(t *testing.T) {
+	g := NewGraph()
+	q := NewQueue(64, g, nil)
+	q.Push(acc(1, 0, 8))
+	q.Push(acc(2, 0, 8))
+	q.Push(acc(1, 0, 8)) // non-consecutive revisit of object 1
+	// Loop edge (0,0) may exist between objects 1 and 2, but object 1
+	// must not be affinitive with itself.
+	if w := g.Weight(0, 0); w != 2 {
+		// 2 pairs: (2 after 1), (1 after 2); the second traversal of
+		// object 1 pairs with object 2 only.
+		t.Fatalf("loop weight = %d, want 2", w)
+	}
+}
+
+func TestQueueDoubleCountSuppression(t *testing.T) {
+	// Object 2 appears twice in the window; a new access to object 3 may
+	// count it only once.
+	g := NewGraph()
+	q := NewQueue(128, g, nil)
+	q.Push(acc(2, 1, 8))
+	q.Push(acc(9, 5, 8))
+	q.Push(acc(2, 1, 8)) // second occurrence (non-consecutive)
+	q.Push(acc(3, 2, 8))
+	if w := g.Weight(2, 1); w != 1 {
+		t.Fatalf("weight(ctx2,ctx1) = %d, want 1 (double counting suppressed)", w)
+	}
+}
+
+func TestQueueCoallocatability(t *testing.T) {
+	// Context 1 allocated serial 5 between objects 2 and 8: accesses to
+	// those objects are not affinitive if either endpoint is context 1.
+	inter := fakeInter{conflicts: map[Ctx][]uint64{1: {5}}}
+	g := NewGraph()
+	q := NewQueue(64, g, inter)
+	q.Push(acc(2, 1, 8))
+	q.Push(acc(8, 2, 8))
+	if w := g.Weight(1, 2); w != 0 {
+		t.Fatalf("conflicting pair counted: weight = %d", w)
+	}
+	// A pair with no intervening allocation still counts.
+	q.Push(acc(9, 3, 8))
+	if w := g.Weight(2, 3); w != 1 {
+		t.Fatalf("clean pair weight = %d, want 1", w)
+	}
+}
+
+func TestQueueEviction(t *testing.T) {
+	g := NewGraph()
+	q := NewQueue(32, g, nil)
+	for i := uint64(1); i <= 100; i++ {
+		q.Push(acc(i, Ctx(i%7), 8))
+	}
+	// With A=32 and 8-byte entries the queue holds at most A/8 + 1
+	// entries whose preceding bytes are under the distance.
+	if q.Len() > 5 {
+		t.Fatalf("queue holds %d entries; eviction broken", q.Len())
+	}
+	if q.Bytes() >= 32+8 {
+		t.Fatalf("queue bytes = %d", q.Bytes())
+	}
+}
+
+func TestQueueWindowInvariantProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		g := NewGraph()
+		q := NewQueue(64, g, nil)
+		for i, s := range sizes {
+			size := uint32(s%16) + 1
+			q.Push(acc(uint64(i+1), Ctx(i%5), size))
+			// Invariant: evicted entries have >= A bytes of newer
+			// entries; all but the oldest live entry fit in A.
+			if q.Len() > 0 && q.Bytes() > 64+16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphFilterCoverage(t *testing.T) {
+	g := NewGraph()
+	// Context 0: 90 accesses; context 1: 9; context 2: 1.
+	for i := 0; i < 90; i++ {
+		g.AddAccess(0)
+	}
+	for i := 0; i < 9; i++ {
+		g.AddAccess(1)
+	}
+	g.AddAccess(2)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	f := g.Filter(0.90)
+	if f.Accesses(0) == 0 {
+		t.Fatal("hottest node filtered out")
+	}
+	if f.Accesses(2) != 0 {
+		t.Fatal("cold node survived the 90% filter")
+	}
+	if f.Weight(1, 2) != 0 {
+		t.Fatal("edge to filtered node survived")
+	}
+	if f.TotalAccesses() != 100 {
+		t.Fatalf("filter changed total accesses: %d", f.TotalAccesses())
+	}
+}
+
+func TestGraphPrune(t *testing.T) {
+	g := NewGraph()
+	g.AddAccess(0)
+	g.AddAccess(1)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(0, 2, 1)
+	p := g.Prune(5)
+	if p.Weight(0, 1) != 10 || p.Weight(0, 2) != 0 {
+		t.Fatalf("prune kept %d/%d", p.Weight(0, 1), p.Weight(0, 2))
+	}
+}
+
+func TestEdgeKeyNormalisation(t *testing.T) {
+	if MakeEdge(5, 3) != MakeEdge(3, 5) {
+		t.Fatal("edge keys not normalised")
+	}
+	if !MakeEdge(4, 4).IsLoop() {
+		t.Fatal("loop not detected")
+	}
+	g := NewGraph()
+	g.AddEdge(5, 3, 1)
+	g.AddEdge(3, 5, 1)
+	if g.Weight(3, 5) != 2 {
+		t.Fatalf("weight = %d, want 2", g.Weight(3, 5))
+	}
+}
+
+func TestGraphDeterministicOrder(t *testing.T) {
+	g := NewGraph()
+	for _, c := range []Ctx{7, 2, 9, 1} {
+		g.AddAccess(c)
+	}
+	g.AddEdge(7, 2, 1)
+	g.AddEdge(9, 1, 1)
+	nodes := g.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1] >= nodes[i] {
+			t.Fatal("nodes not sorted")
+		}
+	}
+	edges := g.Edges()
+	if len(edges) != 2 || edges[0].U > edges[1].U {
+		t.Fatalf("edges not deterministic: %v", edges)
+	}
+}

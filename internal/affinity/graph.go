@@ -1,0 +1,207 @@
+// Package affinity implements the paper's model of data reference locality
+// (§4.1): the affinity queue, which observes the stream of heap accesses
+// and detects contemporaneous accesses to objects from different allocation
+// contexts, and the pairwise affinity graph those observations accumulate
+// into. Nodes are reduced allocation contexts; edge weights count affinitive
+// access pairs, subject to the paper's four constraints (deduplication, no
+// self-affinity, no double counting, co-allocatability).
+package affinity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ctx identifies a reduced allocation context (interned by the profiler).
+type Ctx int32
+
+// NoCtx marks an access to an object with no tracked context.
+const NoCtx Ctx = -1
+
+// EdgeKey is an unordered context pair; U <= V. Loop edges (U == V) arise
+// from affinitive accesses to two different objects of the same context and
+// are treated specially by the grouping score (Figure 7).
+type EdgeKey struct {
+	U, V Ctx
+}
+
+// MakeEdge normalises the pair.
+func MakeEdge(a, b Ctx) EdgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return EdgeKey{a, b}
+}
+
+// IsLoop reports whether the edge is a self-loop.
+func (e EdgeKey) IsLoop() bool { return e.U == e.V }
+
+// Graph is the pairwise affinity graph.
+type Graph struct {
+	nodes map[Ctx]uint64    // context -> macro accesses observed
+	edges map[EdgeKey]uint64 // pair -> affinitive access pairs
+	total uint64            // total macro accesses (including filtered)
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{nodes: make(map[Ctx]uint64), edges: make(map[EdgeKey]uint64)}
+}
+
+// AddAccess records one macro access to an object of the given context.
+func (g *Graph) AddAccess(c Ctx) {
+	g.nodes[c]++
+	g.total++
+}
+
+// AddEdge increments the affinity weight between two contexts, registering
+// the endpoints as nodes if they have not been seen yet.
+func (g *Graph) AddEdge(a, b Ctx, w uint64) {
+	if _, ok := g.nodes[a]; !ok {
+		g.nodes[a] = 0
+	}
+	if _, ok := g.nodes[b]; !ok {
+		g.nodes[b] = 0
+	}
+	g.edges[MakeEdge(a, b)] += w
+}
+
+// NumNodes reports the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges reports the edge count (loops included).
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// TotalAccesses reports all macro accesses observed, which the grouping
+// threshold is relative to ("graph.accesses" in Figure 6).
+func (g *Graph) TotalAccesses() uint64 { return g.total }
+
+// Accesses returns the access count of a context.
+func (g *Graph) Accesses(c Ctx) uint64 { return g.nodes[c] }
+
+// Weight returns the affinity between two contexts.
+func (g *Graph) Weight(a, b Ctx) uint64 { return g.edges[MakeEdge(a, b)] }
+
+// Nodes returns the contexts in deterministic (ascending) order.
+func (g *Graph) Nodes() []Ctx {
+	out := make([]Ctx, 0, len(g.nodes))
+	for c := range g.nodes {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all edges in deterministic order.
+func (g *Graph) Edges() []EdgeKey {
+	out := make([]EdgeKey, 0, len(g.edges))
+	for e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// EdgeWeights returns a copy of the weight map.
+func (g *Graph) EdgeWeights() map[EdgeKey]uint64 {
+	out := make(map[EdgeKey]uint64, len(g.edges))
+	for k, v := range g.edges {
+		out[k] = v
+	}
+	return out
+}
+
+// Filter implements the paper's noise reduction: nodes are visited from
+// most to least accessed, and once `coverage` (e.g. 0.90) of all observed
+// accesses is accounted for, the remaining nodes are discarded along with
+// their incident edges. The returned graph keeps the original total access
+// count, as the grouping threshold is relative to all observed accesses.
+func (g *Graph) Filter(coverage float64) *Graph {
+	type na struct {
+		c Ctx
+		a uint64
+	}
+	nodes := make([]na, 0, len(g.nodes))
+	for c, a := range g.nodes {
+		nodes = append(nodes, na{c, a})
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].a != nodes[j].a {
+			return nodes[i].a > nodes[j].a
+		}
+		return nodes[i].c < nodes[j].c
+	})
+	keep := make(map[Ctx]bool, len(nodes))
+	var acc uint64
+	limit := uint64(coverage * float64(g.total))
+	for _, n := range nodes {
+		if acc >= limit {
+			break
+		}
+		keep[n.c] = true
+		acc += n.a
+	}
+	out := NewGraph()
+	out.total = g.total
+	for c, a := range g.nodes {
+		if keep[c] {
+			out.nodes[c] = a
+		}
+	}
+	for e, w := range g.edges {
+		if keep[e.U] && keep[e.V] {
+			out.edges[e] = w
+		}
+	}
+	return out
+}
+
+// Prune removes edges lighter than minWeight (Figure 6's first step).
+func (g *Graph) Prune(minWeight uint64) *Graph {
+	out := NewGraph()
+	out.total = g.total
+	for c, a := range g.nodes {
+		out.nodes[c] = a
+	}
+	for e, w := range g.edges {
+		if w >= minWeight {
+			out.edges[e] = w
+		}
+	}
+	return out
+}
+
+// Adjacency returns, for each node, its neighbours (loops excluded) in
+// deterministic order.
+func (g *Graph) Adjacency() map[Ctx][]Ctx {
+	adj := make(map[Ctx][]Ctx, len(g.nodes))
+	for e := range g.edges {
+		if e.IsLoop() {
+			continue
+		}
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	for c := range adj {
+		ns := adj[c]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		adj[c] = ns
+	}
+	return adj
+}
+
+// String renders a compact summary.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "affinity graph: %d nodes, %d edges, %d accesses\n", len(g.nodes), len(g.edges), g.total)
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  (%d,%d) w=%d\n", e.U, e.V, g.edges[e])
+	}
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package affinity
+
+// Access is one macro-level heap access as seen by the profiler.
+type Access struct {
+	Obj    uint64 // object identity (allocation serial)
+	Ctx    Ctx    // reduced allocation context of the object
+	Size   uint32 // access size in bytes (a queue entry's width, Figure 5)
+	Serial uint64 // the object's allocation serial, for co-allocatability
+}
+
+// Interference answers the co-allocatability constraint: whether a context
+// made any allocation chronologically strictly between two serials. The
+// profiler implements it over its per-context allocation logs.
+type Interference interface {
+	AllocatedBetween(c Ctx, lo, hi uint64) bool
+}
+
+// Queue is the affinity queue of §4.1 (Figure 5): a window over the most
+// recent heap accesses, implicitly sized by the affinity distance A. Two
+// entries are affinitive when the sizes of the entries strictly between
+// them sum to less than A bytes.
+type Queue struct {
+	dist  uint64 // the affinity distance A
+	graph *Graph
+	inter Interference
+
+	entries []Access // oldest first
+	head    int      // index of the oldest live entry
+	bytes   uint64   // total size of live entries
+
+	seen map[uint64]bool // per-traversal double-counting suppression
+
+	// Pairs counts affinitive pairs recorded, for diagnostics.
+	Pairs uint64
+}
+
+// NewQueue builds a queue feeding the given graph. dist is the affinity
+// distance A in bytes (the paper evaluates 2^3..2^17 and selects 128).
+func NewQueue(dist uint64, graph *Graph, inter Interference) *Queue {
+	return &Queue{
+		dist:  dist,
+		graph: graph,
+		inter: inter,
+		seen:  make(map[uint64]bool, 64),
+	}
+}
+
+// Push observes one machine-level access. Consecutive accesses to a single
+// object are part of the same macro-level access and do not re-trigger
+// traversal (the deduplication constraint).
+func (q *Queue) Push(a Access) {
+	if n := len(q.entries); n > q.head && q.entries[n-1].Obj == a.Obj {
+		return
+	}
+	q.graph.AddAccess(a.Ctx)
+
+	// Traverse from newest to oldest. `between` accumulates the sizes of
+	// the entries strictly between the candidate and the new access.
+	clear(q.seen)
+	var between uint64
+	for i := len(q.entries) - 1; i >= q.head && between < q.dist; i-- {
+		cand := q.entries[i]
+		if q.affinitive(a, cand) {
+			q.graph.AddEdge(a.Ctx, cand.Ctx, 1)
+			q.Pairs++
+		}
+		q.seen[cand.Obj] = true
+		between += uint64(cand.Size)
+	}
+
+	// Append and evict entries that can never be affinitive again: those
+	// with at least A bytes of newer entries in front of them.
+	q.entries = append(q.entries, a)
+	q.bytes += uint64(a.Size)
+	for q.head < len(q.entries) && q.bytes-uint64(q.entries[q.head].Size) >= q.dist {
+		q.bytes -= uint64(q.entries[q.head].Size)
+		q.head++
+	}
+	// Compact occasionally so the backing array does not grow unboundedly.
+	if q.head > 1024 && q.head*2 > len(q.entries) {
+		q.entries = append(q.entries[:0:0], q.entries[q.head:]...)
+		q.head = 0
+	}
+}
+
+// affinitive applies the paper's constraints to a candidate pair (u = the
+// new access, v = the queue entry).
+func (q *Queue) affinitive(u, v Access) bool {
+	// No self-affinity: objects occupy a single memory location.
+	if u.Obj == v.Obj {
+		return false
+	}
+	// No double counting: each unique object at most once per traversal.
+	if q.seen[v.Obj] {
+		return false
+	}
+	// Co-allocatability: no allocation made chronologically between u and
+	// v may originate from either context, otherwise the pair could not
+	// actually be co-located by contiguous pool allocation.
+	lo, hi := u.Serial, v.Serial
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if q.inter != nil && hi > lo+1 {
+		if q.inter.AllocatedBetween(u.Ctx, lo, hi) {
+			return false
+		}
+		if v.Ctx != u.Ctx && q.inter.AllocatedBetween(v.Ctx, lo, hi) {
+			return false
+		}
+	}
+	return true
+}
+
+// Len reports the live entry count.
+func (q *Queue) Len() int { return len(q.entries) - q.head }
+
+// Bytes reports the live entry bytes (the queue's implicit size).
+func (q *Queue) Bytes() uint64 { return q.bytes }

@@ -1,0 +1,249 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"halo/internal/mem"
+)
+
+func newSS() *SizeSeg      { return NewSizeSeg(mem.NewOS(mem.NewMemory())) }
+func newBT() *BoundaryTag  { return NewBoundaryTag(mem.NewOS(mem.NewMemory())) }
+
+func allocators() map[string]func() Allocator {
+	return map[string]func() Allocator{
+		"sizeseg":     func() Allocator { return newSS() },
+		"boundarytag": func() Allocator { return newBT() },
+	}
+}
+
+func TestClassIndexBoundaries(t *testing.T) {
+	for i, cls := range SizeClasses {
+		if got := classIndex(cls); got != i {
+			t.Fatalf("classIndex(%d) = %d, want %d", cls, got, i)
+		}
+		if got := classIndex(cls - 1); got != i {
+			// size just under a class maps to that class unless it fits
+			// the previous class exactly.
+			if i > 0 && cls-1 <= SizeClasses[i-1] {
+				continue
+			}
+			t.Fatalf("classIndex(%d) = %d, want %d", cls-1, got, i)
+		}
+	}
+	if classIndex(MaxSmall+1) != -1 {
+		t.Fatal("oversize not classified as large")
+	}
+}
+
+func TestMallocAlignmentAndDisjointness(t *testing.T) {
+	for name, mk := range allocators() {
+		t.Run(name, func(t *testing.T) {
+			a := mk()
+			rng := rand.New(rand.NewSource(1))
+			type region struct{ base, size uint64 }
+			var live []region
+			for i := 0; i < 4000; i++ {
+				size := uint64(rng.Intn(700) + 1)
+				p := a.Malloc(size)
+				if p == 0 {
+					t.Fatalf("malloc(%d) = 0", size)
+				}
+				if p%8 != 0 {
+					t.Fatalf("misaligned pointer %#x", p)
+				}
+				for _, r := range live {
+					if p < r.base+r.size && r.base < p+size {
+						t.Fatalf("overlap [%#x,%#x) with [%#x,%#x)", p, p+size, r.base, r.base+r.size)
+					}
+				}
+				live = append(live, region{p, size})
+				if rng.Intn(3) == 0 && len(live) > 0 {
+					idx := rng.Intn(len(live))
+					a.Free(live[idx].base)
+					live[idx] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+			}
+		})
+	}
+}
+
+func TestFreeAllReturnsToZeroLive(t *testing.T) {
+	for name, mk := range allocators() {
+		t.Run(name, func(t *testing.T) {
+			a := mk()
+			var ptrs []uint64
+			for i := 0; i < 500; i++ {
+				ptrs = append(ptrs, a.Malloc(uint64(8+i%256)))
+			}
+			for _, p := range ptrs {
+				a.Free(p)
+			}
+			s := a.Stats()
+			if s.LiveObjects != 0 || s.LiveBytes != 0 {
+				t.Fatalf("leak: %s", s)
+			}
+			if s.Allocs != 500 || s.Frees != 500 {
+				t.Fatalf("counters: %s", s)
+			}
+		})
+	}
+}
+
+func TestSlotReuseAfterFree(t *testing.T) {
+	// The size-segregated allocator must reuse freed regions (the
+	// behaviour that keeps churn cache-warm, unlike bump allocation).
+	a := newSS()
+	p1 := a.Malloc(64)
+	a.Free(p1)
+	p2 := a.Malloc(64)
+	if p1 != p2 {
+		t.Fatalf("freed slot not reused: %#x then %#x", p1, p2)
+	}
+}
+
+func TestBoundaryTagCoalescing(t *testing.T) {
+	a := newBT()
+	// Three adjacent chunks; freeing all three coalesces into one free
+	// chunk, so a request of the combined size fits without new mapping.
+	p1 := a.Malloc(100)
+	p2 := a.Malloc(100)
+	p3 := a.Malloc(100)
+	mappedBefore := a.os.MappedBytes()
+	a.Free(p1)
+	a.Free(p2)
+	a.Free(p3)
+	big := a.Malloc(300)
+	if a.os.MappedBytes() != mappedBefore {
+		t.Fatal("coalescing failed: new mapping required")
+	}
+	a.Free(big)
+}
+
+func TestBoundaryTagAddressOrderReuse(t *testing.T) {
+	a := newBT()
+	p1 := a.Malloc(64)
+	p2 := a.Malloc(64)
+	a.Free(p1)
+	a.Free(p2)
+	p3 := a.Malloc(64)
+	if p3 != p1 {
+		t.Fatalf("first fit not address-ordered: got %#x, want %#x", p3, p1)
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	for name, mk := range allocators() {
+		t.Run(name, func(t *testing.T) {
+			a := mk()
+			p := a.Malloc(100)
+			if s := a.SizeOf(p); s < 100 {
+				t.Fatalf("SizeOf = %d, want >= 100", s)
+			}
+			big := a.Malloc(100 << 10)
+			if s := a.SizeOf(big); s < 100<<10 {
+				t.Fatalf("SizeOf(large) = %d", s)
+			}
+		})
+	}
+}
+
+func TestReallocGrowPreservesData(t *testing.T) {
+	for name := range allocators() {
+		t.Run(name, func(t *testing.T) {
+			osm := mem.NewOS(mem.NewMemory())
+			var a Allocator
+			if name == "sizeseg" {
+				a = NewSizeSeg(osm)
+			} else {
+				a = NewBoundaryTag(osm)
+			}
+			p := a.Malloc(16)
+			osm.Memory().WriteWord(p, 0xABCD)
+			osm.Memory().WriteWord(p+8, 0x1234)
+			q := a.Realloc(p, 4096)
+			if osm.Memory().ReadWord(q) != 0xABCD || osm.Memory().ReadWord(q+8) != 0x1234 {
+				t.Fatal("realloc lost data")
+			}
+		})
+	}
+}
+
+func TestReallocShrinkInPlace(t *testing.T) {
+	a := newSS()
+	p := a.Malloc(100) // class 112
+	q := a.Realloc(p, 100)
+	if q != p {
+		t.Fatalf("same-size realloc moved: %#x -> %#x", p, q)
+	}
+}
+
+func TestLargeAllocationLifecycle(t *testing.T) {
+	a := newSS()
+	p := a.Malloc(1 << 20)
+	if p == 0 {
+		t.Fatal("large malloc failed")
+	}
+	res := a.Stats().Resident
+	a.Free(p)
+	if a.Stats().Resident >= res {
+		t.Fatal("large free did not release residency")
+	}
+}
+
+func TestRunBitmapProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r := &run{regions: 64, free: 64, bitmap: make([]uint64, 1)}
+		allocated := map[int]bool{}
+		for _, op := range ops {
+			if op%2 == 0 || len(allocated) == 0 {
+				if r.free == 0 {
+					continue
+				}
+				idx := r.allocRegion()
+				if idx < 0 || allocated[idx] {
+					return false
+				}
+				allocated[idx] = true
+			} else {
+				for idx := range allocated {
+					r.freeRegion(idx)
+					delete(allocated, idx)
+					break
+				}
+			}
+			if r.free != r.regions-len(allocated) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsFrag(t *testing.T) {
+	s := Stats{LiveBytes: 25, Resident: 100}
+	pct, b := s.Frag()
+	if pct != 75 || b != 75 {
+		t.Fatalf("frag = %v%%, %d", pct, b)
+	}
+	zero := Stats{}
+	if p, b := zero.Frag(); p != 0 || b != 0 {
+		t.Fatal("zero stats frag not zero")
+	}
+}
+
+func TestPeakLiveTracking(t *testing.T) {
+	a := newSS()
+	p1 := a.Malloc(1000)
+	p2 := a.Malloc(1000)
+	a.Free(p1)
+	a.Free(p2)
+	if peak := a.Stats().PeakLive; peak < 2000 {
+		t.Fatalf("peak live = %d, want >= 2000", peak)
+	}
+}

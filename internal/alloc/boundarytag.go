@@ -1,0 +1,247 @@
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"halo/internal/mem"
+)
+
+// BoundaryTag is the ptmalloc2-like allocator: every chunk carries an
+// inline 16-byte header, free chunks coalesce with their address
+// neighbours, and requests are served smallest-fit from size-binned free
+// lists with address-order preference, falling back to a bump "top" chunk.
+//
+// Its distinguishing behaviour for the paper's purposes is layout: payloads
+// of all sizes interleave in address order with metadata gaps between them,
+// so unrelated objects share cache lines far more often than under the
+// size-segregated allocator. The paper reports jemalloc reducing L1D misses
+// by up to 32% over ptmalloc2; the baseline experiment reproduces the shape
+// of that comparison with these two implementations.
+type BoundaryTag struct {
+	os *mem.OS
+	statsTracker
+
+	chunks map[uint64]*btChunk // chunk base -> chunk (both free and in use)
+	bins   [nBins][]uint64     // free chunk bases per bin, address-sorted
+
+	top     uint64 // bump frontier within the current segment
+	topEnd  uint64
+	segSize uint64
+}
+
+type btChunk struct {
+	base uint64 // header address; payload at base+headerSize
+	size uint64 // total chunk size including header
+	free bool
+	prev uint64 // base of the address-predecessor chunk, 0 at segment start
+	next uint64 // base of the address-successor chunk, 0 at segment end
+	req  uint64 // requested payload size while in use
+}
+
+const (
+	headerSize = 16
+	btAlign    = 16
+	nBins      = 64
+	segDefault = 1 << 20
+)
+
+// NewBoundaryTag returns a ptmalloc2-like allocator drawing from os.
+func NewBoundaryTag(os *mem.OS) *BoundaryTag {
+	return &BoundaryTag{
+		os:      os,
+		chunks:  make(map[uint64]*btChunk),
+		segSize: segDefault,
+	}
+}
+
+// Name implements Allocator.
+func (a *BoundaryTag) Name() string { return "ptmalloc-like" }
+
+// binFor maps a chunk size to a bin: exact 16-byte spacing for small
+// chunks, logarithmic beyond.
+func binFor(size uint64) int {
+	if size < 16 {
+		size = 16
+	}
+	if b := size / 16; b < 48 {
+		return int(b) // bins 1..47: sizes 16..752
+	}
+	// Logarithmic bins from 48 upward.
+	b := 48
+	for s := uint64(768); s < size && b < nBins-1; s *= 2 {
+		b++
+	}
+	return b
+}
+
+func chunkSizeFor(payload uint64) uint64 {
+	if payload == 0 {
+		payload = 1
+	}
+	size := headerSize + payload
+	return (size + btAlign - 1) &^ uint64(btAlign-1)
+}
+
+func (a *BoundaryTag) binInsert(c *btChunk) {
+	b := binFor(c.size)
+	lst := a.bins[b]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= c.base })
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = c.base
+	a.bins[b] = lst
+}
+
+func (a *BoundaryTag) binRemove(c *btChunk) {
+	b := binFor(c.size)
+	lst := a.bins[b]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= c.base })
+	if i < len(lst) && lst[i] == c.base {
+		a.bins[b] = append(lst[:i], lst[i+1:]...)
+		return
+	}
+	panic(fmt.Sprintf("alloc: chunk %#x missing from bin %d", c.base, b))
+}
+
+// findFit searches the bins for the first address-ordered chunk that fits,
+// starting at the smallest adequate bin.
+func (a *BoundaryTag) findFit(size uint64) *btChunk {
+	for b := binFor(size); b < nBins; b++ {
+		for _, base := range a.bins[b] {
+			c := a.chunks[base]
+			if c.size >= size {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// split carves size bytes from the front of free chunk c, returning the
+// in-use chunk. The remainder, if large enough, becomes a new free chunk.
+func (a *BoundaryTag) split(c *btChunk, size uint64) *btChunk {
+	a.binRemove(c)
+	rem := c.size - size
+	if rem >= headerSize+btAlign {
+		tail := &btChunk{
+			base: c.base + size,
+			size: rem,
+			free: true,
+			prev: c.base,
+			next: c.next,
+		}
+		if c.next != 0 {
+			a.chunks[c.next].prev = tail.base
+		}
+		c.next = tail.base
+		c.size = size
+		a.chunks[tail.base] = tail
+		a.binInsert(tail)
+	}
+	c.free = false
+	return c
+}
+
+// Malloc implements Allocator.
+func (a *BoundaryTag) Malloc(size uint64) uint64 {
+	want := chunkSizeFor(size)
+	c := a.findFit(want)
+	if c == nil {
+		c = a.extend(want)
+	}
+	c = a.split(c, want)
+	c.req = size
+	a.onAlloc(size)
+	return c.base + headerSize
+}
+
+// extend maps a new segment and returns its single free chunk.
+func (a *BoundaryTag) extend(want uint64) *btChunk {
+	segSize := a.segSize
+	if want > segSize {
+		segSize = (want + mem.PageSize - 1) &^ uint64(mem.PageSize-1)
+	}
+	reg := a.os.Map(segSize, btAlign)
+	a.stats.Resident += reg.Size
+	c := &btChunk{base: reg.Base, size: reg.Size, free: true}
+	a.chunks[c.base] = c
+	a.binInsert(c)
+	return c
+}
+
+// Free implements Allocator.
+func (a *BoundaryTag) Free(ptr uint64) {
+	if ptr == 0 {
+		return
+	}
+	base := ptr - headerSize
+	c := a.chunks[base]
+	if c == nil || c.free {
+		panic(fmt.Sprintf("alloc: bad free of %#x", ptr))
+	}
+	a.onFree(c.req)
+	c.free = true
+	c.req = 0
+	// Coalesce with the address successor.
+	if n := a.chunks[c.next]; n != nil && n.free {
+		a.binRemove(n)
+		c.size += n.size
+		c.next = n.next
+		if n.next != 0 {
+			a.chunks[n.next].prev = c.base
+		}
+		delete(a.chunks, n.base)
+	}
+	// Coalesce with the address predecessor.
+	if p := a.chunks[c.prev]; p != nil && p.free {
+		a.binRemove(p)
+		p.size += c.size
+		p.next = c.next
+		if c.next != 0 {
+			a.chunks[c.next].prev = p.base
+		}
+		delete(a.chunks, c.base)
+		c = p
+	}
+	a.binInsert(c)
+}
+
+// SizeOf implements Allocator.
+func (a *BoundaryTag) SizeOf(ptr uint64) uint64 {
+	c := a.chunks[ptr-headerSize]
+	if c == nil || c.free {
+		return 0
+	}
+	return c.size - headerSize
+}
+
+// Calloc implements Allocator.
+func (a *BoundaryTag) Calloc(n, size uint64) uint64 { return a.Malloc(n * size) }
+
+// Realloc implements Allocator.
+func (a *BoundaryTag) Realloc(ptr, size uint64) uint64 {
+	if ptr == 0 {
+		return a.Malloc(size)
+	}
+	c := a.chunks[ptr-headerSize]
+	if c == nil || c.free {
+		panic(fmt.Sprintf("alloc: realloc of unknown pointer %#x", ptr))
+	}
+	if chunkSizeFor(size) <= c.size {
+		a.stats.LiveBytes += size - c.req
+		c.req = size
+		return ptr
+	}
+	np := a.Malloc(size)
+	n := c.req
+	if size < n {
+		n = size
+	}
+	a.os.Memory().Copy(np, ptr, n)
+	a.Free(ptr)
+	return np
+}
+
+// Stats implements Allocator.
+func (a *BoundaryTag) Stats() Stats { return a.stats }

@@ -1,0 +1,304 @@
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"halo/internal/mem"
+)
+
+// SizeClasses are the small allocation size classes, following jemalloc's
+// spacing: four classes per power-of-two group. Allocations above the last
+// class are "large" and take dedicated page runs.
+var SizeClasses = []uint64{
+	8, 16, 32, 48, 64, 80, 96, 112, 128,
+	160, 192, 224, 256,
+	320, 384, 448, 512,
+	640, 768, 896, 1024,
+	1280, 1536, 1792, 2048,
+	2560, 3072, 3584,
+}
+
+// MaxSmall is the largest size served from slabs.
+const MaxSmall = 3584
+
+// classIndex maps a size to its class, or -1 for large allocations.
+func classIndex(size uint64) int {
+	if size > MaxSmall {
+		return -1
+	}
+	i := sort.Search(len(SizeClasses), func(i int) bool { return SizeClasses[i] >= size })
+	return i
+}
+
+// run is a slab of contiguous regions of a single size class, analogous to
+// a jemalloc run/slab extent. Regions carry no headers: occupancy lives in
+// the bitmap, which is why small objects pack back-to-back.
+type run struct {
+	base     uint64
+	size     uint64
+	class    int
+	regions  int
+	free     int
+	bitmap   []uint64 // 1 bits mark allocated regions
+	nextScan int      // rotor to avoid rescanning full prefixes
+}
+
+func (r *run) allocRegion() int {
+	words := len(r.bitmap)
+	for w := 0; w < words; w++ {
+		wi := (r.nextScan + w) % words
+		word := r.bitmap[wi]
+		if word == ^uint64(0) {
+			continue
+		}
+		for b := 0; b < 64; b++ {
+			idx := wi*64 + b
+			if idx >= r.regions {
+				break
+			}
+			if word&(1<<uint(b)) == 0 {
+				r.bitmap[wi] |= 1 << uint(b)
+				r.free--
+				r.nextScan = wi
+				return idx
+			}
+		}
+	}
+	return -1
+}
+
+func (r *run) freeRegion(idx int) {
+	w, b := idx/64, uint(idx%64)
+	if r.bitmap[w]&(1<<b) == 0 {
+		panic(fmt.Sprintf("alloc: double free of region %d in run %#x", idx, r.base))
+	}
+	r.bitmap[w] &^= 1 << b
+	r.free++
+}
+
+// SizeSeg is the jemalloc-like size-segregated allocator. Small requests
+// are rounded to a size class and served from per-class slabs using
+// lowest-address-first placement; large requests get dedicated page runs.
+type SizeSeg struct {
+	os *mem.OS
+	statsTracker
+
+	classes []classState // one per entry of SizeClasses
+	pageMap map[uint64]*run  // page id -> owning run, for O(1) free
+	large   map[uint64]uint64 // base -> payload size
+
+	arena     mem.Region // current extent being carved into runs
+	arenaOff  uint64
+	arenaSize uint64
+}
+
+type classState struct {
+	// partial runs, kept sorted by base address: jemalloc reuses the
+	// lowest-addressed non-full run first.
+	partial []*run
+	// one spare empty run is cached per class; further empties are purged.
+	spare *run
+}
+
+// ArenaExtent is the granularity at which SizeSeg maps address space.
+const ArenaExtent = 256 << 10
+
+// NewSizeSeg returns a jemalloc-like allocator drawing from os.
+func NewSizeSeg(os *mem.OS) *SizeSeg {
+	return &SizeSeg{
+		os:        os,
+		classes:   make([]classState, len(SizeClasses)),
+		pageMap:   make(map[uint64]*run),
+		large:     make(map[uint64]uint64),
+		arenaSize: ArenaExtent,
+	}
+}
+
+// Name implements Allocator.
+func (a *SizeSeg) Name() string { return "jemalloc-like" }
+
+// runSize picks the slab size for a class: enough pages for at least 16
+// regions, at least one page.
+func runSize(class int) uint64 {
+	need := 16 * SizeClasses[class]
+	pages := (need + mem.PageSize - 1) / mem.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	return pages * mem.PageSize
+}
+
+func (a *SizeSeg) newRun(class int) *run {
+	size := runSize(class)
+	if a.arena.Size == 0 || a.arenaOff+size > a.arena.Size {
+		ext := a.arenaSize
+		if size > ext {
+			ext = size
+		}
+		a.arena = a.os.Map(ext, mem.PageSize)
+		a.arenaOff = 0
+		a.stats.Resident += ext
+	}
+	base := a.arena.Base + a.arenaOff
+	a.arenaOff += size
+	cls := SizeClasses[class]
+	regions := int(size / cls)
+	r := &run{
+		base:    base,
+		size:    size,
+		class:   class,
+		regions: regions,
+		free:    regions,
+		bitmap:  make([]uint64, (regions+63)/64),
+	}
+	for pg := base >> mem.PageShift; pg < (base+size)>>mem.PageShift; pg++ {
+		a.pageMap[pg] = r
+	}
+	return r
+}
+
+func (a *SizeSeg) insertPartial(class int, r *run) {
+	cs := &a.classes[class]
+	i := sort.Search(len(cs.partial), func(i int) bool { return cs.partial[i].base >= r.base })
+	cs.partial = append(cs.partial, nil)
+	copy(cs.partial[i+1:], cs.partial[i:])
+	cs.partial[i] = r
+}
+
+func (a *SizeSeg) removePartial(class int, r *run) {
+	cs := &a.classes[class]
+	for i, x := range cs.partial {
+		if x == r {
+			cs.partial = append(cs.partial[:i], cs.partial[i+1:]...)
+			return
+		}
+	}
+}
+
+// Malloc implements Allocator.
+func (a *SizeSeg) Malloc(size uint64) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	class := classIndex(size)
+	if class < 0 {
+		return a.mallocLarge(size)
+	}
+	cs := &a.classes[class]
+	var r *run
+	if len(cs.partial) > 0 {
+		r = cs.partial[0]
+	} else if cs.spare != nil {
+		r = cs.spare
+		cs.spare = nil
+		a.insertPartial(class, r)
+	} else {
+		r = a.newRun(class)
+		a.insertPartial(class, r)
+	}
+	idx := r.allocRegion()
+	if idx < 0 {
+		panic("alloc: partial run with no free region")
+	}
+	if r.free == 0 {
+		a.removePartial(class, r)
+	}
+	a.onAlloc(SizeClasses[class])
+	return r.base + uint64(idx)*SizeClasses[class]
+}
+
+func (a *SizeSeg) mallocLarge(size uint64) uint64 {
+	rounded := (size + mem.PageSize - 1) &^ uint64(mem.PageSize-1)
+	reg := a.os.Map(rounded, mem.PageSize)
+	a.large[reg.Base] = size
+	a.stats.Resident += reg.Size
+	a.onAlloc(size)
+	return reg.Base
+}
+
+// Free implements Allocator.
+func (a *SizeSeg) Free(ptr uint64) {
+	if ptr == 0 {
+		return
+	}
+	if size, ok := a.large[ptr]; ok {
+		delete(a.large, ptr)
+		rounded := (size + mem.PageSize - 1) &^ uint64(mem.PageSize-1)
+		if err := a.os.Unmap(mem.Region{Base: ptr, Size: rounded}); err != nil {
+			panic(err)
+		}
+		a.stats.Resident -= rounded
+		a.onFree(size)
+		return
+	}
+	r := a.pageMap[ptr>>mem.PageShift]
+	if r == nil {
+		panic(fmt.Sprintf("alloc: free of unknown pointer %#x", ptr))
+	}
+	cls := SizeClasses[r.class]
+	off := ptr - r.base
+	if off%cls != 0 {
+		panic(fmt.Sprintf("alloc: free of interior pointer %#x (run %#x, class %d)", ptr, r.base, cls))
+	}
+	wasFull := r.free == 0
+	r.freeRegion(int(off / cls))
+	a.onFree(cls)
+	if wasFull {
+		a.insertPartial(r.class, r)
+	}
+	if r.free == r.regions {
+		// Run is empty: cache one spare per class, purge further empties.
+		a.removePartial(r.class, r)
+		cs := &a.classes[r.class]
+		if cs.spare == nil {
+			cs.spare = r
+			return
+		}
+		for pg := r.base >> mem.PageShift; pg < (r.base+r.size)>>mem.PageShift; pg++ {
+			delete(a.pageMap, pg)
+		}
+		a.os.Purge(r.base, r.size)
+		a.stats.Resident -= r.size
+	}
+}
+
+// SizeOf implements Allocator.
+func (a *SizeSeg) SizeOf(ptr uint64) uint64 {
+	if size, ok := a.large[ptr]; ok {
+		return size
+	}
+	if r := a.pageMap[ptr>>mem.PageShift]; r != nil {
+		return SizeClasses[r.class]
+	}
+	return 0
+}
+
+// Calloc implements Allocator. Zeroing is performed by the VM, which owns
+// the memory image.
+func (a *SizeSeg) Calloc(n, size uint64) uint64 { return a.Malloc(n * size) }
+
+// Realloc implements Allocator.
+func (a *SizeSeg) Realloc(ptr, size uint64) uint64 {
+	if ptr == 0 {
+		return a.Malloc(size)
+	}
+	old := a.SizeOf(ptr)
+	if old == 0 {
+		panic(fmt.Sprintf("alloc: realloc of unknown pointer %#x", ptr))
+	}
+	if size <= old && classIndex(size) == classIndex(old) {
+		return ptr // same underlying region suffices
+	}
+	np := a.Malloc(size)
+	n := old
+	if size < n {
+		n = size
+	}
+	a.os.Memory().Copy(np, ptr, n)
+	a.Free(ptr)
+	return np
+}
+
+// Stats implements Allocator.
+func (a *SizeSeg) Stats() Stats { return a.stats }

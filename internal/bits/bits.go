@@ -1,0 +1,98 @@
+// Package bits provides the shared "group state" bit vector of §4.3–4.4:
+// the rewritten binary sets and clears bits around monitored call sites, and
+// the specialised allocator tests selector conjunctions against it to decide
+// group membership at allocation time.
+package bits
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vec is a fixed-capacity bit vector. The zero value has zero capacity;
+// create with New.
+type Vec struct {
+	words []uint64
+	n     int
+}
+
+// New returns a vector holding n bits, all clear.
+func New(n int) *Vec {
+	if n < 0 {
+		n = 0
+	}
+	return &Vec{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (v *Vec) Len() int { return v.n }
+
+func (v *Vec) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bits: index %d out of range [0, %d)", i, v.n))
+	}
+}
+
+// Set sets bit i.
+func (v *Vec) Set(i int) {
+	v.check(i)
+	v.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear clears bit i.
+func (v *Vec) Clear(i int) {
+	v.check(i)
+	v.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Test reports whether bit i is set.
+func (v *Vec) Test(i int) bool {
+	v.check(i)
+	return v.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// TestAll reports whether every listed bit is set: the evaluation of one
+// selector conjunction against the group state.
+func (v *Vec) TestAll(idx []int) bool {
+	for _, i := range idx {
+		if !v.Test(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears all bits.
+func (v *Vec) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Any reports whether any bit is set.
+func (v *Vec) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the set bits, e.g. "{1,5,9}".
+func (v *Vec) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i := 0; i < v.n; i++ {
+		if v.Test(i) {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			fmt.Fprintf(&b, "%d", i)
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package bits
+
+import "testing"
+
+func TestSetClearTest(t *testing.T) {
+	v := New(130)
+	v.Set(0)
+	v.Set(64)
+	v.Set(129)
+	for _, i := range []int{0, 64, 129} {
+		if !v.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if v.Test(1) || v.Test(63) || v.Test(128) {
+		t.Fatal("phantom bits set")
+	}
+	v.Clear(64)
+	if v.Test(64) {
+		t.Fatal("clear failed")
+	}
+	if !v.Any() {
+		t.Fatal("Any lost bits")
+	}
+}
+
+func TestTestAll(t *testing.T) {
+	v := New(16)
+	v.Set(1)
+	v.Set(5)
+	v.Set(9)
+	if !v.TestAll([]int{1, 5, 9}) {
+		t.Fatal("TestAll false negative")
+	}
+	if v.TestAll([]int{1, 5, 10}) {
+		t.Fatal("TestAll false positive")
+	}
+	if !v.TestAll(nil) {
+		t.Fatal("empty conjunction must hold")
+	}
+}
+
+func TestReset(t *testing.T) {
+	v := New(100)
+	for i := 0; i < 100; i += 7 {
+		v.Set(i)
+	}
+	v.Reset()
+	if v.Any() {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range bit")
+		}
+	}()
+	New(8).Set(8)
+}
+
+func TestString(t *testing.T) {
+	v := New(8)
+	v.Set(1)
+	v.Set(5)
+	if got := v.String(); got != "{1,5}" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,177 @@
+package cache
+
+import "testing"
+
+func smallConfig() Config {
+	return Config{
+		L1:         LevelConfig{Name: "L1D", Size: 1 << 10, Ways: 2, Latency: 0}, // 8 sets
+		L2:         LevelConfig{Name: "L2", Size: 8 << 10, Ways: 4, Latency: 10},
+		L3:         LevelConfig{Name: "L3", Size: 64 << 10, Ways: 8, Latency: 30},
+		TLB:        TLBConfig{Entries: 4, Ways: 2, PageBits: 12, Penalty: 9},
+		STLB:       TLBConfig{Entries: 16, Ways: 4, PageBits: 12, Penalty: 70},
+		MemLatency: 100,
+		BaseCPI:    0.5,
+		ClockGHz:   1,
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := New(smallConfig())
+	h.Access(0x1000, 8, false)
+	s := h.Stats()
+	if s.L1D.Misses != 1 || s.L1D.Hits != 0 {
+		t.Fatalf("cold access: %+v", s.L1D)
+	}
+	h.Access(0x1000, 8, false)
+	s = h.Stats()
+	if s.L1D.Hits != 1 {
+		t.Fatalf("warm access missed: %+v", s.L1D)
+	}
+}
+
+func TestSameLineSharing(t *testing.T) {
+	h := New(smallConfig())
+	h.Access(0x1000, 8, true)
+	h.Access(0x1008, 8, false) // same 64-byte line
+	s := h.Stats()
+	if s.L1D.Misses != 1 || s.L1D.Hits != 1 {
+		t.Fatalf("line sharing broken: %+v", s.L1D)
+	}
+}
+
+func TestLineStraddle(t *testing.T) {
+	h := New(smallConfig())
+	h.Access(0x103C, 8, false) // crosses the 0x1040 line boundary
+	s := h.Stats()
+	if s.L1D.Accesses != 2 {
+		t.Fatalf("straddling access touched %d lines, want 2", s.L1D.Accesses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Prefetch = false
+	h := New(cfg)
+	// L1: 8 sets x 2 ways. Three lines in the same set evict the LRU.
+	setStride := uint64(8 * 64)
+	a, b, c := uint64(0), setStride, 2*setStride
+	h.Access(a, 8, false)
+	h.Access(b, 8, false)
+	h.Access(c, 8, false) // evicts a
+	h.Access(b, 8, false) // hit
+	h.Access(a, 8, false) // miss again
+	s := h.Stats()
+	if s.L1D.Misses != 4 || s.L1D.Hits != 1 {
+		t.Fatalf("LRU behaviour: %+v", s.L1D)
+	}
+}
+
+func TestMissPathReachesMemory(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Prefetch = false
+	h := New(cfg)
+	h.Access(0x5000, 8, false)
+	s := h.Stats()
+	if s.L2.Misses != 1 || s.L3.Misses != 1 || s.Mem != 1 {
+		t.Fatalf("miss path: %+v", s)
+	}
+	// A second access hits in L1; lower levels see no traffic.
+	h.Access(0x5000, 8, false)
+	s2 := h.Stats()
+	if s2.L2.Accesses != s.L2.Accesses {
+		t.Fatal("L1 hit leaked to L2")
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Prefetch = false
+	h := New(cfg)
+	// Fill one L1 set with 3 lines; the first goes to L2-only residence.
+	setStride := uint64(8 * 64)
+	for i := uint64(0); i < 3; i++ {
+		h.Access(i*setStride, 8, false)
+	}
+	before := h.Stats().L2.Hits
+	h.Access(0, 8, false) // L1 miss, L2 hit
+	if h.Stats().L2.Hits != before+1 {
+		t.Fatalf("expected L2 hit: %+v", h.Stats())
+	}
+}
+
+func TestPrefetchNextLine(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Prefetch = true
+	h := New(cfg)
+	h.Access(0x8000, 8, false) // miss; prefetches 0x8040 into L2
+	h.Access(0x8040, 8, false) // L1 miss but L2 hit thanks to prefetch
+	s := h.Stats()
+	if s.L2.Hits == 0 {
+		t.Fatalf("prefetch ineffective: %+v", s)
+	}
+	if s.Mem != 1 {
+		t.Fatalf("memory accesses = %d, want 1 (prefetch is free)", s.Mem)
+	}
+}
+
+func TestTLBTwoLevels(t *testing.T) {
+	h := New(smallConfig())
+	// Touch 5 pages: DTLB (4 entries) overflows, STLB (16) holds all.
+	for p := uint64(0); p < 5; p++ {
+		h.Access(p*4096, 8, false)
+	}
+	base := h.StallCycles()
+	// Revisit page 0: the DTLB misses but the STLB holds the entry, so
+	// no full page walk (70 cycles) is charged.
+	h.Access(0, 8, false)
+	delta := h.StallCycles() - base
+	if delta >= 70 {
+		t.Fatalf("page walk charged (%d cycles) despite STLB residency", delta)
+	}
+	s := h.Stats()
+	if s.TLB.Misses == 0 {
+		t.Fatal("no DTLB misses recorded")
+	}
+	if s.STLB.Misses != 5 {
+		t.Fatalf("STLB cold misses = %d, want 5", s.STLB.Misses)
+	}
+	if s.STLB.Hits == 0 {
+		t.Fatal("revisit did not hit the STLB")
+	}
+}
+
+func TestCycleModelMonotone(t *testing.T) {
+	h := New(smallConfig())
+	c0 := h.Cycles(1000)
+	h.Access(0x9000, 8, false) // adds stall cycles
+	c1 := h.Cycles(1000)
+	if c1 <= c0 {
+		t.Fatalf("stalls did not increase cycles: %d -> %d", c0, c1)
+	}
+	if h.Seconds(1000) <= 0 {
+		t.Fatal("seconds not positive")
+	}
+}
+
+func TestXeonW2195Geometry(t *testing.T) {
+	cfg := XeonW2195()
+	l1 := NewLevel(cfg.L1)
+	if l1.sets != 64 {
+		t.Fatalf("L1 sets = %d, want 64 (32KiB/64B/8-way)", l1.sets)
+	}
+	l2 := NewLevel(cfg.L2)
+	if l2.sets != 1024 {
+		t.Fatalf("L2 sets = %d, want 1024", l2.sets)
+	}
+	if cfg.L3.Size != 25344<<10 {
+		t.Fatalf("L3 size = %d", cfg.L3.Size)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	h := New(smallConfig())
+	h.Access(0, 8, false)
+	if s := h.Stats().String(); len(s) == 0 {
+		t.Fatal("empty stats string")
+	}
+}

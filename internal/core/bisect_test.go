@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"halo/internal/cache"
+	"halo/internal/measure"
+	"halo/internal/workloads"
+)
+
+// TestPolicyLayersPreserveSemantics checks each layer of the HALO policy
+// in isolation: the rewritten binary alone, the group allocator with inert
+// selectors, and the full combination must all compute the baseline result.
+func TestPolicyLayersPreserveSemantics(t *testing.T) {
+	machine := cache.XeonW2195()
+	for _, name := range []string{"omnetpp", "leela"} {
+		w := workloads.MustGet(name)
+		p := w.Build(w.TestScale)
+		cfg := Config{}
+		opt, err := Optimize(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := measure.Run(p, measure.Policy{Kind: measure.Jemalloc}, 99, machine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rewritten binary, plain jemalloc (no selectors -> everything
+		// forwarded... but use Jemalloc kind on the rewritten binary).
+		rw, err := measure.Run(opt.Rewrite.Prog, measure.Policy{Kind: measure.Jemalloc}, 99, machine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rw.Result != base.Result {
+			t.Fatalf("%s: rewriting changed result: %d != %d", name, rw.Result, base.Result)
+		}
+		// Original binary under HALO policy with selectors that can never
+		// match any bits (group state never set on the original binary).
+		halo0, err := measure.Run(p, measure.Policy{
+			Kind:      measure.HALO,
+			Rewritten: p,
+			Selectors: opt.BitSelectors,
+			NumBits:   opt.Rewrite.NumBits,
+		}, 99, machine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if halo0.Result != base.Result {
+			t.Fatalf("%s: inert halloc changed result: %d != %d", name, halo0.Result, base.Result)
+		}
+		// Full HALO.
+		halo, err := measure.Run(p, measure.Policy{
+			Kind:      measure.HALO,
+			Rewritten: opt.Rewrite.Prog,
+			Selectors: opt.BitSelectors,
+			NumBits:   opt.Rewrite.NumBits,
+		}, 99, machine)
+		if err != nil {
+			t.Fatalf("%s: full halo errored: %v", name, err)
+		}
+		if halo.Result != base.Result {
+			t.Fatalf("%s: full halo changed result: %d != %d", name, halo.Result, base.Result)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"halo/internal/cache"
+	"halo/internal/halloc"
+	"halo/internal/isa"
+	"halo/internal/measure"
+	"halo/internal/rewrite"
+	"halo/internal/workloads"
+)
+
+func rewriteRef(ref *isa.Program, opt *Optimized) (measure.Policy, error) {
+	rw, err := rewrite.Instrument(ref, opt.Selectors.Sites)
+	if err != nil {
+		return measure.Policy{}, err
+	}
+	var sels []halloc.BitSelector
+	for _, s := range opt.Selectors.Selectors {
+		lowered, _ := rewrite.LowerSelectors(s.Conj, rw.SiteBits)
+		if len(lowered) > 0 {
+			sels = append(sels, halloc.BitSelector{Group: s.Group, Conj: lowered})
+		}
+	}
+	return measure.Policy{Kind: measure.HALO, Rewritten: rw.Prog, Selectors: sels, NumBits: rw.NumBits}, nil
+}
+
+// TestCacheBreakdown prints the full hierarchy counters per policy for the
+// workloads whose shapes are under tuning.
+func TestCacheBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ref-scale diagnostic")
+	}
+	machine := cache.XeonW2195()
+	for _, name := range []string{"leela", "omnetpp"} {
+		w := workloads.MustGet(name)
+		p := w.Build(w.RefScale)
+		test := w.Build(w.TestScale)
+		cfg := Config{}
+		cfg.Profile.RecordTrace = true
+		opt, err := Optimize(test, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr, err := AnalyzeHDS(opt.Profile, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild HALO policy on ref binary.
+		pols := map[string]measure.Policy{
+			"jemalloc": {Kind: measure.Jemalloc},
+		}
+		// Lower selectors for ref binary via experiments' path: do it
+		// manually with the same sites.
+		if rw, err := rewriteRef(p, opt); err == nil {
+			pols["halo"] = rw
+		} else {
+			t.Fatal(err)
+		}
+		pols["hds"] = measure.Policy{Kind: measure.HDS, SiteGroups: hr.SiteGroups}
+		for _, label := range []string{"jemalloc", "halo", "hds"} {
+			r, err := measure.Run(p, pols[label], 1001, machine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s/%-8s steps=%-9d cycles=%-10d L1D=%d/%d L2=%d L3=%d TLB=%d mem=%d res=%dKB grpRes=%dKB grouped=%d",
+				name, label, r.Steps, r.Cycles,
+				r.Cache.L1D.Misses, r.Cache.L1D.Accesses,
+				r.Cache.L2.Misses, r.Cache.L3.Misses, r.Cache.TLB.Misses, r.Cache.Mem,
+				r.Alloc.Resident/1024, r.GroupStats.Resident/1024, r.GroupedAllocs)
+		}
+	}
+}

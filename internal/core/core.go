@@ -1,0 +1,154 @@
+// Package core wires the HALO pipeline of Figure 4 end to end: profiling
+// (under the default allocator, on the training input), affinity-graph
+// grouping, selector identification, post-link rewriting, and the lowering
+// of selectors onto the rewritten binary's group-state bits. It also runs
+// the hot-data-streams comparison pipeline over the same profile.
+//
+// The root package halo re-exports this as the library's public API.
+package core
+
+import (
+	"fmt"
+
+	"halo/internal/affinity"
+	"halo/internal/alloc"
+	"halo/internal/group"
+	"halo/internal/halloc"
+	"halo/internal/hds"
+	"halo/internal/identify"
+	"halo/internal/isa"
+	"halo/internal/mem"
+	"halo/internal/profile"
+	"halo/internal/rewrite"
+	"halo/internal/vm"
+)
+
+// Config parameterises the pipeline. Zero values take the paper's
+// settings throughout.
+type Config struct {
+	Profile profile.Config
+	Group   group.Params
+	HDS     hds.Config
+
+	// ProfileSeed drives the training run (the "test workload").
+	ProfileSeed uint64
+	// ProfileMaxSteps bounds the training run.
+	ProfileMaxSteps uint64
+}
+
+// Optimized carries every artefact of the HALO pipeline for one binary.
+type Optimized struct {
+	Input     *isa.Program
+	Profile   *profile.Profile
+	Groups    []group.Group
+	Selectors *identify.Result
+	Rewrite   *rewrite.Result
+
+	// BitSelectors are the selectors lowered onto group-state bits, ready
+	// for the runtime allocator.
+	BitSelectors []halloc.BitSelector
+	// DroppedConjs counts conjunctions that could not be lowered.
+	DroppedConjs int
+}
+
+// Profile runs the program on the training input under the default
+// allocator with the Pin-replacement instrumentation attached.
+func Profile(p *isa.Program, cfg Config) (*profile.Profile, error) {
+	prof := profile.New(p, cfg.Profile)
+	memory := mem.NewMemory()
+	osm := mem.NewOS(memory)
+	seed := cfg.ProfileSeed
+	if seed == 0 {
+		seed = 7
+	}
+	v := vm.New(p, memory, alloc.NewSizeSeg(osm), prof, vm.Config{
+		Seed:     seed,
+		MaxSteps: cfg.ProfileMaxSteps,
+	})
+	if _, err := v.Run(); err != nil {
+		return nil, fmt.Errorf("core: profiling run: %w", err)
+	}
+	return prof.Finish(), nil
+}
+
+// Optimize runs the full HALO pipeline on a binary, profiling it with the
+// training seed and producing the rewritten binary plus runtime policy.
+func Optimize(p *isa.Program, cfg Config) (*Optimized, error) {
+	prof, err := Profile(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return OptimizeFromProfile(p, prof, cfg)
+}
+
+// OptimizeFromProfile runs grouping, identification and rewriting over an
+// existing profile (so one profiling run can feed several configurations).
+func OptimizeFromProfile(p *isa.Program, prof *profile.Profile, cfg Config) (*Optimized, error) {
+	groups := group.Form(prof.Graph, cfg.Group)
+
+	// Record group membership on the contexts for identification.
+	for _, c := range prof.Contexts {
+		c.Group = -1
+	}
+	for _, g := range groups {
+		for _, m := range g.Members {
+			prof.Contexts[m].Group = g.ID
+		}
+	}
+
+	sel := identify.Build(groups, prof.Contexts)
+
+	rw, err := rewrite.Instrument(p, sel.Sites)
+	if err != nil {
+		return nil, fmt.Errorf("core: rewriting: %w", err)
+	}
+
+	opt := &Optimized{
+		Input:     p,
+		Profile:   prof,
+		Groups:    groups,
+		Selectors: sel,
+		Rewrite:   rw,
+	}
+	for _, s := range sel.Selectors {
+		lowered, dropped := rewrite.LowerSelectors(s.Conj, rw.SiteBits)
+		opt.DroppedConjs += dropped
+		if len(lowered) > 0 {
+			opt.BitSelectors = append(opt.BitSelectors, halloc.BitSelector{
+				Group: s.Group,
+				Conj:  lowered,
+			})
+		}
+	}
+	return opt, nil
+}
+
+// AnalyzeHDS runs the hot-data-streams comparison pipeline over a profile
+// recorded with tracing enabled.
+func AnalyzeHDS(prof *profile.Profile, cfg Config) (*hds.Result, error) {
+	if len(prof.Trace) == 0 {
+		return nil, fmt.Errorf("core: profile has no reference trace; enable Profile.RecordTrace")
+	}
+	return hds.Analyze(prof, cfg.HDS), nil
+}
+
+// GroupReport renders the formed groups with context chains, reproducing
+// the content of the paper's Figure 9 for any workload.
+func (o *Optimized) GroupReport() string {
+	out := fmt.Sprintf("%s: %d contexts, %d graph nodes (filtered), %d groups\n",
+		o.Input.Name, len(o.Profile.Contexts), o.Profile.Graph.NumNodes(), len(o.Groups))
+	for _, g := range o.Groups {
+		out += fmt.Sprintf("  group %d (weight %d, accesses %d):\n", g.ID, g.Weight, g.Accesses)
+		for _, m := range g.Members {
+			out += fmt.Sprintf("    %s\n", o.Profile.Contexts[m].Describe(o.Input))
+		}
+	}
+	ungrouped := 0
+	for _, c := range o.Profile.Contexts {
+		if c.Group < 0 && o.Profile.Graph.Accesses(affinity.Ctx(c.ID)) > 0 {
+			ungrouped++
+		}
+	}
+	out += fmt.Sprintf("  (%d hot contexts ungrouped)\n", ungrouped)
+	return out
+}

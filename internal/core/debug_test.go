@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"halo/internal/alloc"
+	"halo/internal/bits"
+	"halo/internal/halloc"
+	"halo/internal/isa"
+	"halo/internal/mem"
+	"halo/internal/vm"
+	"halo/internal/workloads"
+)
+
+// liveChecker verifies at the VM hook level that allocations never overlap
+// and frees name live regions.
+type liveChecker struct {
+	vm.NopHooks
+	t    *testing.T
+	live map[uint64]uint64 // base -> size
+	n    int
+}
+
+func (c *liveChecker) OnAlloc(ev vm.AllocEvent) {
+	c.n++
+	switch ev.Kind {
+	case vm.KindFree:
+		if ev.Old == 0 {
+			return
+		}
+		if _, ok := c.live[ev.Old]; !ok {
+			c.t.Fatalf("event %d: free of unknown %#x", c.n, ev.Old)
+		}
+		delete(c.live, ev.Old)
+		return
+	case vm.KindRealloc:
+		delete(c.live, ev.Old)
+	}
+	if ev.Ptr == 0 {
+		return
+	}
+	size := ev.Size
+	if size == 0 {
+		size = 1
+	}
+	for b, s := range c.live {
+		if ev.Ptr < b+s && b < ev.Ptr+size {
+			c.t.Fatalf("event %d: overlap new [%#x,%#x) (site %s) with live [%#x,%#x)",
+				c.n, ev.Ptr, ev.Ptr+size, ev.Site, b, b+s)
+		}
+	}
+	c.live[ev.Ptr] = size
+}
+
+func TestHALORunLiveInvariants(t *testing.T) {
+	for _, name := range []string{"omnetpp", "leela"} {
+		w := workloads.MustGet(name)
+		p := w.Build(w.TestScale)
+		opt, err := Optimize(p, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		memory := mem.NewMemory()
+		osm := mem.NewOS(memory)
+		fallback := alloc.NewSizeSeg(osm)
+		state := bits.New(opt.Rewrite.NumBits + 1)
+		cls := halloc.NewSelectorClassifier(state, opt.BitSelectors)
+		ga := halloc.New(osm, fallback, cls, halloc.Config{})
+		checker := &liveChecker{t: t, live: map[uint64]uint64{}}
+		v := vm.New(opt.Rewrite.Prog, memory, ga, checker, vm.Config{Seed: 99, GroupState: state})
+		if _, err := v.Run(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		t.Logf("%s: %d alloc events, %d live at exit", name, checker.n, len(checker.live))
+		_ = isa.NoAddr
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"halo/internal/workloads"
+)
+
+func TestGroupReport(t *testing.T) {
+	for _, name := range []string{"leela", "omnetpp"} {
+		w := workloads.MustGet(name)
+		p := w.Build(w.TestScale)
+		cfg := Config{}
+		opt, err := Optimize(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("\n%s", opt.GroupReport())
+	}
+}
+
+func TestHDSSetFormation(t *testing.T) {
+	for _, name := range []string{"analyzer", "health", "leela", "povray"} {
+		w := workloads.MustGet(name)
+		p := w.Build(w.TestScale)
+		cfg := Config{}
+		cfg.Profile.RecordTrace = true
+		prof, err := Profile(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := AnalyzeHDS(prof, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: trace=%d rules=%d candidates=%d hot=%d sets=%d",
+			name, res.TraceLen, res.Rules, res.Candidates, res.Streams, len(res.Sets))
+		for i, s := range res.Sets {
+			if i >= 5 {
+				break
+			}
+			t.Logf("  set %d: benefit %.1f, %d streams, %d sites", i, s.Benefit, s.Streams, len(s.Sites))
+		}
+	}
+}

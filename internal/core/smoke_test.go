@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"halo/internal/cache"
+	"halo/internal/measure"
+	"halo/internal/workloads"
+)
+
+// TestPipelineSmoke runs the full pipeline on every workload at test
+// scale: profile, group, identify, rewrite, then execute baseline and
+// HALO configurations and check they terminate with identical program
+// results (the optimisation must not change program semantics).
+func TestPipelineSmoke(t *testing.T) {
+	machine := cache.XeonW2195()
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p := w.Build(w.TestScale)
+			cfg := Config{}
+			cfg.Profile.RecordTrace = true
+			opt, err := Optimize(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d contexts, %d graph nodes, %d groups, %d sites, %d selectors",
+				w.Name, len(opt.Profile.Contexts), opt.Profile.Graph.NumNodes(),
+				len(opt.Groups), len(opt.Selectors.Sites), len(opt.BitSelectors))
+
+			base, err := measure.Run(p, measure.Policy{Kind: measure.Jemalloc}, 99, machine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A program whose result depends on the allocator reads
+			// uninitialised or freed memory: a workload bug.
+			pt, err := measure.Run(p, measure.Policy{Kind: measure.Ptmalloc}, 99, machine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pt.Result != base.Result {
+				t.Fatalf("allocator-dependent result: jemalloc %d, ptmalloc %d", base.Result, pt.Result)
+			}
+			rnd, err := measure.Run(p, measure.Policy{Kind: measure.RandomPools}, 99, machine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rnd.Result != base.Result {
+				t.Fatalf("allocator-dependent result: jemalloc %d, random pools %d", base.Result, rnd.Result)
+			}
+			halo, err := measure.Run(p, measure.Policy{
+				Kind:      measure.HALO,
+				Rewritten: opt.Rewrite.Prog,
+				Selectors: opt.BitSelectors,
+				NumBits:   opt.Rewrite.NumBits,
+			}, 99, machine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.Result != halo.Result {
+				t.Fatalf("optimisation changed program result: %d != %d", base.Result, halo.Result)
+			}
+			t.Logf("%s: baseline L1D miss %d (%.2f%%), HALO %d (%.2f%%); grouped %d / forwarded %d; steps %d",
+				w.Name, base.Cache.L1D.Misses, base.Cache.L1D.MissRate()*100,
+				halo.Cache.L1D.Misses, halo.Cache.L1D.MissRate()*100,
+				halo.GroupedAllocs, halo.ForwardedAlloc, base.Steps)
+		})
+	}
+}

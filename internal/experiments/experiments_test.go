@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickEngine(workloads ...string) *Engine {
+	return NewEngine(Options{Quick: true, Trials: 2, Workloads: workloads})
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"n"},
+	}
+	out := tab.Render()
+	for _, want := range []string{"demo", "333", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	tab, err := quickEngine().Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no groups in fig9")
+	}
+	// Figure 9's semantic content: the create/copy contexts appear.
+	joined := tab.Render()
+	for _, want := range []string{"create_plane", "create_csg", "pov_malloc"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("fig9 missing %q", want)
+		}
+	}
+}
+
+func TestFig13And14ShareMeasurements(t *testing.T) {
+	e := quickEngine("art")
+	if _, err := e.Fig13(); err != nil {
+		t.Fatal(err)
+	}
+	sums := len(e.sums)
+	if _, err := e.Fig14(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.sums) != sums {
+		t.Fatal("fig14 re-measured despite the cache")
+	}
+}
+
+func TestFig13QuickShape(t *testing.T) {
+	tab, err := quickEngine("art").Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || tab.Rows[0][0] != "art" {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	// art's miss reduction must be positive under both techniques.
+	for col := 1; col <= 2; col++ {
+		if !strings.HasPrefix(tab.Rows[0][col], "+") {
+			t.Fatalf("art column %d not positive: %v", col, tab.Rows[0])
+		}
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	tab, err := quickEngine("health").Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Rows[0][1], "%") {
+		t.Fatalf("frag cell = %q", tab.Rows[0][1])
+	}
+}
+
+func TestRomsStreamsQuick(t *testing.T) {
+	tab, err := quickEngine("roms").RomsStreams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := quickEngine("art").Run([]string{"nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[uint64]string{
+		512:       "512B",
+		2 << 10:   "2.00KiB",
+		3 << 20:   "3.00MiB",
+	}
+	for in, want := range cases {
+		if got := formatBytes(in); got != want {
+			t.Fatalf("formatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package group
+
+import (
+	"math"
+	"sort"
+
+	"halo/internal/affinity"
+)
+
+// This file implements the clustering techniques §4.2 compares HALO's
+// grouping against: greedy weighted-modularity agglomeration (Newman &
+// Girvan's quality function) and HCS (Hartuv & Shamir's highly-connected-
+// subgraphs algorithm, built on Stoer–Wagner minimum cuts). The ablation
+// experiment contrasts the groups they produce with Figure 6's output
+// using the Figure 7 score and the co-allocation weight they capture.
+
+// ModularityCluster greedily merges communities while the weighted
+// modularity gain is positive (CNM-style agglomeration).
+func ModularityCluster(g *affinity.Graph) [][]affinity.Ctx {
+	nodes := g.Nodes()
+	if len(nodes) == 0 {
+		return nil
+	}
+	// Community state: each node starts alone.
+	comm := make(map[affinity.Ctx]int, len(nodes))
+	members := make(map[int][]affinity.Ctx, len(nodes))
+	for i, c := range nodes {
+		comm[c] = i
+		members[i] = []affinity.Ctx{c}
+	}
+	// Total edge weight (loops count once), node strengths.
+	var m float64
+	strength := make(map[affinity.Ctx]float64, len(nodes))
+	for _, e := range g.Edges() {
+		w := float64(g.Weight(e.U, e.V))
+		m += w
+		strength[e.U] += w
+		if !e.IsLoop() {
+			strength[e.V] += w
+		}
+	}
+	if m == 0 {
+		return singletonClusters(nodes)
+	}
+
+	commStrength := make(map[int]float64, len(nodes))
+	for c, s := range strength {
+		commStrength[comm[c]] = s
+	}
+	// between[i][j]: inter-community weight.
+	between := make(map[int]map[int]float64)
+	addBetween := func(a, b int, w float64) {
+		if a == b {
+			return
+		}
+		if between[a] == nil {
+			between[a] = make(map[int]float64)
+		}
+		if between[b] == nil {
+			between[b] = make(map[int]float64)
+		}
+		between[a][b] += w
+		between[b][a] += w
+	}
+	for _, e := range g.Edges() {
+		if !e.IsLoop() {
+			addBetween(comm[e.U], comm[e.V], float64(g.Weight(e.U, e.V)))
+		}
+	}
+
+	for {
+		bestGain := 0.0
+		bestA, bestB := -1, -1
+		// Deterministic iteration order.
+		cids := make([]int, 0, len(between))
+		for a := range between {
+			cids = append(cids, a)
+		}
+		sort.Ints(cids)
+		for _, a := range cids {
+			nids := make([]int, 0, len(between[a]))
+			for b := range between[a] {
+				nids = append(nids, b)
+			}
+			sort.Ints(nids)
+			for _, b := range nids {
+				if b <= a {
+					continue
+				}
+				// ΔQ for merging a and b under weighted modularity.
+				gain := between[a][b]/m - commStrength[a]*commStrength[b]/(2*m*m)
+				if gain > bestGain {
+					bestGain, bestA, bestB = gain, a, b
+				}
+			}
+		}
+		if bestA < 0 {
+			break
+		}
+		// Merge bestB into bestA.
+		members[bestA] = append(members[bestA], members[bestB]...)
+		delete(members, bestB)
+		commStrength[bestA] += commStrength[bestB]
+		delete(commStrength, bestB)
+		for n, w := range between[bestB] {
+			if n == bestA {
+				continue
+			}
+			delete(between[n], bestB)
+			addBetween(bestA, n, w)
+		}
+		delete(between[bestA], bestB)
+		delete(between, bestB)
+	}
+
+	out := make([][]affinity.Ctx, 0, len(members))
+	keys := make([]int, 0, len(members))
+	for k := range members {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		ms := members[k]
+		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+		out = append(out, ms)
+	}
+	return out
+}
+
+func singletonClusters(nodes []affinity.Ctx) [][]affinity.Ctx {
+	out := make([][]affinity.Ctx, len(nodes))
+	for i, c := range nodes {
+		out[i] = []affinity.Ctx{c}
+	}
+	return out
+}
+
+// HCSCluster recursively splits the graph by minimum cut until each part
+// is highly connected (min cut > |V|/2), per Hartuv & Shamir.
+func HCSCluster(g *affinity.Graph) [][]affinity.Ctx {
+	var out [][]affinity.Ctx
+	var rec func(nodes []affinity.Ctx, depth int)
+	rec = func(nodes []affinity.Ctx, depth int) {
+		if len(nodes) <= 2 || depth > 32 {
+			out = append(out, nodes)
+			return
+		}
+		// Split into connected components first.
+		comps := components(g, nodes)
+		if len(comps) > 1 {
+			for _, comp := range comps {
+				rec(comp, depth+1)
+			}
+			return
+		}
+		cutW, side := stoerWagner(g, nodes)
+		if cutW > float64(len(nodes))/2 {
+			out = append(out, nodes)
+			return
+		}
+		inSide := make(map[affinity.Ctx]bool, len(side))
+		for _, c := range side {
+			inSide[c] = true
+		}
+		var other []affinity.Ctx
+		for _, c := range nodes {
+			if !inSide[c] {
+				other = append(other, c)
+			}
+		}
+		if len(side) == 0 || len(other) == 0 {
+			out = append(out, nodes)
+			return
+		}
+		rec(side, depth+1)
+		rec(other, depth+1)
+	}
+	all := g.Nodes()
+	if len(all) > 0 {
+		rec(all, 0)
+	}
+	for _, c := range out {
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	}
+	return out
+}
+
+// components partitions nodes into connected components (loops ignored).
+func components(g *affinity.Graph, nodes []affinity.Ctx) [][]affinity.Ctx {
+	adj := g.Adjacency()
+	in := make(map[affinity.Ctx]bool, len(nodes))
+	for _, c := range nodes {
+		in[c] = true
+	}
+	seen := make(map[affinity.Ctx]bool, len(nodes))
+	var out [][]affinity.Ctx
+	for _, start := range nodes {
+		if seen[start] {
+			continue
+		}
+		var comp []affinity.Ctx
+		stack := []affinity.Ctx{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, c)
+			for _, n := range adj[c] {
+				if in[n] && !seen[n] {
+					seen[n] = true
+					stack = append(stack, n)
+				}
+			}
+		}
+		out = append(out, comp)
+	}
+	return out
+}
+
+// stoerWagner computes a global minimum cut of the induced subgraph,
+// returning the cut weight and one side of the best cut. The input must be
+// connected and have at least 2 nodes.
+func stoerWagner(g *affinity.Graph, nodes []affinity.Ctx) (float64, []affinity.Ctx) {
+	n := len(nodes)
+	idx := make(map[affinity.Ctx]int, n)
+	for i, c := range nodes {
+		idx[c] = i
+	}
+	// Dense weight matrix of the induced subgraph (loops excluded).
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	for i, u := range nodes {
+		for j := i + 1; j < n; j++ {
+			if wt := g.Weight(u, nodes[j]); wt > 0 {
+				w[i][j] = float64(wt)
+				w[j][i] = float64(wt)
+			}
+		}
+	}
+	// merged[i] lists the original node indices contracted into i.
+	merged := make([][]int, n)
+	for i := range merged {
+		merged[i] = []int{i}
+	}
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+
+	best := math.Inf(1)
+	var bestSide []int
+
+	for len(active) > 1 {
+		// Maximum adjacency ordering.
+		inA := make(map[int]bool, len(active))
+		weights := make(map[int]float64, len(active))
+		order := make([]int, 0, len(active))
+		for len(order) < len(active) {
+			sel, selW := -1, -1.0
+			for _, v := range active {
+				if inA[v] {
+					continue
+				}
+				if weights[v] > selW {
+					sel, selW = v, weights[v]
+				}
+			}
+			inA[sel] = true
+			order = append(order, sel)
+			for _, v := range active {
+				if !inA[v] {
+					weights[v] += w[sel][v]
+				}
+			}
+		}
+		s, t := order[len(order)-2], order[len(order)-1]
+		cutOfPhase := weights[t]
+		if cutOfPhase < best {
+			best = cutOfPhase
+			bestSide = append([]int(nil), merged[t]...)
+		}
+		// Contract t into s.
+		merged[s] = append(merged[s], merged[t]...)
+		for _, v := range active {
+			if v != s && v != t {
+				w[s][v] += w[t][v]
+				w[v][s] = w[s][v]
+			}
+		}
+		// Remove t from active.
+		for i, v := range active {
+			if v == t {
+				active = append(active[:i], active[i+1:]...)
+				break
+			}
+		}
+	}
+
+	side := make([]affinity.Ctx, 0, len(bestSide))
+	for _, i := range bestSide {
+		side = append(side, nodes[i])
+	}
+	return best, side
+}

@@ -1,0 +1,287 @@
+package group
+
+import (
+	"math"
+	"testing"
+
+	"halo/internal/affinity"
+)
+
+// buildGraph constructs a graph from edge triples and access counts.
+func buildGraph(accesses map[affinity.Ctx]uint64, edges map[[2]affinity.Ctx]uint64) *affinity.Graph {
+	g := affinity.NewGraph()
+	for c, n := range accesses {
+		for i := uint64(0); i < n; i++ {
+			g.AddAccess(c)
+		}
+	}
+	for e, w := range edges {
+		g.AddEdge(e[0], e[1], w)
+	}
+	return g
+}
+
+func TestScoreFormula(t *testing.T) {
+	g := buildGraph(nil, map[[2]affinity.Ctx]uint64{
+		{0, 1}: 10,
+		{1, 2}: 6,
+	})
+	// s({0,1}) = 10 / (0 loops + 1 pair) = 10.
+	if s := Score(g, []affinity.Ctx{0, 1}); s != 10 {
+		t.Fatalf("score = %v, want 10", s)
+	}
+	// s({0,1,2}) = 16 / (0 + 3) = 5.333...
+	if s := Score(g, []affinity.Ctx{0, 1, 2}); math.Abs(s-16.0/3) > 1e-9 {
+		t.Fatalf("score = %v, want %v", s, 16.0/3)
+	}
+}
+
+func TestScoreLoopHandling(t *testing.T) {
+	g := buildGraph(nil, map[[2]affinity.Ctx]uint64{
+		{0, 0}: 8,
+		{0, 1}: 4,
+	})
+	// Singleton with loop: 8 / (1 + 0) = 8.
+	if s := Score(g, []affinity.Ctx{0}); s != 8 {
+		t.Fatalf("singleton loop score = %v, want 8", s)
+	}
+	// Singleton without loop: 0 (denominator empty).
+	if s := Score(g, []affinity.Ctx{1}); s != 0 {
+		t.Fatalf("singleton score = %v, want 0", s)
+	}
+	// Pair with one loop: (8+4) / (1 + 1) = 6.
+	if s := Score(g, []affinity.Ctx{0, 1}); s != 6 {
+		t.Fatalf("pair score = %v, want 6", s)
+	}
+}
+
+func TestMergeBenefitRejectsWeakCandidates(t *testing.T) {
+	// 0-1 strongly connected; 2 barely attached.
+	g := buildGraph(nil, map[[2]affinity.Ctx]uint64{
+		{0, 1}: 100,
+		{1, 2}: 1,
+	})
+	if b := MergeBenefit(g, []affinity.Ctx{0, 1}, 2, 0.05); b > 0 {
+		t.Fatalf("weak candidate accepted: benefit %v", b)
+	}
+}
+
+func TestMergeBenefitToleranceSlack(t *testing.T) {
+	// Merging drops the score slightly; tolerance should allow it.
+	g := buildGraph(nil, map[[2]affinity.Ctx]uint64{
+		{0, 1}: 100,
+		{0, 2}: 49,
+		{1, 2}: 49,
+	})
+	// s({0,1}) = 100; s({0,1,2}) = 198/3 = 66: below even 95% of 100,
+	// so this merge must be rejected.
+	if b := MergeBenefit(g, []affinity.Ctx{0, 1}, 2, 0.05); b > 0 {
+		t.Fatalf("drop from 100 to 66 accepted: %v", b)
+	}
+	// With weights making the union score 97: within 5% slack.
+	g2 := buildGraph(nil, map[[2]affinity.Ctx]uint64{
+		{0, 1}: 100,
+		{0, 2}: 95,
+		{1, 2}: 96,
+	})
+	if b := MergeBenefit(g2, []affinity.Ctx{0, 1}, 2, 0.05); b <= 0 {
+		t.Fatalf("within-tolerance merge rejected: %v", b)
+	}
+}
+
+func TestFormGroupsTwoClusters(t *testing.T) {
+	// Two tight pairs and an isolated node.
+	g := buildGraph(
+		map[affinity.Ctx]uint64{0: 100, 1: 90, 2: 80, 3: 70, 4: 5},
+		map[[2]affinity.Ctx]uint64{
+			{0, 1}: 1000,
+			{2, 3}: 800,
+			{1, 2}: 2, // weak cross edge
+		},
+	)
+	groups := Form(g, Params{GroupThreshold: 0.0001})
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2: %v", len(groups), groups)
+	}
+	members := map[affinity.Ctx]int{}
+	for _, grp := range groups {
+		for _, m := range grp.Members {
+			members[m] = grp.ID
+		}
+	}
+	if members[0] != members[1] {
+		t.Fatal("0 and 1 not grouped together")
+	}
+	if members[2] != members[3] {
+		t.Fatal("2 and 3 not grouped together")
+	}
+	if members[0] == members[2] {
+		t.Fatal("weakly-linked clusters merged")
+	}
+	if _, grouped := members[4]; grouped {
+		t.Fatal("isolated node grouped")
+	}
+}
+
+func TestFormSeedsHottestEndpoint(t *testing.T) {
+	g := buildGraph(
+		map[affinity.Ctx]uint64{0: 10, 1: 500},
+		map[[2]affinity.Ctx]uint64{{0, 1}: 100},
+	)
+	avail := map[affinity.Ctx]bool{0: true, 1: true}
+	seed, ok := strongestSeed(g, avail)
+	if !ok || seed != 1 {
+		t.Fatalf("seed = %v (%v), want the hotter endpoint 1", seed, ok)
+	}
+	// With only the colder endpoint available, the edge no longer counts.
+	if _, ok := strongestSeed(g, map[affinity.Ctx]bool{0: true}); ok {
+		t.Fatal("edge with unavailable endpoint used as seed")
+	}
+}
+
+func TestFormRespectsMaxMembers(t *testing.T) {
+	edges := map[[2]affinity.Ctx]uint64{}
+	accesses := map[affinity.Ctx]uint64{}
+	for i := affinity.Ctx(0); i < 8; i++ {
+		accesses[i] = 100
+		for j := i + 1; j < 8; j++ {
+			edges[[2]affinity.Ctx{i, j}] = 50
+		}
+	}
+	g := buildGraph(accesses, edges)
+	groups := Form(g, Params{MaxGroupMembers: 3, GroupThreshold: 0.0001})
+	for _, grp := range groups {
+		if len(grp.Members) > 3 {
+			t.Fatalf("group exceeds max members: %v", grp.Members)
+		}
+	}
+}
+
+func TestFormRespectsMaxGroups(t *testing.T) {
+	edges := map[[2]affinity.Ctx]uint64{}
+	for i := affinity.Ctx(0); i < 10; i += 2 {
+		edges[[2]affinity.Ctx{i, i + 1}] = 100
+	}
+	g := buildGraph(nil, edges)
+	groups := Form(g, Params{MaxGroups: 2, GroupThreshold: 0.0001})
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want max 2", len(groups))
+	}
+}
+
+func TestFormGroupThreshold(t *testing.T) {
+	g := buildGraph(
+		map[affinity.Ctx]uint64{0: 100000, 1: 100000, 2: 10, 3: 10},
+		map[[2]affinity.Ctx]uint64{
+			{0, 1}: 50000,
+			{2, 3}: 2, // far below threshold
+		},
+	)
+	groups := Form(g, Params{GroupThreshold: 0.001})
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d, want 1 (weak group thresholded)", len(groups))
+	}
+}
+
+func TestFormMinWeightPruning(t *testing.T) {
+	g := buildGraph(
+		map[affinity.Ctx]uint64{0: 10, 1: 10},
+		map[[2]affinity.Ctx]uint64{{0, 1}: 3},
+	)
+	groups := Form(g, Params{MinWeight: 10, GroupThreshold: 0.0001})
+	if len(groups) != 0 {
+		t.Fatalf("pruned edge still produced groups: %v", groups)
+	}
+}
+
+func TestFormDeterminism(t *testing.T) {
+	g := buildGraph(
+		map[affinity.Ctx]uint64{0: 5, 1: 5, 2: 5, 3: 5},
+		map[[2]affinity.Ctx]uint64{{0, 1}: 10, {2, 3}: 10, {1, 2}: 10},
+	)
+	a := Form(g, Params{GroupThreshold: 0.0001})
+	for i := 0; i < 10; i++ {
+		b := Form(g, Params{GroupThreshold: 0.0001})
+		if len(a) != len(b) {
+			t.Fatal("nondeterministic group count")
+		}
+		for j := range a {
+			if len(a[j].Members) != len(b[j].Members) {
+				t.Fatal("nondeterministic membership")
+			}
+			for k := range a[j].Members {
+				if a[j].Members[k] != b[j].Members[k] {
+					t.Fatal("nondeterministic member order")
+				}
+			}
+		}
+	}
+}
+
+func TestAssign(t *testing.T) {
+	groups := []Group{
+		{ID: 0, Members: []affinity.Ctx{1, 2}},
+		{ID: 1, Members: []affinity.Ctx{5}},
+	}
+	m := Assign(groups)
+	if m[1] != 0 || m[2] != 0 || m[5] != 1 {
+		t.Fatalf("assignment = %v", m)
+	}
+	if _, ok := m[9]; ok {
+		t.Fatal("phantom assignment")
+	}
+}
+
+func TestModularityClusterSeparates(t *testing.T) {
+	g := buildGraph(nil, map[[2]affinity.Ctx]uint64{
+		{0, 1}: 50, {1, 2}: 50, {0, 2}: 50,
+		{3, 4}: 50, {4, 5}: 50, {3, 5}: 50,
+		{2, 3}: 1,
+	})
+	clusters := ModularityCluster(g)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2: %v", len(clusters), clusters)
+	}
+}
+
+func TestHCSClusterSeparates(t *testing.T) {
+	g := buildGraph(nil, map[[2]affinity.Ctx]uint64{
+		{0, 1}: 50, {1, 2}: 50, {0, 2}: 50,
+		{3, 4}: 50, {4, 5}: 50, {3, 5}: 50,
+		{2, 3}: 1,
+	})
+	clusters := HCSCluster(g)
+	if len(clusters) < 2 {
+		t.Fatalf("clusters = %d, want >= 2: %v", len(clusters), clusters)
+	}
+	// 0,1,2 must not share a cluster with 3,4,5.
+	for _, c := range clusters {
+		hasLow, hasHigh := false, false
+		for _, n := range c {
+			if n <= 2 {
+				hasLow = true
+			} else {
+				hasHigh = true
+			}
+		}
+		if hasLow && hasHigh {
+			t.Fatalf("cut failed: %v", c)
+		}
+	}
+}
+
+func TestStoerWagnerMinCut(t *testing.T) {
+	// Two triangles joined by a single weight-1 edge: min cut = 1.
+	g := buildGraph(nil, map[[2]affinity.Ctx]uint64{
+		{0, 1}: 5, {1, 2}: 5, {0, 2}: 5,
+		{3, 4}: 5, {4, 5}: 5, {3, 5}: 5,
+		{2, 3}: 1,
+	})
+	cut, side := stoerWagner(g, g.Nodes())
+	if cut != 1 {
+		t.Fatalf("min cut = %v, want 1", cut)
+	}
+	if len(side) == 0 || len(side) == 6 {
+		t.Fatalf("degenerate side: %v", side)
+	}
+}

@@ -1,0 +1,122 @@
+package halloc
+
+import (
+	"halo/internal/bits"
+	"halo/internal/isa"
+)
+
+// BitSelector is a selector lowered to group-state bit indices: a
+// disjunction of conjunctions, where each conjunction lists the bits that
+// must all be set for the allocation to belong to Group. The identification
+// stage produces selectors over call sites; the pipeline lowers them to bit
+// indices using the rewriter's site-to-bit assignment.
+type BitSelector struct {
+	Group int
+	Conj  [][]int
+}
+
+// Matches evaluates the selector against the group state.
+func (s BitSelector) Matches(state *bits.Vec) bool {
+	for _, conj := range s.Conj {
+		if state.TestAll(conj) {
+			return true
+		}
+	}
+	return false
+}
+
+// SelectorClassifier implements HALO's runtime identification: it checks
+// the group-state vector against each selector in priority order (§4.4).
+type SelectorClassifier struct {
+	state     *bits.Vec
+	selectors []BitSelector
+	numGroups int
+}
+
+// NewSelectorClassifier builds the classifier. Selectors are evaluated in
+// slice order; the identification stage emits them most-popular-first.
+func NewSelectorClassifier(state *bits.Vec, selectors []BitSelector) *SelectorClassifier {
+	max := 0
+	for _, s := range selectors {
+		if s.Group+1 > max {
+			max = s.Group + 1
+		}
+	}
+	return &SelectorClassifier{state: state, selectors: selectors, numGroups: max}
+}
+
+// Classify implements Classifier.
+func (c *SelectorClassifier) Classify(size uint64, site isa.Addr) int {
+	for _, s := range c.selectors {
+		if s.Matches(c.state) {
+			return s.Group
+		}
+	}
+	return -1
+}
+
+// NumGroups implements Classifier.
+func (c *SelectorClassifier) NumGroups() int { return c.numGroups }
+
+// SiteClassifier implements the hot-data-streams runtime identification:
+// group membership is keyed solely by the immediate call site of the
+// allocation procedure, as in Chilimbi & Shaham's scheme (§5.1).
+type SiteClassifier struct {
+	groups    map[isa.Addr]int
+	numGroups int
+}
+
+// NewSiteClassifier builds the classifier from a site-to-group table.
+func NewSiteClassifier(groups map[isa.Addr]int) *SiteClassifier {
+	max := 0
+	for _, g := range groups {
+		if g+1 > max {
+			max = g + 1
+		}
+	}
+	return &SiteClassifier{groups: groups, numGroups: max}
+}
+
+// Classify implements Classifier.
+func (c *SiteClassifier) Classify(size uint64, site isa.Addr) int {
+	if g, ok := c.groups[site]; ok {
+		return g
+	}
+	return -1
+}
+
+// NumGroups implements Classifier.
+func (c *SiteClassifier) NumGroups() int { return c.numGroups }
+
+// RandomClassifier assigns every eligible allocation to one of Pools groups
+// uniformly at random: the deliberately terrible policy of Figure 15, used
+// to measure how sensitive each benchmark is to small-object placement.
+type RandomClassifier struct {
+	pools int
+	rng   uint64
+}
+
+// NewRandomClassifier builds the classifier with the given pool count and
+// seed (the paper uses four pools).
+func NewRandomClassifier(pools int, seed uint64) *RandomClassifier {
+	if pools <= 0 {
+		pools = 4
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &RandomClassifier{pools: pools, rng: seed}
+}
+
+// Classify implements Classifier.
+func (c *RandomClassifier) Classify(size uint64, site isa.Addr) int {
+	x := c.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	c.rng = x
+	return int((x * 0x2545F4914F6CDD1D) % uint64(c.pools))
+}
+
+// NumGroups implements Classifier.
+func (c *RandomClassifier) NumGroups() int { return c.pools }

@@ -1,0 +1,180 @@
+package halloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"halo/internal/alloc"
+	"halo/internal/isa"
+	"halo/internal/mem"
+)
+
+// bucketClassifier groups allocations by size bucket, exercising multiple
+// concurrent groups.
+type bucketClassifier struct{ groups int }
+
+func (b bucketClassifier) Classify(size uint64, site isa.Addr) int {
+	if size%3 == 0 {
+		return -1 // some requests stay ungrouped
+	}
+	return int(size) % b.groups
+}
+func (b bucketClassifier) NumGroups() int { return b.groups }
+
+func newTestAlloc(cfg Config) (*GroupAlloc, *mem.OS) {
+	osm := mem.NewOS(mem.NewMemory())
+	fallback := alloc.NewSizeSeg(osm)
+	return New(osm, fallback, bucketClassifier{groups: 5}, cfg), osm
+}
+
+// TestGroupAllocDisjointRegions drives a random malloc/free workload and
+// checks the fundamental invariant: no two live regions overlap, ever.
+func TestGroupAllocDisjointRegions(t *testing.T) {
+	cfgs := []Config{
+		{},
+		{ChunkSize: 64 << 10, SlabSize: 256 << 10},
+		{NoSpare: true},
+		{AlwaysReuseChunks: true},
+		{ChunkSize: 16 << 10, SlabSize: 64 << 10, NoSpare: true},
+	}
+	for ci, cfg := range cfgs {
+		a, _ := newTestAlloc(cfg)
+		rng := rand.New(rand.NewSource(int64(ci) + 1))
+		type region struct{ base, size uint64 }
+		live := make(map[uint64]region)
+		var order []uint64
+
+		checkDisjoint := func(base, size uint64) {
+			for _, r := range live {
+				if base < r.base+r.size && r.base < base+size {
+					t.Fatalf("cfg %d: overlap: new [%#x,%#x) with live [%#x,%#x)",
+						ci, base, base+size, r.base, r.base+r.size)
+				}
+			}
+		}
+
+		for i := 0; i < 30000; i++ {
+			if len(order) > 0 && rng.Intn(100) < 45 {
+				idx := rng.Intn(len(order))
+				base := order[idx]
+				order[idx] = order[len(order)-1]
+				order = order[:len(order)-1]
+				a.Free(base)
+				delete(live, base)
+				continue
+			}
+			size := uint64(rng.Intn(600) + 1)
+			base := a.Malloc(size)
+			if base == 0 {
+				t.Fatalf("cfg %d: malloc(%d) returned 0", ci, size)
+			}
+			if base%8 != 0 {
+				t.Fatalf("cfg %d: misaligned pointer %#x", ci, base)
+			}
+			checkDisjoint(base, size)
+			live[base] = region{base, size}
+			order = append(order, base)
+		}
+		// Drain and confirm the allocator's live accounting reaches zero.
+		for _, base := range order {
+			a.Free(base)
+		}
+		if got := a.Stats().LiveObjects; got != 0 {
+			t.Fatalf("cfg %d: %d grouped objects leak in stats", ci, got)
+		}
+	}
+}
+
+// TestGroupAllocChunkReuse checks that an emptied chunk is recycled and
+// that its recycled regions do not overlap fresh ones.
+func TestGroupAllocChunkReuse(t *testing.T) {
+	a, osm := newTestAlloc(Config{ChunkSize: 16 << 10, SlabSize: 32 << 10})
+	var ptrs []uint64
+	for i := 0; i < 100; i++ {
+		ptrs = append(ptrs, a.Malloc(1024+uint64(i%2))) // groups 1 and 2... sizes 1024,1025
+	}
+	for _, p := range ptrs {
+		a.Free(p)
+	}
+	before := osm.MappedBytes()
+	var again []uint64
+	for i := 0; i < 100; i++ {
+		again = append(again, a.Malloc(1024+uint64(i%2)))
+	}
+	for i, p := range again {
+		for j, q := range again {
+			if i != j && p == q {
+				t.Fatalf("duplicate pointer %#x returned", p)
+			}
+		}
+	}
+	after := osm.MappedBytes()
+	if after > before+(64<<10) {
+		t.Fatalf("chunk reuse ineffective: mapped grew %d -> %d", before, after)
+	}
+}
+
+// TestGroupAllocForwarding checks ungrouped and oversized requests reach
+// the fallback and can be freed through the group allocator.
+func TestGroupAllocForwarding(t *testing.T) {
+	a, _ := newTestAlloc(Config{})
+	big := a.Malloc(64 << 10) // above MaxGroupedSize
+	if a.chunkOf(big) != nil {
+		t.Fatal("oversized allocation landed in a group chunk")
+	}
+	if a.SizeOf(big) != 64<<10 {
+		t.Fatalf("SizeOf(big) = %d", a.SizeOf(big))
+	}
+	a.Free(big)
+
+	ungrouped := a.Malloc(33) // size%3==0 -> classifier says no group
+	if a.chunkOf(ungrouped) != nil {
+		t.Fatal("ungrouped allocation landed in a group chunk")
+	}
+	a.Free(ungrouped)
+	if a.ForwardedAllocs() != 2 {
+		t.Fatalf("forwarded = %d, want 2", a.ForwardedAllocs())
+	}
+}
+
+// TestGroupAllocRealloc checks data is preserved across group reallocs.
+func TestGroupAllocRealloc(t *testing.T) {
+	a, osm := newTestAlloc(Config{})
+	m := osm.Memory()
+	p := a.Malloc(16) // grouped (16%3 != 0, group 1)
+	if a.chunkOf(p) == nil {
+		t.Fatal("expected grouped allocation")
+	}
+	m.WriteWord(p, 0xDEAD)
+	q := a.Realloc(p, 1000)
+	if got := m.ReadWord(q); got != 0xDEAD {
+		t.Fatalf("realloc lost data: %#x", got)
+	}
+	// Ungrouped -> possibly grouped realloc.
+	u := a.Malloc(33)
+	m.WriteWord(u, 0xBEEF)
+	v := a.Realloc(u, 40)
+	if got := m.ReadWord(v); got != 0xBEEF {
+		t.Fatalf("cross-allocator realloc lost data: %#x", got)
+	}
+}
+
+// TestGroupAllocFragAtPeak builds the Table 1 scenario: fill chunks, free
+// almost everything, verify high fragmentation is reported at peak.
+func TestGroupAllocFragAtPeak(t *testing.T) {
+	a, _ := newTestAlloc(Config{ChunkSize: 16 << 10, SlabSize: 64 << 10})
+	var ptrs []uint64
+	for i := 0; i < 64; i++ {
+		ptrs = append(ptrs, a.Malloc(1024)) // group 1024%5=4
+	}
+	// Free all but one object per chunk: chunks stay resident.
+	for i, p := range ptrs {
+		if i%15 != 0 {
+			a.Free(p)
+		}
+	}
+	pct, bytes := a.FragAtPeak()
+	if pct <= 0 || bytes == 0 {
+		t.Fatalf("expected nonzero fragmentation at peak, got %.2f%% / %d bytes", pct, bytes)
+	}
+}

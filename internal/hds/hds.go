@@ -1,0 +1,65 @@
+package hds
+
+import (
+	"fmt"
+
+	"halo/internal/isa"
+	"halo/internal/profile"
+)
+
+// Config parameterises the full hot-data-streams analysis.
+type Config struct {
+	Streams   StreamConfig
+	MaxGroups int
+}
+
+// Result is the outcome of the analysis: the co-allocation policy and the
+// statistics the evaluation reports (stream counts for the roms
+// comparison against HALO's 31-node affinity graph).
+type Result struct {
+	Streams    int // hot streams selected
+	Candidates int // candidate streams considered
+	Rules      int // grammar rules inferred
+	TraceLen   int
+	Sets       []CoallocSet      // selected co-allocation sets
+	SiteGroups map[isa.Addr]int  // runtime policy: immediate site -> group
+}
+
+// Analyze runs the pipeline over a profile's data reference trace: grammar
+// inference, hot-stream extraction, co-allocation set construction, and
+// weighted set packing. The returned SiteGroups table is the runtime
+// identification policy (immediate call site of the allocation procedure).
+func Analyze(p *profile.Profile, cfg Config) *Result {
+	// Object identities and their allocation sites/sizes.
+	trace := make([]int64, len(p.Trace))
+	objects := make(map[int64]ObjectInfo, len(p.Trace)/4+1)
+	for i, r := range p.Trace {
+		trace[i] = int64(r.Obj)
+		objects[int64(r.Obj)] = ObjectInfo{Site: r.Site, Size: r.ObjSize}
+	}
+
+	ext := ExtractStreams(trace, cfg.Streams)
+	sets := BuildSets(ext.Streams, objects)
+	packed := PackSets(sets, cfg.MaxGroups)
+
+	siteGroups := make(map[isa.Addr]int)
+	for g, s := range packed {
+		for _, site := range s.Sites {
+			siteGroups[site] = g
+		}
+	}
+	return &Result{
+		Streams:    len(ext.Streams),
+		Candidates: ext.Candidates,
+		Rules:      ext.Rules,
+		TraceLen:   ext.TraceLen,
+		Sets:       packed,
+		SiteGroups: siteGroups,
+	}
+}
+
+// String summarises the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("hds: %d rules, %d candidate / %d hot streams over %d refs, %d co-allocation sets",
+		r.Rules, r.Candidates, r.Streams, r.TraceLen, len(r.Sets))
+}

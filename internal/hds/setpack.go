@@ -1,0 +1,135 @@
+package hds
+
+import (
+	"math"
+	"sort"
+
+	"halo/internal/isa"
+)
+
+// CoallocSet is a candidate co-allocation policy derived from one or more
+// hot data streams: the set of allocation call sites whose objects the
+// stream interleaves, weighted by the projected cache-line savings of
+// packing those objects contiguously.
+type CoallocSet struct {
+	Sites   []isa.Addr
+	Benefit float64
+	Streams int // streams contributing to this set
+}
+
+// ObjectInfo locates an object for benefit analysis.
+type ObjectInfo struct {
+	Site isa.Addr
+	Size uint32
+}
+
+const lineSize = 64
+
+// BuildSets converts hot data streams into co-allocation sets. Each stream
+// projects the miss reduction of packing its objects into contiguous lines
+// versus leaving each on separate lines, scaled by the stream's frequency
+// (the benefit model of the original paper, simplified to line counts).
+// Streams inducing identical site sets merge, accumulating benefit.
+func BuildSets(streams []Stream, objects map[int64]ObjectInfo) []CoallocSet {
+	type agg struct {
+		sites   []isa.Addr
+		benefit float64
+		streams int
+	}
+	byKey := make(map[string]*agg)
+	for _, st := range streams {
+		siteSet := make(map[isa.Addr]bool)
+		var packedBytes uint64
+		var sepFootprint uint64 // each object's line-rounded footprint
+		known := 0
+		for _, obj := range st.Objects {
+			info, ok := objects[obj]
+			if !ok {
+				continue
+			}
+			known++
+			siteSet[info.Site] = true
+			packedBytes += uint64(info.Size)
+			sepFootprint += uint64((info.Size+lineSize-1)/lineSize) * lineSize
+		}
+		if known < 2 || len(siteSet) == 0 {
+			continue
+		}
+		if sepFootprint <= packedBytes {
+			continue // packing saves nothing
+		}
+		// Projected lines saved per traversal: the separate layout rounds
+		// every object to whole lines; the packed layout shares them.
+		benefit := float64(st.Freq) * float64(sepFootprint-packedBytes) / lineSize
+		sites := make([]isa.Addr, 0, len(siteSet))
+		for s := range siteSet {
+			sites = append(sites, s)
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		key := sitesKey(sites)
+		if a, ok := byKey[key]; ok {
+			a.benefit += benefit
+			a.streams++
+		} else {
+			byKey[key] = &agg{sites: sites, benefit: benefit, streams: 1}
+		}
+	}
+	out := make([]CoallocSet, 0, len(byKey))
+	for _, a := range byKey {
+		out = append(out, CoallocSet{Sites: a.sites, Benefit: a.benefit, Streams: a.streams})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Benefit != out[j].Benefit {
+			return out[i].Benefit > out[j].Benefit
+		}
+		return sitesKey(out[i].Sites) < sitesKey(out[j].Sites)
+	})
+	return out
+}
+
+func sitesKey(sites []isa.Addr) string {
+	b := make([]byte, 0, len(sites)*4)
+	for _, s := range sites {
+		b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+	}
+	return string(b)
+}
+
+// PackSets selects a non-overlapping family of co-allocation sets using
+// Halldórsson's greedy approximation for weighted set packing: candidates
+// are taken in decreasing benefit/sqrt(|set|) order, skipping any whose
+// sites are already claimed. At most maxGroups sets are selected
+// (the artifact's --max-groups, 4 for roms).
+func PackSets(sets []CoallocSet, maxGroups int) []CoallocSet {
+	if maxGroups <= 0 {
+		maxGroups = 32
+	}
+	ordered := append([]CoallocSet(nil), sets...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		wi := ordered[i].Benefit / math.Sqrt(float64(len(ordered[i].Sites)))
+		wj := ordered[j].Benefit / math.Sqrt(float64(len(ordered[j].Sites)))
+		return wi > wj
+	})
+	claimed := make(map[isa.Addr]bool)
+	var out []CoallocSet
+	for _, s := range ordered {
+		if len(out) >= maxGroups {
+			break
+		}
+		conflict := false
+		for _, site := range s.Sites {
+			if claimed[site] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		for _, site := range s.Sites {
+			claimed[site] = true
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package hds
+
+import "sort"
+
+// Stream is a minimal hot data stream: a sequence of object identities
+// that recurs in the reference trace, with its recurrence count. Streams
+// derived from grammar rules whose expansions exceed the length window are
+// truncated to the window — the behaviour the paper criticises ("the hot
+// data streams for other areas of the program's behaviour may be cut
+// short, and their corresponding co-allocation sets rendered
+// near-useless", §5.2).
+type Stream struct {
+	Objects   []int64 // object serials (possibly a truncated prefix)
+	Freq      int     // occurrences in the trace
+	Heat      int     // full expansion length * Freq
+	Truncated bool
+}
+
+// StreamConfig bounds stream extraction; zero values take the settings the
+// paper uses for its replication (§5.1): streams of 2..20 elements, with
+// the threshold chosen to account for 90% of all heap accesses.
+type StreamConfig struct {
+	MinLen   int
+	MaxLen   int
+	Coverage float64
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.MinLen == 0 {
+		c.MinLen = 2
+	}
+	if c.MaxLen == 0 {
+		c.MaxLen = 20
+	}
+	if c.Coverage == 0 {
+		c.Coverage = 0.90
+	}
+	return c
+}
+
+// ruleFreq computes how many times each rule's expansion occurs in the full
+// input: the start rule occurs once, and every reference inside a rule
+// occurring f times contributes f to the referenced rule.
+func ruleFreq(g *Grammar) map[int]int {
+	// Topological order: parents before children.
+	order := make([]*Rule, 0, len(g.Rules()))
+	state := make(map[int]int, len(g.Rules())) // 0 unvisited, 1 visiting, 2 done
+	var dfs func(r *Rule)
+	dfs = func(r *Rule) {
+		state[r.Number] = 1
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.nt() && state[s.rule.Number] == 0 {
+				dfs(s.rule)
+			}
+		}
+		state[r.Number] = 2
+		order = append(order, r) // post-order: children first
+	}
+	dfs(g.Start())
+	freq := make(map[int]int, len(order))
+	freq[g.Start().Number] = 1
+	// Walk parents before children: reverse post-order.
+	for i := len(order) - 1; i >= 0; i-- {
+		r := order[i]
+		f := freq[r.Number]
+		if f == 0 {
+			continue
+		}
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.nt() {
+				freq[s.rule.Number] += f
+			}
+		}
+	}
+	return freq
+}
+
+// ruleLens computes each rule's terminal expansion length.
+func ruleLens(g *Grammar) map[int]int {
+	lens := make(map[int]int, len(g.Rules()))
+	var calc func(r *Rule) int
+	calc = func(r *Rule) int {
+		if l, ok := lens[r.Number]; ok {
+			return l
+		}
+		lens[r.Number] = 0 // cycle guard; grammars are acyclic
+		total := 0
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.nt() {
+				total += calc(s.rule)
+			} else {
+				total++
+			}
+		}
+		lens[r.Number] = total
+		return total
+	}
+	for _, r := range g.Rules() {
+		calc(r)
+	}
+	return lens
+}
+
+// expandRulePrefix materialises the first cap terminals of a rule.
+func expandRulePrefix(r *Rule, cap int) []int64 {
+	out := make([]int64, 0, cap)
+	var walk func(r *Rule) bool
+	walk = func(r *Rule) bool {
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if len(out) >= cap {
+				return false
+			}
+			if s.nt() {
+				if !walk(s.rule) {
+					return false
+				}
+				continue
+			}
+			out = append(out, s.value)
+		}
+		return true
+	}
+	walk(r)
+	return out
+}
+
+// expandRule materialises a rule's terminal expansion up to a cap,
+// returning nil if it would exceed the cap.
+func expandRule(r *Rule, cap int) []int64 {
+	out := make([]int64, 0, cap)
+	var walk func(r *Rule) bool
+	walk = func(r *Rule) bool {
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.nt() {
+				if !walk(s.rule) {
+					return false
+				}
+				continue
+			}
+			if len(out) >= cap {
+				return false
+			}
+			out = append(out, s.value)
+		}
+		return true
+	}
+	if !walk(r) {
+		return nil
+	}
+	return out
+}
+
+// ExtractResult reports stream extraction outcomes, including the counts
+// the paper's roms discussion relies on ("the hot-data-stream-based
+// approach requires over 150,000 streams").
+type ExtractResult struct {
+	Streams    []Stream
+	Candidates int // rules with expansions in the length window
+	Rules      int // live grammar rules
+	Covered    int // trace elements accounted for by the selected streams
+	TraceLen   int
+}
+
+// ExtractStreams builds the grammar over the trace of object identities
+// and extracts minimal hot data streams: rule expansions within the length
+// window, hottest first, until the selected streams' heat accounts for the
+// configured fraction of the trace.
+func ExtractStreams(trace []int64, cfg StreamConfig) *ExtractResult {
+	cfg = cfg.withDefaults()
+	g := NewGrammar()
+	for _, v := range trace {
+		g.Append(v)
+	}
+	freq := ruleFreq(g)
+	lens := ruleLens(g)
+
+	var cands []Stream
+	for num, r := range g.Rules() {
+		if num == 0 {
+			continue // the start rule is the whole trace
+		}
+		l := lens[num]
+		if l < cfg.MinLen {
+			continue
+		}
+		f := freq[num]
+		if f < 2 {
+			continue // a stream must recur
+		}
+		if l <= cfg.MaxLen {
+			objs := expandRule(r, cfg.MaxLen)
+			if objs == nil {
+				continue
+			}
+			cands = append(cands, Stream{Objects: objs, Freq: f, Heat: l * f})
+			continue
+		}
+		// The rule's expansion exceeds the stream window: the stream is
+		// cut short at the window, keeping the full expansion's heat.
+		objs := expandRulePrefix(r, cfg.MaxLen)
+		cands = append(cands, Stream{Objects: objs, Freq: f, Heat: l * f, Truncated: true})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Heat != cands[j].Heat {
+			return cands[i].Heat > cands[j].Heat
+		}
+		return less(cands[i].Objects, cands[j].Objects)
+	})
+
+	res := &ExtractResult{Candidates: len(cands), Rules: g.NumRules(), TraceLen: len(trace)}
+	want := int(cfg.Coverage * float64(len(trace)))
+	for _, s := range cands {
+		if res.Covered >= want {
+			break
+		}
+		res.Streams = append(res.Streams, s)
+		res.Covered += s.Heat
+	}
+	return res
+}
+
+func less(a, b []int64) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

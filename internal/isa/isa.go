@@ -1,0 +1,492 @@
+// Package isa defines the miniature instruction set, program representation,
+// and binary encoding used as the "target binary" substrate of the HALO
+// reproduction.
+//
+// The paper operates on linked x86-64 ELF executables: it profiles them
+// under Pin, identifies allocation contexts by call-site *addresses*, and
+// rewrites the binary with BOLT. To reproduce those code paths in Go we
+// define a small register machine whose programs
+//
+//   - contain real call sites with stable addresses (assigned at link time),
+//   - distinguish main-binary functions from library functions (the paper's
+//     shadow stack only records frames in the main executable),
+//   - reach the memory-management routines through external symbols, the
+//     analogue of PLT calls to POSIX.1 malloc/free/calloc/realloc,
+//   - perform byte-addressed loads and stores of 1/2/4/8 bytes, the events
+//     the affinity queue observes, and
+//   - can be encoded to and decoded from a flat binary image, which is what
+//     the post-link rewriter (internal/rewrite) patches.
+//
+// Programs are authored through the builder in internal/prog and executed by
+// internal/vm.
+package isa
+
+import "fmt"
+
+// Word is the machine's native integer: 64-bit signed.
+type Word = int64
+
+// Opcode enumerates the machine's instructions.
+type Opcode uint8
+
+// The instruction set. Register operands are named A, B, C, D below.
+const (
+	OpNop Opcode = iota
+
+	// Data movement.
+	OpConst // r[A] = Imm
+	OpMov   // r[A] = r[B]
+
+	// Integer arithmetic and logic. r[A] = r[B] op r[C].
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // signed; divide by zero traps
+	OpMod // signed; mod by zero traps
+	OpAnd
+	OpOr
+	OpXor
+	OpShl // shift count taken mod 64
+	OpShr // logical shift right
+	OpAddImm // r[A] = r[B] + Imm
+
+	// Comparisons produce 0 or 1. r[A] = r[B] cmp r[C].
+	OpEq
+	OpNe
+	OpLt // signed
+	OpLe // signed
+
+	// Control flow. Targets are instruction indices within the function.
+	OpJmp // pc = Imm
+	OpBz  // if r[A] == 0: pc = Imm
+	OpBnz // if r[A] != 0: pc = Imm
+
+	// Calls. Direct calls name a function index or an external symbol in
+	// Fn; indirect calls read a function index from r[D]. Arguments are
+	// r[B] .. r[B+C-1], copied to the callee's r0..r(C-1). The result is
+	// written to r[A].
+	OpCall
+	OpCallInd
+	OpRet // return r[A]
+
+	// Memory. Address is r[B] + Imm; Size is 1, 2, 4 or 8 bytes.
+	OpLoad  // r[A] = zero-extended load
+	OpStore // store low Size bytes of r[A]
+
+	// Group-state instrumentation, inserted by the post-link rewriter
+	// (never authored directly). They set and clear bit Imm of the shared
+	// group-state vector read by the specialised allocator.
+	OpGroupSet
+	OpGroupClr
+
+	OpHalt // stop the machine
+
+	opCount // sentinel
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpConst: "const", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpAddImm: "addi",
+	OpEq:     "eq", OpNe: "ne", OpLt: "lt", OpLe: "le",
+	OpJmp: "jmp", OpBz: "bz", OpBnz: "bnz",
+	OpCall: "call", OpCallInd: "icall", OpRet: "ret",
+	OpLoad: "load", OpStore: "store",
+	OpGroupSet: "gset", OpGroupClr: "gclr",
+	OpHalt: "halt",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Opcode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether the opcode is defined.
+func (o Opcode) Valid() bool { return o < opCount }
+
+// Extern identifies an external symbol: the runtime routines reachable from
+// programs, the analogue of PLT entries in a linked ELF binary.
+type Extern int32
+
+// The external symbol table. Malloc..Free are the POSIX.1 memory-management
+// routines the paper's instrumentation tool intercepts.
+const (
+	ExtMalloc Extern = iota // malloc(size) -> ptr
+	ExtCalloc               // calloc(n, size) -> zeroed ptr
+	ExtRealloc              // realloc(ptr, size) -> ptr
+	ExtFree                 // free(ptr) -> 0
+	ExtRand                 // rand(n) -> uniform [0, n); rand(0) -> raw 64-bit
+	ExtPrint                // print(x) -> x (debug sink)
+	ExtExit                 // exit(code): halts the machine
+	externCount
+)
+
+var externNames = [...]string{
+	ExtMalloc: "malloc", ExtCalloc: "calloc", ExtRealloc: "realloc",
+	ExtFree: "free", ExtRand: "rand", ExtPrint: "print", ExtExit: "exit",
+}
+
+// String returns the symbol name.
+func (e Extern) String() string {
+	if e >= 0 && int(e) < len(externNames) {
+		return externNames[e]
+	}
+	return fmt.Sprintf("extern(%d)", int32(e))
+}
+
+// Valid reports whether the extern is defined.
+func (e Extern) Valid() bool { return e >= 0 && e < externCount }
+
+// FnRef encodes a direct-call target: values >= 0 are indices into
+// Program.Funcs; values < 0 are externals, decoded with ExternOf.
+type FnRef int32
+
+// ExternRef returns the FnRef naming an external symbol.
+func ExternRef(e Extern) FnRef { return FnRef(-int32(e) - 1) }
+
+// IsExtern reports whether the reference names an external symbol.
+func (f FnRef) IsExtern() bool { return f < 0 }
+
+// ExternOf decodes an external reference.
+func (f FnRef) ExternOf() Extern { return Extern(-int32(f) - 1) }
+
+// Addr is a code address: the stable identity of an instruction, and in
+// particular of a call site. Addresses are assigned when a program is
+// linked (Program.Link). The rewriter preserves the addresses of original
+// instructions when it inserts new ones, exactly as BOLT tracks original
+// offsets, so profile data keyed by Addr stays valid across rewriting.
+type Addr uint32
+
+// NoAddr marks an instruction that has not been linked (or was synthesised
+// by the rewriter, which allocates fresh addresses above any original one).
+const NoAddr Addr = 0
+
+// addrFuncShift positions the function index in the high bits of an Addr.
+const addrFuncShift = 16
+
+// MakeAddr builds the linked address of instruction pc in function fn.
+// Instruction index 0 maps to offset 1 so that NoAddr never collides with a
+// real address.
+func MakeAddr(fn, pc int) Addr { return Addr(fn)<<addrFuncShift | Addr(pc+1) }
+
+// FuncIndex extracts the function index from a linked address.
+func (a Addr) FuncIndex() int { return int(a >> addrFuncShift) }
+
+// PC extracts the original instruction index from a linked address.
+func (a Addr) PC() int { return int(a&(1<<addrFuncShift-1)) - 1 }
+
+// String formats an address as fn:pc.
+func (a Addr) String() string {
+	if a == NoAddr {
+		return "<noaddr>"
+	}
+	return fmt.Sprintf("%d:%d", a.FuncIndex(), a.PC())
+}
+
+// Inst is a single machine instruction.
+type Inst struct {
+	Op   Opcode
+	A    uint8 // destination / condition / value register
+	B    uint8 // source register / base register / argument base
+	C    uint8 // source register / argument count
+	D    uint8 // indirect-call target register
+	Size uint8 // access size for OpLoad/OpStore: 1, 2, 4 or 8
+	Fn   FnRef // direct-call target
+	Imm  int64 // immediate / branch target / memory offset / group bit
+	Addr Addr  // linked address (stable across rewriting)
+}
+
+// IsCall reports whether the instruction transfers control to a function.
+func (in Inst) IsCall() bool { return in.Op == OpCall || in.Op == OpCallInd }
+
+// IsBranch reports whether Imm holds an intra-function instruction index.
+func (in Inst) IsBranch() bool { return in.Op == OpJmp || in.Op == OpBz || in.Op == OpBnz }
+
+// Func is a single function ("symbol") in the program.
+type Func struct {
+	Name    string
+	Lib     bool // part of a "shared library", not the main binary (§4.1)
+	NParams int  // number of parameters, received in r0..r(NParams-1)
+	NRegs   int  // register-frame size; NParams <= NRegs <= MaxRegs
+	Code    []Inst
+}
+
+// MaxRegs bounds a function's register frame.
+const MaxRegs = 256
+
+// Program is a complete linked executable.
+type Program struct {
+	Name    string
+	Funcs   []*Func
+	Entry   int // index of the entry function (must not be Lib)
+	Globals int // number of 8-byte global word slots
+
+	// nextSynth is the next synthetic address to hand out; maintained by
+	// Link and used by the rewriter for inserted instructions.
+	nextSynth Addr
+}
+
+// GlobalsBase is the address of the global segment: global slot i lives at
+// GlobalsBase + 8*i. It sits far below the heap (mem.HeapBase).
+const GlobalsBase = 0x20_0000
+
+// GlobalAddr returns the address of global word slot i.
+func GlobalAddr(i int) uint64 { return GlobalsBase + 8*uint64(i) }
+
+// Link assigns a stable address to every instruction. It must be called
+// once after construction and before profiling, rewriting or execution.
+func (p *Program) Link() {
+	var max Addr
+	for fi, f := range p.Funcs {
+		for pc := range f.Code {
+			a := MakeAddr(fi, pc)
+			f.Code[pc].Addr = a
+			if a > max {
+				max = a
+			}
+		}
+	}
+	p.nextSynth = max + 1
+}
+
+// NextSyntheticAddr hands out a fresh address for an instruction inserted
+// by the rewriter. Addresses never collide with linked ones.
+func (p *Program) NextSyntheticAddr() Addr {
+	if p.nextSynth == 0 {
+		p.Link()
+	}
+	a := p.nextSynth
+	p.nextSynth++
+	return a
+}
+
+// FuncByName returns the index of the named function, or -1.
+func (p *Program) FuncByName(name string) int {
+	for i, f := range p.Funcs {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FuncOf resolves the function containing a linked address, or nil for
+// synthetic/unlinked addresses.
+func (p *Program) FuncOf(a Addr) *Func {
+	fi := a.FuncIndex()
+	if a == NoAddr || fi >= len(p.Funcs) {
+		return nil
+	}
+	return p.Funcs[fi]
+}
+
+// SiteName renders a call-site address using function names, for reports
+// like the paper's Figure 9 group listings.
+func (p *Program) SiteName(a Addr) string {
+	f := p.FuncOf(a)
+	if f == nil {
+		return a.String()
+	}
+	return fmt.Sprintf("%s+%d", f.Name, a.PC())
+}
+
+// Clone returns a deep copy of the program. The rewriter clones before
+// patching so the original binary is preserved, as a post-link tool must.
+func (p *Program) Clone() *Program {
+	q := &Program{
+		Name:      p.Name,
+		Entry:     p.Entry,
+		Globals:   p.Globals,
+		Funcs:     make([]*Func, len(p.Funcs)),
+		nextSynth: p.nextSynth,
+	}
+	for i, f := range p.Funcs {
+		g := *f
+		g.Code = append([]Inst(nil), f.Code...)
+		q.Funcs[i] = &g
+	}
+	return q
+}
+
+// Validate checks structural well-formedness: register indices within the
+// frame, branch targets in range, call targets resolvable, legal access
+// sizes, and a non-library entry function. The VM assumes a validated
+// program; the encoder refuses to emit an invalid one.
+func (p *Program) Validate() error {
+	if len(p.Funcs) == 0 {
+		return fmt.Errorf("isa: program %q has no functions", p.Name)
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Funcs) {
+		return fmt.Errorf("isa: entry index %d out of range", p.Entry)
+	}
+	if p.Funcs[p.Entry].Lib {
+		return fmt.Errorf("isa: entry function %q is a library function", p.Funcs[p.Entry].Name)
+	}
+	if p.Globals < 0 {
+		return fmt.Errorf("isa: negative global count")
+	}
+	for fi, f := range p.Funcs {
+		if err := p.validateFunc(fi, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateFunc(fi int, f *Func) error {
+	fail := func(pc int, format string, args ...any) error {
+		return fmt.Errorf("isa: %s[%d] @%d: %s", f.Name, fi, pc, fmt.Sprintf(format, args...))
+	}
+	if f.NRegs < f.NParams || f.NRegs > MaxRegs || f.NParams < 0 {
+		return fmt.Errorf("isa: %s: bad frame: %d params, %d regs", f.Name, f.NParams, f.NRegs)
+	}
+	if len(f.Code) == 0 {
+		return fmt.Errorf("isa: %s: empty body", f.Name)
+	}
+	if len(f.Code) >= 1<<addrFuncShift-1 {
+		return fmt.Errorf("isa: %s: too many instructions (%d)", f.Name, len(f.Code))
+	}
+	checkReg := func(pc int, r uint8, what string) error {
+		if int(r) >= f.NRegs {
+			return fail(pc, "%s register r%d out of frame (%d regs)", what, r, f.NRegs)
+		}
+		return nil
+	}
+	for pc, in := range f.Code {
+		if !in.Op.Valid() {
+			return fail(pc, "invalid opcode %d", uint8(in.Op))
+		}
+		switch in.Op {
+		case OpNop, OpHalt, OpGroupSet, OpGroupClr:
+			// No register operands.
+		case OpConst:
+			if err := checkReg(pc, in.A, "dst"); err != nil {
+				return err
+			}
+		case OpMov:
+			if err := checkReg(pc, in.A, "dst"); err != nil {
+				return err
+			}
+			if err := checkReg(pc, in.B, "src"); err != nil {
+				return err
+			}
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr, OpEq, OpNe, OpLt, OpLe:
+			for _, r := range [...]struct {
+				r uint8
+				n string
+			}{{in.A, "dst"}, {in.B, "lhs"}, {in.C, "rhs"}} {
+				if err := checkReg(pc, r.r, r.n); err != nil {
+					return err
+				}
+			}
+		case OpAddImm:
+			if err := checkReg(pc, in.A, "dst"); err != nil {
+				return err
+			}
+			if err := checkReg(pc, in.B, "src"); err != nil {
+				return err
+			}
+		case OpJmp, OpBz, OpBnz:
+			if in.Op != OpJmp {
+				if err := checkReg(pc, in.A, "cond"); err != nil {
+					return err
+				}
+			}
+			if in.Imm < 0 || in.Imm >= int64(len(f.Code)) {
+				return fail(pc, "branch target %d out of range", in.Imm)
+			}
+		case OpCall, OpCallInd:
+			if err := checkReg(pc, in.A, "dst"); err != nil {
+				return err
+			}
+			if in.C > 0 {
+				if err := checkReg(pc, in.B, "arg base"); err != nil {
+					return err
+				}
+				if int(in.B)+int(in.C) > f.NRegs {
+					return fail(pc, "argument window r%d..r%d out of frame", in.B, int(in.B)+int(in.C)-1)
+				}
+			}
+			if in.Op == OpCall {
+				if in.Fn.IsExtern() {
+					if !in.Fn.ExternOf().Valid() {
+						return fail(pc, "unknown external %d", int32(in.Fn))
+					}
+				} else if int(in.Fn) >= len(p.Funcs) {
+					return fail(pc, "call target %d out of range", in.Fn)
+				} else if callee := p.Funcs[in.Fn]; int(in.C) != callee.NParams {
+					return fail(pc, "call to %s with %d args, want %d", callee.Name, in.C, callee.NParams)
+				}
+			} else {
+				if err := checkReg(pc, in.D, "target"); err != nil {
+					return err
+				}
+			}
+		case OpRet:
+			if err := checkReg(pc, in.A, "value"); err != nil {
+				return err
+			}
+		case OpLoad, OpStore:
+			if err := checkReg(pc, in.A, "value"); err != nil {
+				return err
+			}
+			if err := checkReg(pc, in.B, "base"); err != nil {
+				return err
+			}
+			switch in.Size {
+			case 1, 2, 4, 8:
+			default:
+				return fail(pc, "access size %d", in.Size)
+			}
+		}
+	}
+	return nil
+}
+
+// CallSites returns the addresses of every direct and indirect call
+// instruction in the main binary (library functions are excluded: the
+// paper's identification step only instruments the main executable).
+func (p *Program) CallSites() []Addr {
+	var sites []Addr
+	for _, f := range p.Funcs {
+		if f.Lib {
+			continue
+		}
+		for _, in := range f.Code {
+			if in.IsCall() {
+				sites = append(sites, in.Addr)
+			}
+		}
+	}
+	return sites
+}
+
+// Stats summarises a program for reports.
+type Stats struct {
+	Funcs     int
+	LibFuncs  int
+	Insts     int
+	CallSites int
+}
+
+// Stat computes program statistics.
+func (p *Program) Stat() Stats {
+	var s Stats
+	s.Funcs = len(p.Funcs)
+	for _, f := range p.Funcs {
+		if f.Lib {
+			s.LibFuncs++
+		}
+		s.Insts += len(f.Code)
+		for _, in := range f.Code {
+			if in.IsCall() {
+				s.CallSites++
+			}
+		}
+	}
+	return s
+}

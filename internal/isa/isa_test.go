@@ -1,0 +1,225 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// buildValid returns a small valid two-function program.
+func buildValid() *Program {
+	callee := &Func{
+		Name:    "callee",
+		NParams: 1,
+		NRegs:   2,
+		Code: []Inst{
+			{Op: OpAddImm, A: 1, B: 0, Imm: 1},
+			{Op: OpRet, A: 1},
+		},
+	}
+	main := &Func{
+		Name:  "main",
+		NRegs: 4,
+		Code: []Inst{
+			{Op: OpConst, A: 0, Imm: 41},
+			{Op: OpCall, A: 1, B: 0, C: 1, Fn: 1},
+			{Op: OpRet, A: 1},
+		},
+	}
+	p := &Program{Name: "t", Funcs: []*Func{main, callee}, Entry: 0}
+	p.Link()
+	return p
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := buildValid().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(p *Program)
+	}{
+		{"bad entry", func(p *Program) { p.Entry = 9 }},
+		{"lib entry", func(p *Program) { p.Funcs[0].Lib = true }},
+		{"reg out of frame", func(p *Program) { p.Funcs[0].Code[0].A = 200 }},
+		{"branch out of range", func(p *Program) {
+			p.Funcs[0].Code[0] = Inst{Op: OpJmp, Imm: 99}
+		}},
+		{"call target out of range", func(p *Program) { p.Funcs[0].Code[1].Fn = 7 }},
+		{"arity mismatch", func(p *Program) { p.Funcs[0].Code[1].C = 0 }},
+		{"bad extern", func(p *Program) { p.Funcs[0].Code[1].Fn = -100 }},
+		{"bad access size", func(p *Program) {
+			p.Funcs[0].Code[0] = Inst{Op: OpLoad, A: 0, B: 0, Size: 3}
+		}},
+		{"arg window overflow", func(p *Program) {
+			p.Funcs[0].Code[1].B = 3
+			p.Funcs[0].Code[1].C = 2
+		}},
+		{"negative globals", func(p *Program) { p.Globals = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := buildValid()
+			tc.mutate(p)
+			if err := p.Validate(); err == nil {
+				t.Fatalf("validate accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestAddrRoundTrip(t *testing.T) {
+	f := func(fn uint16, pc uint16) bool {
+		if pc == 65535 {
+			pc = 0
+		}
+		a := MakeAddr(int(fn), int(pc))
+		return a.FuncIndex() == int(fn) && a.PC() == int(pc) && a != NoAddr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkAssignsUniqueAddrs(t *testing.T) {
+	p := buildValid()
+	seen := make(map[Addr]bool)
+	for _, f := range p.Funcs {
+		for _, in := range f.Code {
+			if in.Addr == NoAddr {
+				t.Fatalf("unlinked instruction")
+			}
+			if seen[in.Addr] {
+				t.Fatalf("duplicate address %s", in.Addr)
+			}
+			seen[in.Addr] = true
+		}
+	}
+	// Synthetic addresses never collide with linked ones.
+	s1, s2 := p.NextSyntheticAddr(), p.NextSyntheticAddr()
+	if seen[s1] || seen[s2] || s1 == s2 {
+		t.Fatalf("synthetic addresses collide: %s %s", s1, s2)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := buildValid()
+	p.Globals = 3
+	img, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || q.Entry != p.Entry || q.Globals != p.Globals {
+		t.Fatalf("header mismatch: %+v", q)
+	}
+	if len(q.Funcs) != len(p.Funcs) {
+		t.Fatalf("func count %d != %d", len(q.Funcs), len(p.Funcs))
+	}
+	for i, f := range p.Funcs {
+		g := q.Funcs[i]
+		if g.Name != f.Name || g.Lib != f.Lib || g.NParams != f.NParams || g.NRegs != f.NRegs {
+			t.Fatalf("func %d header mismatch", i)
+		}
+		if len(g.Code) != len(f.Code) {
+			t.Fatalf("func %d code length mismatch", i)
+		}
+		for j := range f.Code {
+			if f.Code[j] != g.Code[j] {
+				t.Fatalf("func %d inst %d: %+v != %+v", i, j, f.Code[j], g.Code[j])
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	p := buildValid()
+	img, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(img[:len(img)-2]); err == nil {
+		t.Fatal("decoded truncated image")
+	}
+	if _, err := Decode(append([]byte("XXXX"), img[4:]...)); err == nil {
+		t.Fatal("decoded bad magic")
+	}
+	if _, err := Decode(append(append([]byte(nil), img...), 0)); err == nil {
+		t.Fatal("decoded trailing bytes")
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	p := buildValid()
+	p.Entry = 5
+	if _, err := p.Encode(); err == nil {
+		t.Fatal("encoded invalid program")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := buildValid()
+	q := p.Clone()
+	q.Funcs[0].Code[0].Imm = 999
+	if p.Funcs[0].Code[0].Imm == 999 {
+		t.Fatal("clone shares code")
+	}
+}
+
+func TestCallSites(t *testing.T) {
+	p := buildValid()
+	sites := p.CallSites()
+	if len(sites) != 1 {
+		t.Fatalf("call sites = %v", sites)
+	}
+	if sites[0] != p.Funcs[0].Code[1].Addr {
+		t.Fatalf("wrong site %s", sites[0])
+	}
+	// Library call sites are excluded.
+	p.Funcs[0].Lib = true
+	p.Funcs[1].Lib = false
+	if got := p.CallSites(); len(got) != 0 {
+		t.Fatalf("lib call sites leaked: %v", got)
+	}
+}
+
+func TestExternRefRoundTrip(t *testing.T) {
+	for e := Extern(0); e.Valid(); e++ {
+		r := ExternRef(e)
+		if !r.IsExtern() || r.ExternOf() != e {
+			t.Fatalf("extern %v round trip failed", e)
+		}
+	}
+}
+
+func TestDisasmMentionsAll(t *testing.T) {
+	p := buildValid()
+	d := p.Disasm()
+	for _, want := range []string{"main", "callee", "call", "ret", "const"} {
+		if !contains(d, want) {
+			t.Errorf("disasm missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStat(t *testing.T) {
+	p := buildValid()
+	s := p.Stat()
+	if s.Funcs != 2 || s.Insts != 5 || s.CallSites != 1 || s.LibFuncs != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}

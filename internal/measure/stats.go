@@ -1,0 +1,55 @@
+package measure
+
+import "sort"
+
+// Quartiles holds the median and interquartile bounds of a sample, the
+// paper's reporting format ("medians of the 10 recorded trials, with error
+// bars calculated using the 25th and 75th percentiles").
+type Quartiles struct {
+	Median float64
+	P25    float64
+	P75    float64
+}
+
+// QuartilesOf computes quartiles with linear interpolation.
+func QuartilesOf(xs []float64) Quartiles {
+	if len(xs) == 0 {
+		return Quartiles{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Quartiles{
+		Median: Percentile(s, 50),
+		P25:    Percentile(s, 25),
+		P75:    Percentile(s, 75),
+	}
+}
+
+// Percentile returns the p-th percentile (0..100) of sorted data, using
+// linear interpolation between closest ranks.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(rank)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Improvement reports the relative reduction of measured versus baseline:
+// positive when measured is smaller (faster / fewer misses), as the
+// paper's speedup and miss-reduction percentages are oriented.
+func Improvement(baseline, measured float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (baseline - measured) / baseline * 100
+}

@@ -1,0 +1,221 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryZeroValueReads(t *testing.T) {
+	m := NewMemory()
+	if got := m.Read(0x1234, 8); got != 0 {
+		t.Fatalf("untouched read = %#x, want 0", got)
+	}
+	var zero Memory
+	if got := zero.ByteAt(42); got != 0 {
+		t.Fatalf("zero-value read = %d, want 0", got)
+	}
+	zero.SetByte(42, 7)
+	if got := zero.ByteAt(42); got != 7 {
+		t.Fatalf("zero-value write/read = %d, want 7", got)
+	}
+}
+
+func TestMemoryReadWriteSizes(t *testing.T) {
+	m := NewMemory()
+	for _, size := range []uint8{1, 2, 4, 8} {
+		addr := uint64(0x1000) + uint64(size)*32
+		v := uint64(0x1122334455667788)
+		m.Write(addr, size, v)
+		want := v
+		if size < 8 {
+			want &= (1 << (8 * size)) - 1
+		}
+		if got := m.Read(addr, size); got != want {
+			t.Errorf("size %d: read = %#x, want %#x", size, got, want)
+		}
+	}
+}
+
+func TestMemoryLittleEndian(t *testing.T) {
+	m := NewMemory()
+	m.Write(0x2000, 4, 0x0A0B0C0D)
+	bytes := []byte{0x0D, 0x0C, 0x0B, 0x0A}
+	for i, want := range bytes {
+		if got := m.ByteAt(0x2000 + uint64(i)); got != want {
+			t.Errorf("byte %d = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestMemoryStraddlesPages(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(PageSize - 3)
+	m.Write(addr, 8, 0xDEADBEEFCAFEF00D)
+	if got := m.Read(addr, 8); got != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("straddling read = %#x", got)
+	}
+	if m.TouchedPages() != 2 {
+		t.Fatalf("touched pages = %d, want 2", m.TouchedPages())
+	}
+}
+
+func TestMemoryCopyOverlap(t *testing.T) {
+	m := NewMemory()
+	for i := uint64(0); i < 16; i++ {
+		m.SetByte(0x100+i, byte(i))
+	}
+	// Forward overlap (dst > src).
+	m.Copy(0x104, 0x100, 12)
+	for i := uint64(0); i < 12; i++ {
+		if got := m.ByteAt(0x104 + i); got != byte(i) {
+			t.Fatalf("forward overlap byte %d = %d, want %d", i, got, i)
+		}
+	}
+	// Backward overlap (dst < src).
+	for i := uint64(0); i < 16; i++ {
+		m.SetByte(0x200+i, byte(i))
+	}
+	m.Copy(0x1FC, 0x200, 12)
+	for i := uint64(0); i < 12; i++ {
+		if got := m.ByteAt(0x1FC + i); got != byte(i) {
+			t.Fatalf("backward overlap byte %d = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestMemoryRelease(t *testing.T) {
+	m := NewMemory()
+	m.SetByte(0*PageSize+5, 1)
+	m.SetByte(1*PageSize+5, 2)
+	m.SetByte(2*PageSize+5, 3)
+	if m.TouchedPages() != 3 {
+		t.Fatalf("touched = %d, want 3", m.TouchedPages())
+	}
+	// Release covering pages 1 only (page 0 and 2 partially covered).
+	released := m.Release(5, 2*PageSize)
+	if released != 1 {
+		t.Fatalf("released = %d, want 1", released)
+	}
+	if got := m.ByteAt(1*PageSize + 5); got != 0 {
+		t.Fatalf("released page read = %d, want 0", got)
+	}
+	if got := m.ByteAt(0*PageSize + 5); got != 1 {
+		t.Fatalf("partial page was released")
+	}
+}
+
+func TestMemoryRoundTripProperty(t *testing.T) {
+	m := NewMemory()
+	f := func(addr uint64, v uint64, sz uint8) bool {
+		size := uint8(1) << (sz % 4) // 1,2,4,8
+		addr %= 1 << 40
+		m.Write(addr, size, v)
+		want := v
+		if size < 8 {
+			want &= (1 << (8 * size)) - 1
+		}
+		return m.Read(addr, size) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOSMapAlignment(t *testing.T) {
+	o := NewOS(NewMemory())
+	r := o.Map(1<<20, 1<<20)
+	if r.Base%(1<<20) != 0 {
+		t.Fatalf("base %#x not 1MiB aligned", r.Base)
+	}
+	if r.Size != 1<<20 {
+		t.Fatalf("size = %#x, want 1MiB", r.Size)
+	}
+	r2 := o.Map(100, 0)
+	if r2.Size != PageSize {
+		t.Fatalf("size rounded to %#x, want page", r2.Size)
+	}
+	if r2.Base < r.End() {
+		t.Fatalf("regions overlap: %#x < %#x", r2.Base, r.End())
+	}
+}
+
+func TestOSOwnerLookup(t *testing.T) {
+	o := NewOS(NewMemory())
+	a := o.Map(PageSize, 0)
+	b := o.Map(4*PageSize, 0)
+	if got, ok := o.Owner(a.Base); !ok || got != a {
+		t.Fatalf("Owner(a.Base) = %+v, %v", got, ok)
+	}
+	if got, ok := o.Owner(b.Base + b.Size - 1); !ok || got != b {
+		t.Fatalf("Owner(end of b) = %+v, %v", got, ok)
+	}
+	if _, ok := o.Owner(b.End()); ok {
+		t.Fatalf("Owner past end should miss")
+	}
+	if _, ok := o.Owner(HeapBase - 1); ok {
+		t.Fatalf("Owner below heap should miss")
+	}
+}
+
+func TestOSUnmap(t *testing.T) {
+	o := NewOS(NewMemory())
+	a := o.Map(2*PageSize, 0)
+	o.Memory().SetByte(a.Base, 9)
+	if err := o.Unmap(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := o.Owner(a.Base); ok {
+		t.Fatalf("unmapped region still owned")
+	}
+	if got := o.Memory().ByteAt(a.Base); got != 0 {
+		t.Fatalf("unmapped page retained data: %d", got)
+	}
+	if err := o.Unmap(a); err == nil {
+		t.Fatalf("double unmap should error")
+	}
+}
+
+func TestOSMappedAccounting(t *testing.T) {
+	o := NewOS(NewMemory())
+	a := o.Map(4*PageSize, 0)
+	b := o.Map(2*PageSize, 0)
+	if o.MappedBytes() != 6*PageSize {
+		t.Fatalf("mapped = %d", o.MappedBytes())
+	}
+	if err := o.Unmap(a); err != nil {
+		t.Fatal(err)
+	}
+	if o.MappedBytes() != 2*PageSize {
+		t.Fatalf("mapped after unmap = %d", o.MappedBytes())
+	}
+	if o.PeakMappedBytes() != 6*PageSize {
+		t.Fatalf("peak = %d", o.PeakMappedBytes())
+	}
+	_ = b
+}
+
+func TestOSRegionsDisjointProperty(t *testing.T) {
+	o := NewOS(NewMemory())
+	f := func(sizes []uint16, aligns []uint8) bool {
+		var regions []Region
+		for i, s := range sizes {
+			var align uint64
+			if i < len(aligns) {
+				align = uint64(1) << (aligns[i] % 22)
+			}
+			regions = append(regions, o.Map(uint64(s), align))
+		}
+		for i := range regions {
+			for j := i + 1; j < len(regions); j++ {
+				a, b := regions[i], regions[j]
+				if a.Base < b.End() && b.Base < a.End() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package profile
+
+import "halo/internal/affinity"
+
+// object is a live heap object tracked at object-level granularity.
+type object struct {
+	base    uint64
+	size    uint64
+	serial  uint64       // allocation serial, the object's identity
+	ctx     affinity.Ctx // reduced allocation context
+	rawSite uint32       // immediate malloc call site (for the HDS trace)
+}
+
+// objIndex is a treap over live objects keyed by base address, supporting
+// the containment query the access instrumentation needs: "which live
+// object, if any, owns this address?". Objects never overlap, so the
+// greatest base <= addr decides.
+type objIndex struct {
+	root *onode
+	rng  uint64
+	size int
+}
+
+type onode struct {
+	obj         *object
+	prio        uint64
+	left, right *onode
+}
+
+func newObjIndex() *objIndex { return &objIndex{rng: 0x9E3779B97F4A7C15} }
+
+func (t *objIndex) rand() uint64 {
+	x := t.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	t.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// insert adds an object. Inserting an object whose base is already present
+// replaces the previous entry (a fresh allocation reusing an address).
+func (t *objIndex) insert(o *object) {
+	t.remove(o.base)
+	t.root = t.insertNode(t.root, &onode{obj: o, prio: t.rand()})
+	t.size++
+}
+
+func (t *objIndex) insertNode(n, ins *onode) *onode {
+	if n == nil {
+		return ins
+	}
+	if ins.prio > n.prio {
+		l, r := t.split(n, ins.obj.base)
+		ins.left, ins.right = l, r
+		return ins
+	}
+	if ins.obj.base < n.obj.base {
+		n.left = t.insertNode(n.left, ins)
+	} else {
+		n.right = t.insertNode(n.right, ins)
+	}
+	return n
+}
+
+// split partitions by base: left < key, right >= key.
+func (t *objIndex) split(n *onode, key uint64) (l, r *onode) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.obj.base < key {
+		n.right, r = t.split(n.right, key)
+		return n, r
+	}
+	l, n.left = t.split(n.left, key)
+	return l, n
+}
+
+// remove deletes the object based exactly at addr, returning it if present.
+func (t *objIndex) remove(addr uint64) *object {
+	var removed *object
+	t.root = t.removeNode(t.root, addr, &removed)
+	if removed != nil {
+		t.size--
+	}
+	return removed
+}
+
+func (t *objIndex) removeNode(n *onode, addr uint64, out **object) *onode {
+	if n == nil {
+		return nil
+	}
+	switch {
+	case addr < n.obj.base:
+		n.left = t.removeNode(n.left, addr, out)
+	case addr > n.obj.base:
+		n.right = t.removeNode(n.right, addr, out)
+	default:
+		*out = n.obj
+		return t.merge(n.left, n.right)
+	}
+	return n
+}
+
+func (t *objIndex) merge(l, r *onode) *onode {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio > r.prio:
+		l.right = t.merge(l.right, r)
+		return l
+	default:
+		r.left = t.merge(l, r.left)
+		return r
+	}
+}
+
+// find returns the live object containing addr, or nil.
+func (t *objIndex) find(addr uint64) *object {
+	n := t.root
+	var best *object
+	for n != nil {
+		if n.obj.base <= addr {
+			best = n.obj
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	if best != nil && addr < best.base+best.size {
+		return best
+	}
+	return nil
+}
+
+// len reports the live object count.
+func (t *objIndex) len() int { return t.size }

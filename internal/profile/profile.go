@@ -1,0 +1,276 @@
+// Package profile is the reproduction's replacement for the paper's
+// Pin-based instrumentation tool (§4.1). Attached to the VM as execution
+// hooks, it:
+//
+//   - intercepts the POSIX.1 memory-management calls and tracks live data
+//     at object-level granularity;
+//   - maintains a shadow stack that records a frame only for targets
+//     statically linked into the main binary (or traceable externals like
+//     malloc), with call sites traced back to their nearest main-binary
+//     origin, and canonicalises recursive stacks into reduced form;
+//   - feeds every heap access through the affinity queue to build the
+//     pairwise affinity graph; and
+//   - optionally records the object-level data reference trace consumed by
+//     the hot-data-streams comparison technique (internal/hds).
+//
+// Like the paper's tool, it applies no sampling: accuracy is preferred over
+// profiling speed, which is why profiling runs use the small test inputs.
+package profile
+
+import (
+	"fmt"
+
+	"halo/internal/affinity"
+	"halo/internal/isa"
+	"halo/internal/vm"
+)
+
+// Config parameterises profiling.
+type Config struct {
+	// AffinityDistance is A in bytes; default 128 (§5.1, Figure 12).
+	AffinityDistance uint64
+	// MaxObjectSize bounds tracked objects; larger allocations are not
+	// candidates for grouping. Default 4096 (§5.1).
+	MaxObjectSize uint64
+	// Coverage is the node-filter fraction; default 0.90 (§4.1).
+	Coverage float64
+	// RecordTrace enables the data reference trace for hot-data-streams.
+	RecordTrace bool
+	// MaxTrace caps the recorded trace length (0 = 8M references).
+	MaxTrace int
+}
+
+func (c Config) withDefaults() Config {
+	if c.AffinityDistance == 0 {
+		c.AffinityDistance = 128
+	}
+	if c.MaxObjectSize == 0 {
+		c.MaxObjectSize = 4096
+	}
+	if c.Coverage == 0 {
+		c.Coverage = 0.90
+	}
+	if c.MaxTrace == 0 {
+		c.MaxTrace = 8 << 20
+	}
+	return c
+}
+
+// Ref is one element of the object-level data reference trace.
+type Ref struct {
+	Obj     uint64   // object identity (allocation serial)
+	Site    isa.Addr // immediate call site of the object's allocation
+	ObjSize uint32   // object size, for co-allocation benefit analysis
+}
+
+// Profile is the result of a profiling run.
+type Profile struct {
+	Prog     *isa.Program
+	Graph    *affinity.Graph // filtered per Config.Coverage
+	RawGraph *affinity.Graph // unfiltered
+	Contexts []*Context      // indexed by affinity.Ctx
+	Trace    []Ref           // empty unless Config.RecordTrace
+
+	TotalAllocs   uint64
+	TrackedAllocs uint64
+	TotalAccesses uint64 // macro accesses to tracked objects
+	PeakLive      int    // peak live tracked objects
+}
+
+// Context returns the context record for an id.
+func (p *Profile) Context(id affinity.Ctx) *Context { return p.Contexts[id] }
+
+// Profiler implements vm.Hooks.
+type Profiler struct {
+	vm.NopHooks
+	prog *isa.Program
+	cfg  Config
+
+	// native mirrors the true call stack: one frame per internal call.
+	native []nframe
+
+	contexts *contextTable
+	objects  *objIndex
+	queue    *affinity.Queue
+	graph    *affinity.Graph
+
+	serial   uint64
+	trace    []Ref
+	traceLen int
+
+	totalAllocs   uint64
+	trackedAllocs uint64
+	peakLive      int
+}
+
+type nframe struct {
+	site isa.Addr // call site that created this frame
+	fn   int32    // callee function index
+	lib  bool     // callee is library code
+}
+
+// New builds a profiler for the program.
+func New(p *isa.Program, cfg Config) *Profiler {
+	cfg = cfg.withDefaults()
+	pr := &Profiler{
+		prog:     p,
+		cfg:      cfg,
+		contexts: newContextTable(),
+		objects:  newObjIndex(),
+		graph:    affinity.NewGraph(),
+	}
+	pr.queue = affinity.NewQueue(cfg.AffinityDistance, pr.graph, pr)
+	return pr
+}
+
+// AllocatedBetween implements affinity.Interference over the per-context
+// allocation logs.
+func (p *Profiler) AllocatedBetween(c affinity.Ctx, lo, hi uint64) bool {
+	return p.contexts.list[c].AllocatedBetween(lo, hi)
+}
+
+// OnCall implements vm.Hooks.
+func (p *Profiler) OnCall(site isa.Addr, callee int, fn *isa.Func) {
+	p.native = append(p.native, nframe{site: site, fn: int32(callee), lib: fn.Lib})
+}
+
+// OnReturn implements vm.Hooks.
+func (p *Profiler) OnReturn(callee int, fn *isa.Func) {
+	if n := len(p.native); n > 0 {
+		p.native = p.native[:n-1]
+	}
+}
+
+// siteInMain reports whether a call site lies in main-binary code.
+func (p *Profiler) siteInMain(site isa.Addr) bool {
+	f := p.prog.FuncOf(site)
+	return f != nil && !f.Lib
+}
+
+// currentContext builds the reduced allocation context for an allocation
+// whose immediate (possibly library-resident) call site is rawSite.
+func (p *Profiler) currentContext(rawSite isa.Addr) *Context {
+	chain := make([]ChainEntry, 0, len(p.native)+1)
+	lastMain := isa.NoAddr
+	for _, f := range p.native {
+		if p.siteInMain(f.site) {
+			lastMain = f.site
+		}
+		if !f.lib {
+			// The shadow stack records frames only for targets inside
+			// the main binary; the recorded call site is the nearest
+			// main-binary origin.
+			chain = append(chain, ChainEntry{Fn: f.fn, Site: lastMain})
+		}
+	}
+	alloSite := rawSite
+	if !p.siteInMain(rawSite) {
+		alloSite = lastMain
+	}
+	chain = append(chain, ChainEntry{Fn: AllocFn, Site: alloSite})
+	return p.contexts.intern(reduceChain(chain))
+}
+
+// OnAlloc implements vm.Hooks.
+func (p *Profiler) OnAlloc(ev vm.AllocEvent) {
+	switch ev.Kind {
+	case vm.KindFree:
+		p.objects.remove(ev.Old)
+		return
+	case vm.KindRealloc:
+		p.objects.remove(ev.Old)
+	}
+	p.totalAllocs++
+	if ev.Ptr == 0 {
+		return
+	}
+	ctx := p.currentContext(ev.Site)
+	p.serial++
+	ctx.Allocs++
+	ctx.serials = append(ctx.serials, p.serial)
+	if ev.Size > p.cfg.MaxObjectSize {
+		return // not a grouping candidate; leave untracked
+	}
+	p.trackedAllocs++
+	size := ev.Size
+	if size == 0 {
+		size = 1
+	}
+	p.objects.insert(&object{
+		base:    ev.Ptr,
+		size:    size,
+		serial:  p.serial,
+		ctx:     ctx.ID,
+		rawSite: uint32(ev.Site),
+	})
+	if p.objects.len() > p.peakLive {
+		p.peakLive = p.objects.len()
+	}
+}
+
+// OnAccess implements vm.Hooks.
+func (p *Profiler) OnAccess(addr uint64, size uint8, write bool) {
+	o := p.objects.find(addr)
+	if o == nil {
+		return
+	}
+	p.queue.Push(affinity.Access{
+		Obj:    o.serial,
+		Ctx:    o.ctx,
+		Size:   uint32(size),
+		Serial: o.serial,
+	})
+	if p.cfg.RecordTrace && len(p.trace) < p.cfg.MaxTrace {
+		// The reference trace is macro-deduplicated the same way the
+		// affinity queue is: consecutive references to one object are a
+		// single trace element.
+		if n := len(p.trace); n == 0 || p.trace[n-1].Obj != o.serial {
+			p.trace = append(p.trace, Ref{Obj: o.serial, Site: isa.Addr(o.rawSite), ObjSize: uint32(o.size)})
+		}
+	}
+}
+
+// Finish produces the profile. The affinity graph is filtered to the
+// configured coverage (§4.1's 90% rule).
+func (p *Profiler) Finish() *Profile {
+	return &Profile{
+		Prog:          p.prog,
+		Graph:         p.graph.Filter(p.cfg.Coverage),
+		RawGraph:      p.graph,
+		Contexts:      p.contexts.list,
+		Trace:         p.trace,
+		TotalAllocs:   p.totalAllocs,
+		TrackedAllocs: p.trackedAllocs,
+		TotalAccesses: p.graph.TotalAccesses(),
+		PeakLive:      p.peakLive,
+	}
+}
+
+// DescribeTop renders the heaviest contexts, a debugging aid mirroring the
+// paper's Figure 9 node listing.
+func (p *Profile) DescribeTop(n int) string {
+	nodes := p.Graph.Nodes()
+	type na struct {
+		c affinity.Ctx
+		a uint64
+	}
+	list := make([]na, 0, len(nodes))
+	for _, c := range nodes {
+		list = append(list, na{c, p.Graph.Accesses(c)})
+	}
+	for i := 0; i < len(list); i++ {
+		for j := i + 1; j < len(list); j++ {
+			if list[j].a > list[i].a {
+				list[i], list[j] = list[j], list[i]
+			}
+		}
+	}
+	if n > len(list) {
+		n = len(list)
+	}
+	out := ""
+	for _, e := range list[:n] {
+		out += fmt.Sprintf("%8d  %s\n", e.a, p.Contexts[e.c].Describe(p.Prog))
+	}
+	return out
+}

@@ -1,0 +1,425 @@
+// Package prog provides a small assembler for authoring isa programs: the
+// workload binaries that the HALO pipeline profiles, rewrites and runs.
+//
+// The builder handles the bookkeeping an assembler would: register
+// allocation within a function frame, forward references to functions by
+// name, and branch labels. Workloads (internal/workloads) use it to express
+// the allocation and access structure of the paper's benchmarks — wrapper
+// functions like povray's pov_malloc, deep call chains like xalanc's, or
+// leela's single operator-new site — as genuine call graphs with genuine
+// call sites.
+package prog
+
+import (
+	"fmt"
+
+	"halo/internal/isa"
+)
+
+// Builder constructs a program.
+type Builder struct {
+	name    string
+	funcs   []*FuncBuilder
+	byName  map[string]int
+	globals int
+	errs    []error
+}
+
+// NewBuilder starts a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byName: make(map[string]int)}
+}
+
+// Globals declares the number of 8-byte global slots.
+func (b *Builder) Globals(n int) { b.globals = n }
+
+// Func begins a new main-binary function with the given parameter count.
+// Parameters occupy registers 0..nparams-1.
+func (b *Builder) Func(name string, nparams int) *FuncBuilder {
+	return b.newFunc(name, nparams, false)
+}
+
+// LibFunc begins a new library function: a function outside the "main
+// binary", like libstdc++'s operator new. The paper's shadow stack does not
+// record frames for library code, and its identification step never
+// instruments call sites inside it.
+func (b *Builder) LibFunc(name string, nparams int) *FuncBuilder {
+	return b.newFunc(name, nparams, true)
+}
+
+func (b *Builder) newFunc(name string, nparams int, lib bool) *FuncBuilder {
+	if _, dup := b.byName[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("prog: duplicate function %q", name))
+	}
+	fb := &FuncBuilder{
+		b:       b,
+		name:    name,
+		lib:     lib,
+		nparams: nparams,
+		nregs:   nparams,
+	}
+	b.byName[name] = len(b.funcs)
+	b.funcs = append(b.funcs, fb)
+	return fb
+}
+
+// Build resolves names and labels, links, and validates the program.
+func (b *Builder) Build() (*isa.Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	entry, ok := b.byName["main"]
+	if !ok {
+		return nil, fmt.Errorf("prog: program %q has no main function", b.name)
+	}
+	p := &isa.Program{Name: b.name, Entry: entry, Globals: b.globals}
+	for _, fb := range b.funcs {
+		f, err := fb.finish()
+		if err != nil {
+			return nil, err
+		}
+		p.Funcs = append(p.Funcs, f)
+	}
+	p.Link()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build, panicking on error. Workload construction uses it:
+// a workload that fails to assemble is a programming error in this repo.
+func (b *Builder) MustBuild() *isa.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Reg is a virtual register within a function frame.
+type Reg uint8
+
+// Label marks a branch target within a function.
+type Label struct {
+	id    int
+	pc    int
+	bound bool
+}
+
+// FuncBuilder assembles one function.
+type FuncBuilder struct {
+	b       *Builder
+	name    string
+	lib     bool
+	nparams int
+	nregs   int
+	code    []isa.Inst
+	labels  []*Label
+	// patches: instruction index -> pending fixup
+	callPatches  map[int]string // named direct call target
+	constPatches map[int]string // function index materialised into a register
+	branchLabels map[int]*Label
+}
+
+// Param returns the register holding parameter i.
+func (f *FuncBuilder) Param(i int) Reg {
+	if i < 0 || i >= f.nparams {
+		f.fail(fmt.Errorf("prog: %s: param %d of %d", f.name, i, f.nparams))
+	}
+	return Reg(i)
+}
+
+// Reg allocates a fresh register.
+func (f *FuncBuilder) Reg() Reg {
+	if f.nregs >= isa.MaxRegs {
+		f.fail(fmt.Errorf("prog: %s: out of registers", f.name))
+		return 0
+	}
+	r := Reg(f.nregs)
+	f.nregs++
+	return r
+}
+
+func (f *FuncBuilder) fail(err error) { f.b.errs = append(f.b.errs, err) }
+
+func (f *FuncBuilder) emit(in isa.Inst) int {
+	f.code = append(f.code, in)
+	return len(f.code) - 1
+}
+
+// Const sets r to an immediate.
+func (f *FuncBuilder) Const(r Reg, v int64) {
+	f.emit(isa.Inst{Op: isa.OpConst, A: uint8(r), Imm: v})
+}
+
+// ConstReg allocates a register holding v.
+func (f *FuncBuilder) ConstReg(v int64) Reg {
+	r := f.Reg()
+	f.Const(r, v)
+	return r
+}
+
+// ConstFunc sets r to the index of the named function, for indirect calls.
+func (f *FuncBuilder) ConstFunc(r Reg, name string) {
+	pc := f.emit(isa.Inst{Op: isa.OpConst, A: uint8(r)})
+	if f.constPatches == nil {
+		f.constPatches = make(map[int]string)
+	}
+	f.constPatches[pc] = name
+}
+
+// Mov copies src into dst.
+func (f *FuncBuilder) Mov(dst, src Reg) {
+	f.emit(isa.Inst{Op: isa.OpMov, A: uint8(dst), B: uint8(src)})
+}
+
+func (f *FuncBuilder) bin(op isa.Opcode, dst, a, b Reg) {
+	f.emit(isa.Inst{Op: op, A: uint8(dst), B: uint8(a), C: uint8(b)})
+}
+
+// Arithmetic and logic: dst = a op b.
+
+func (f *FuncBuilder) Add(dst, a, b Reg) { f.bin(isa.OpAdd, dst, a, b) }
+func (f *FuncBuilder) Sub(dst, a, b Reg) { f.bin(isa.OpSub, dst, a, b) }
+func (f *FuncBuilder) Mul(dst, a, b Reg) { f.bin(isa.OpMul, dst, a, b) }
+func (f *FuncBuilder) Div(dst, a, b Reg) { f.bin(isa.OpDiv, dst, a, b) }
+func (f *FuncBuilder) Mod(dst, a, b Reg) { f.bin(isa.OpMod, dst, a, b) }
+func (f *FuncBuilder) And(dst, a, b Reg) { f.bin(isa.OpAnd, dst, a, b) }
+func (f *FuncBuilder) Or(dst, a, b Reg)  { f.bin(isa.OpOr, dst, a, b) }
+func (f *FuncBuilder) Xor(dst, a, b Reg) { f.bin(isa.OpXor, dst, a, b) }
+func (f *FuncBuilder) Shl(dst, a, b Reg) { f.bin(isa.OpShl, dst, a, b) }
+func (f *FuncBuilder) Shr(dst, a, b Reg) { f.bin(isa.OpShr, dst, a, b) }
+
+// AddImm sets dst = src + imm.
+func (f *FuncBuilder) AddImm(dst, src Reg, imm int64) {
+	f.emit(isa.Inst{Op: isa.OpAddImm, A: uint8(dst), B: uint8(src), Imm: imm})
+}
+
+// Comparisons: dst = a cmp b (0 or 1).
+
+func (f *FuncBuilder) Eq(dst, a, b Reg) { f.bin(isa.OpEq, dst, a, b) }
+func (f *FuncBuilder) Ne(dst, a, b Reg) { f.bin(isa.OpNe, dst, a, b) }
+func (f *FuncBuilder) Lt(dst, a, b Reg) { f.bin(isa.OpLt, dst, a, b) }
+func (f *FuncBuilder) Le(dst, a, b Reg) { f.bin(isa.OpLe, dst, a, b) }
+
+// NewLabel creates an unbound label.
+func (f *FuncBuilder) NewLabel() *Label {
+	l := &Label{id: len(f.labels)}
+	f.labels = append(f.labels, l)
+	return l
+}
+
+// Bind attaches the label to the next emitted instruction.
+func (f *FuncBuilder) Bind(l *Label) {
+	if l.bound {
+		f.fail(fmt.Errorf("prog: %s: label %d bound twice", f.name, l.id))
+	}
+	l.bound = true
+	l.pc = len(f.code)
+}
+
+func (f *FuncBuilder) branch(op isa.Opcode, cond Reg, l *Label) {
+	pc := f.emit(isa.Inst{Op: op, A: uint8(cond)})
+	if f.branchLabels == nil {
+		f.branchLabels = make(map[int]*Label)
+	}
+	f.branchLabels[pc] = l
+}
+
+// Jmp jumps unconditionally to l.
+func (f *FuncBuilder) Jmp(l *Label) { f.branch(isa.OpJmp, 0, l) }
+
+// Bz branches to l if cond == 0.
+func (f *FuncBuilder) Bz(cond Reg, l *Label) { f.branch(isa.OpBz, cond, l) }
+
+// Bnz branches to l if cond != 0.
+func (f *FuncBuilder) Bnz(cond Reg, l *Label) { f.branch(isa.OpBnz, cond, l) }
+
+func (f *FuncBuilder) argWindow(args []Reg) (base, n uint8) {
+	if len(args) == 0 {
+		return 0, 0
+	}
+	// Arguments must be contiguous. Copy them into a fresh window if not.
+	contiguous := true
+	for i := 1; i < len(args); i++ {
+		if args[i] != args[i-1]+1 {
+			contiguous = false
+			break
+		}
+	}
+	if contiguous {
+		return uint8(args[0]), uint8(len(args))
+	}
+	first := f.Reg()
+	f.Mov(first, args[0])
+	for i := 1; i < len(args); i++ {
+		r := f.Reg()
+		f.Mov(r, args[i])
+	}
+	return uint8(first), uint8(len(args))
+}
+
+// Call emits a direct call to the named function and returns the register
+// receiving the result.
+func (f *FuncBuilder) Call(name string, args ...Reg) Reg {
+	base, n := f.argWindow(args)
+	dst := f.Reg()
+	pc := f.emit(isa.Inst{Op: isa.OpCall, A: uint8(dst), B: base, C: n})
+	if f.callPatches == nil {
+		f.callPatches = make(map[int]string)
+	}
+	f.callPatches[pc] = name
+	return dst
+}
+
+// CallExt emits a call to an external symbol.
+func (f *FuncBuilder) CallExt(e isa.Extern, args ...Reg) Reg {
+	base, n := f.argWindow(args)
+	dst := f.Reg()
+	f.emit(isa.Inst{Op: isa.OpCall, A: uint8(dst), B: base, C: n, Fn: isa.ExternRef(e)})
+	return dst
+}
+
+// CallInd emits an indirect call through the function index in target.
+func (f *FuncBuilder) CallInd(target Reg, args ...Reg) Reg {
+	base, n := f.argWindow(args)
+	dst := f.Reg()
+	f.emit(isa.Inst{Op: isa.OpCallInd, A: uint8(dst), B: base, C: n, D: uint8(target)})
+	return dst
+}
+
+// Convenience wrappers for the memory-management externals.
+
+// Malloc calls malloc(size).
+func (f *FuncBuilder) Malloc(size Reg) Reg { return f.CallExt(isa.ExtMalloc, size) }
+
+// Calloc calls calloc(n, size).
+func (f *FuncBuilder) Calloc(n, size Reg) Reg { return f.CallExt(isa.ExtCalloc, n, size) }
+
+// Realloc calls realloc(ptr, size).
+func (f *FuncBuilder) Realloc(ptr, size Reg) Reg { return f.CallExt(isa.ExtRealloc, ptr, size) }
+
+// Free calls free(ptr).
+func (f *FuncBuilder) Free(ptr Reg) { f.CallExt(isa.ExtFree, ptr) }
+
+// Rand returns a register holding a uniform value in [0, bound).
+func (f *FuncBuilder) Rand(bound Reg) Reg { return f.CallExt(isa.ExtRand, bound) }
+
+// RandConst returns a register holding a uniform value in [0, bound).
+func (f *FuncBuilder) RandConst(bound int64) Reg {
+	return f.Rand(f.ConstReg(bound))
+}
+
+// Print emits a debug print of r.
+func (f *FuncBuilder) Print(r Reg) { f.CallExt(isa.ExtPrint, r) }
+
+// Ret returns r to the caller.
+func (f *FuncBuilder) Ret(r Reg) { f.emit(isa.Inst{Op: isa.OpRet, A: uint8(r)}) }
+
+// RetConst returns an immediate.
+func (f *FuncBuilder) RetConst(v int64) { f.Ret(f.ConstReg(v)) }
+
+// Halt stops the machine.
+func (f *FuncBuilder) Halt() { f.emit(isa.Inst{Op: isa.OpHalt}) }
+
+// Load reads Size bytes at [base+off] into dst.
+func (f *FuncBuilder) Load(dst, base Reg, off int64, size uint8) {
+	f.emit(isa.Inst{Op: isa.OpLoad, A: uint8(dst), B: uint8(base), Imm: off, Size: size})
+}
+
+// Store writes the low Size bytes of src to [base+off].
+func (f *FuncBuilder) Store(base Reg, off int64, src Reg, size uint8) {
+	f.emit(isa.Inst{Op: isa.OpStore, A: uint8(src), B: uint8(base), Imm: off, Size: size})
+}
+
+// LoadWord and StoreWord access 8-byte words, the common case for pointers.
+
+// LoadWord reads the word at [base+off] into dst.
+func (f *FuncBuilder) LoadWord(dst, base Reg, off int64) { f.Load(dst, base, off, 8) }
+
+// StoreWord writes src to [base+off].
+func (f *FuncBuilder) StoreWord(base Reg, off int64, src Reg) { f.Store(base, off, src, 8) }
+
+// LoadGlobal reads global slot g into dst.
+func (f *FuncBuilder) LoadGlobal(dst Reg, g int) {
+	base := f.ConstReg(int64(isa.GlobalAddr(g)))
+	f.LoadWord(dst, base, 0)
+}
+
+// StoreGlobal writes src to global slot g.
+func (f *FuncBuilder) StoreGlobal(g int, src Reg) {
+	base := f.ConstReg(int64(isa.GlobalAddr(g)))
+	f.StoreWord(base, 0, src)
+}
+
+// Loop emits a counted loop: body is invoked with the register holding the
+// descending trip counter (count..1). Count must be >= 0 at runtime.
+func (f *FuncBuilder) Loop(count Reg, body func(i Reg)) {
+	i := f.Reg()
+	f.Mov(i, count)
+	head := f.NewLabel()
+	done := f.NewLabel()
+	f.Bind(head)
+	f.Bz(i, done)
+	body(i)
+	f.AddImm(i, i, -1)
+	f.Jmp(head)
+	f.Bind(done)
+}
+
+// LoopN emits a counted loop with a constant trip count.
+func (f *FuncBuilder) LoopN(n int64, body func(i Reg)) {
+	f.Loop(f.ConstReg(n), body)
+}
+
+// finish resolves patches and produces the immutable function.
+func (f *FuncBuilder) finish() (*isa.Func, error) {
+	for pc, name := range f.callPatches {
+		idx, ok := f.b.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("prog: %s: call to undefined function %q", f.name, name)
+		}
+		f.code[pc].Fn = isa.FnRef(idx)
+	}
+	for pc, name := range f.constPatches {
+		idx, ok := f.b.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("prog: %s: reference to undefined function %q", f.name, name)
+		}
+		f.code[pc].Imm = int64(idx)
+	}
+	for pc, l := range f.branchLabels {
+		if !l.bound {
+			return nil, fmt.Errorf("prog: %s: unbound label %d", f.name, l.id)
+		}
+		f.code[pc].Imm = int64(l.pc)
+	}
+	// A function must not fall off its end, and labels may be bound one
+	// past the last instruction; terminate defensively in either case.
+	needTerm := len(f.code) == 0
+	if n := len(f.code); n > 0 {
+		switch f.code[n-1].Op {
+		case isa.OpRet, isa.OpJmp, isa.OpHalt:
+		default:
+			needTerm = true
+		}
+	}
+	for _, l := range f.labels {
+		if l.bound && l.pc == len(f.code) {
+			needTerm = true
+		}
+	}
+	if needTerm {
+		zero := f.Reg()
+		f.Const(zero, 0)
+		f.Ret(zero)
+	}
+	return &isa.Func{
+		Name:    f.name,
+		Lib:     f.lib,
+		NParams: f.nparams,
+		NRegs:   f.nregs,
+		Code:    f.code,
+	}, nil
+}

@@ -1,0 +1,183 @@
+package prog
+
+import (
+	"testing"
+
+	"halo/internal/isa"
+)
+
+func TestBuildRequiresMain(t *testing.T) {
+	b := NewBuilder("nomain")
+	f := b.Func("helper", 0)
+	f.RetConst(0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("built a program without main")
+	}
+}
+
+func TestDuplicateFunctionRejected(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Func("main", 0).RetConst(0)
+	b.Func("main", 0).RetConst(0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate function accepted")
+	}
+}
+
+func TestUndefinedCallRejected(t *testing.T) {
+	b := NewBuilder("undef")
+	f := b.Func("main", 0)
+	f.Call("missing")
+	f.RetConst(0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("call to undefined function accepted")
+	}
+}
+
+func TestUnboundLabelRejected(t *testing.T) {
+	b := NewBuilder("label")
+	f := b.Func("main", 0)
+	l := f.NewLabel()
+	f.Jmp(l)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("unbound label accepted")
+	}
+}
+
+func TestForwardReferenceResolved(t *testing.T) {
+	b := NewBuilder("fwd")
+	m := b.Func("main", 0)
+	m.Ret(m.Call("later")) // defined below
+	l := b.Func("later", 0)
+	l.RetConst(7)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := p.Funcs[p.FuncByName("main")].Code[0]
+	if !call.IsCall() || int(call.Fn) != p.FuncByName("later") {
+		t.Fatalf("forward call not patched: %+v", call)
+	}
+}
+
+func TestLabelAtFunctionEnd(t *testing.T) {
+	// A label bound after the last instruction must still validate (a
+	// defensive terminator is appended).
+	b := NewBuilder("endlabel")
+	f := b.Func("main", 0)
+	c := f.ConstReg(1)
+	done := f.NewLabel()
+	f.Bnz(c, done)
+	f.Bind(done)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonContiguousArgsCopied(t *testing.T) {
+	b := NewBuilder("args")
+	callee := b.Func("sub", 2)
+	r := callee.Reg()
+	callee.Sub(r, callee.Param(0), callee.Param(1))
+	callee.Ret(r)
+
+	f := b.Func("main", 0)
+	x := f.ConstReg(10)
+	_ = f.ConstReg(99) // occupies the register between x and y
+	y := f.ConstReg(3)
+	f.Ret(f.Call("sub", x, y)) // non-contiguous: must be copied
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstFuncIndirect(t *testing.T) {
+	b := NewBuilder("ind")
+	cb := b.Func("target", 0)
+	cb.RetConst(11)
+	f := b.Func("main", 0)
+	r := f.Reg()
+	f.ConstFunc(r, "target")
+	f.Ret(f.CallInd(r))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The const must carry the target's function index.
+	var found bool
+	for _, in := range p.Funcs[p.FuncByName("main")].Code {
+		if in.Op == isa.OpConst && in.Imm == int64(p.FuncByName("target")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ConstFunc not patched")
+	}
+}
+
+func TestLibFuncFlag(t *testing.T) {
+	b := NewBuilder("lib")
+	lf := b.LibFunc("operator_new", 1)
+	lf.Ret(lf.Malloc(lf.Param(0)))
+	f := b.Func("main", 0)
+	sz := f.ConstReg(8)
+	f.Ret(f.Call("operator_new", sz))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Funcs[p.FuncByName("operator_new")].Lib {
+		t.Fatal("lib flag lost")
+	}
+	if p.Funcs[p.FuncByName("main")].Lib {
+		t.Fatal("main marked lib")
+	}
+}
+
+func TestRegisterExhaustion(t *testing.T) {
+	b := NewBuilder("regs")
+	f := b.Func("main", 0)
+	for i := 0; i < isa.MaxRegs+5; i++ {
+		f.Reg()
+	}
+	f.RetConst(0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("register exhaustion not reported")
+	}
+}
+
+func TestScaleInvariantAddresses(t *testing.T) {
+	// The whole profile-on-test/measure-on-ref methodology depends on
+	// builds at different scales sharing call-site addresses.
+	build := func(scale int64) *isa.Program {
+		b := NewBuilder("scaled")
+		h := b.Func("helper", 0)
+		h.RetConst(1)
+		f := b.Func("main", 0)
+		f.LoopN(scale, func(Reg) { f.Call("helper") })
+		f.RetConst(0)
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	small, big := build(10), build(10000)
+	ss, bs := small.CallSites(), big.CallSites()
+	if len(ss) != len(bs) {
+		t.Fatalf("call-site counts differ: %d vs %d", len(ss), len(bs))
+	}
+	for i := range ss {
+		if ss[i] != bs[i] {
+			t.Fatalf("site %d differs: %v vs %v", i, ss[i], bs[i])
+		}
+	}
+}

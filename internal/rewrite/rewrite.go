@@ -1,0 +1,163 @@
+// Package rewrite is the reproduction's BOLT stand-in (§4.3): a post-link
+// pass that instruments a program binary around the call sites the
+// identification stage selected. For every monitored site it inserts a
+// group-state set instruction before the call and the matching clear after
+// it, assigns each site a bit in the shared group-state vector, and fixes
+// up every branch target the insertions displace — the same address
+// bookkeeping a binary rewriter performs. Original instructions keep their
+// linked addresses, so profiles and selectors keyed by address remain valid
+// on the rewritten binary.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"halo/internal/isa"
+)
+
+// Result is an instrumented binary plus the site-to-bit assignment needed
+// to lower selectors for the runtime allocator.
+type Result struct {
+	Prog     *isa.Program
+	SiteBits map[isa.Addr]int
+	NumBits  int
+	Inserted int // instructions inserted
+}
+
+// Instrument clones the program and instruments the given call sites.
+// Sites must identify call instructions in main-binary functions.
+func Instrument(p *isa.Program, sites []isa.Addr) (*Result, error) {
+	ordered := append([]isa.Addr(nil), sites...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+
+	siteBits := make(map[isa.Addr]int, len(ordered))
+	for _, s := range ordered {
+		if _, dup := siteBits[s]; dup {
+			return nil, fmt.Errorf("rewrite: duplicate site %s", s)
+		}
+		siteBits[s] = len(siteBits)
+	}
+	if err := checkSites(p, siteBits); err != nil {
+		return nil, err
+	}
+
+	out := p.Clone()
+	inserted := 0
+	for _, f := range out.Funcs {
+		if f.Lib {
+			continue
+		}
+		instrumented := instrumentedIndices(f, siteBits)
+		if len(instrumented) == 0 {
+			continue
+		}
+		// newIndex[i] = position of old instruction i in the new code
+		// (the start of its bundle: the gset slot for monitored calls).
+		newIndex := make([]int, len(f.Code)+1)
+		shift := 0
+		for i := range f.Code {
+			newIndex[i] = i + shift
+			if instrumented[i] {
+				shift += 2
+			}
+		}
+		newIndex[len(f.Code)] = len(f.Code) + shift
+
+		newCode := make([]isa.Inst, 0, len(f.Code)+shift)
+		for i, in := range f.Code {
+			if in.IsBranch() {
+				in.Imm = int64(newIndex[in.Imm])
+			}
+			if instrumented[i] {
+				bit := int64(siteBits[in.Addr])
+				newCode = append(newCode,
+					isa.Inst{Op: isa.OpGroupSet, Imm: bit, Addr: out.NextSyntheticAddr()},
+					in,
+					isa.Inst{Op: isa.OpGroupClr, Imm: bit, Addr: out.NextSyntheticAddr()},
+				)
+				// The clear must execute after the call returns; because
+				// it follows the call instruction in straight-line order
+				// it does, exactly as BOLT-inserted epilogue code would.
+				inserted += 2
+				continue
+			}
+			newCode = append(newCode, in)
+		}
+		// Branches can only target positions bundle-starts map to, but
+		// fix up the gclr position: a branch that targeted the
+		// instruction *after* a monitored call must now land after the
+		// gclr, which newIndex already guarantees since the following
+		// instruction's bundle start accounts for the shift.
+		f.Code = newCode
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("rewrite: instrumented binary invalid: %w", err)
+	}
+	return &Result{Prog: out, SiteBits: siteBits, NumBits: len(siteBits), Inserted: inserted}, nil
+}
+
+// instrumentedIndices flags the code indices of monitored call sites.
+func instrumentedIndices(f *isa.Func, siteBits map[isa.Addr]int) map[int]bool {
+	out := make(map[int]bool)
+	for i, in := range f.Code {
+		if in.IsCall() {
+			if _, ok := siteBits[in.Addr]; ok {
+				out[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkSites validates that every monitored site is a call instruction in
+// a main-binary function.
+func checkSites(p *isa.Program, siteBits map[isa.Addr]int) error {
+	found := make(map[isa.Addr]bool, len(siteBits))
+	for _, f := range p.Funcs {
+		for _, in := range f.Code {
+			if _, ok := siteBits[in.Addr]; !ok {
+				continue
+			}
+			if !in.IsCall() {
+				return fmt.Errorf("rewrite: site %s is not a call instruction", in.Addr)
+			}
+			if f.Lib {
+				return fmt.Errorf("rewrite: site %s is in library function %s", in.Addr, f.Name)
+			}
+			found[in.Addr] = true
+		}
+	}
+	for s := range siteBits {
+		if !found[s] {
+			return fmt.Errorf("rewrite: site %s not found in program", s)
+		}
+	}
+	return nil
+}
+
+// LowerSelectors converts site-based selectors into bit-index form using
+// the rewriter's site assignment. Conjunctions referencing uninstrumented
+// sites are dropped (they can never evaluate true at runtime).
+func LowerSelectors(selectors [][]isa.Addr, siteBits map[isa.Addr]int) ([][]int, int) {
+	dropped := 0
+	out := make([][]int, 0, len(selectors))
+	for _, conj := range selectors {
+		lowered := make([]int, 0, len(conj))
+		ok := true
+		for _, s := range conj {
+			bit, present := siteBits[s]
+			if !present {
+				ok = false
+				break
+			}
+			lowered = append(lowered, bit)
+		}
+		if !ok {
+			dropped++
+			continue
+		}
+		out = append(out, lowered)
+	}
+	return out, dropped
+}

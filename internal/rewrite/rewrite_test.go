@@ -1,0 +1,54 @@
+package rewrite
+
+import (
+	"testing"
+
+	"halo/internal/alloc"
+	"halo/internal/isa"
+	"halo/internal/mem"
+	"halo/internal/vm"
+	"halo/internal/workloads"
+)
+
+// runProg executes a program under the size-segregated allocator and
+// returns (result, steps, loads, stores).
+func runProg(t *testing.T, p *isa.Program, seed uint64) (int64, uint64, uint64, uint64) {
+	t.Helper()
+	m := mem.NewMemory()
+	osm := mem.NewOS(m)
+	v := vm.New(p, m, alloc.NewSizeSeg(osm), nil, vm.Config{Seed: seed, GroupBits: 4096})
+	res, err := v.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	return res, v.Steps(), v.Loads(), v.Stores()
+}
+
+// TestInstrumentPreservesSemantics is the rewriter's key property: for
+// every workload, instrumenting EVERY call site must not change the
+// program's result or its memory-operation counts.
+func TestInstrumentPreservesSemantics(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p := w.Build(w.TestScale)
+			sites := p.CallSites()
+			res, err := Instrument(p, sites)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r0, _, l0, s0 := runProg(t, p, 11)
+			r1, steps1, l1, s1 := runProg(t, res.Prog, 11)
+			if r0 != r1 {
+				t.Fatalf("result changed: %d != %d", r0, r1)
+			}
+			if l0 != l1 || s0 != s1 {
+				t.Fatalf("memory ops changed: loads %d->%d stores %d->%d", l0, l1, s0, s1)
+			}
+			if res.Inserted == 0 {
+				t.Fatal("nothing instrumented")
+			}
+			_ = steps1
+		})
+	}
+}

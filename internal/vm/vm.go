@@ -1,0 +1,523 @@
+// Package vm interprets isa programs. It is the execution substrate that
+// replaces both the real CPU and Intel Pin in the paper's pipeline: every
+// call, return, load, store and memory-management request can be observed
+// through the Hooks interface, which is how the profiler (internal/profile)
+// and the cache simulator (internal/cache) attach, and the group-state bit
+// vector written by rewritten binaries lives here for the specialised
+// allocator to read.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"halo/internal/bits"
+	"halo/internal/isa"
+	"halo/internal/mem"
+)
+
+// Allocator satisfies the program's memory-management externals. It is the
+// runtime-side malloc implementation: internal/alloc provides the
+// general-purpose ones and internal/halloc the specialised group allocator.
+type Allocator interface {
+	Malloc(size uint64) uint64
+	Calloc(n, size uint64) uint64
+	Realloc(ptr, size uint64) uint64
+	Free(ptr uint64)
+}
+
+// AllocKind distinguishes the memory-management externals in AllocEvent.
+type AllocKind uint8
+
+// Allocation event kinds.
+const (
+	KindMalloc AllocKind = iota
+	KindCalloc
+	KindRealloc
+	KindFree
+)
+
+// String names the kind.
+func (k AllocKind) String() string {
+	switch k {
+	case KindMalloc:
+		return "malloc"
+	case KindCalloc:
+		return "calloc"
+	case KindRealloc:
+		return "realloc"
+	case KindFree:
+		return "free"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// AllocEvent describes one intercepted memory-management call.
+type AllocEvent struct {
+	Kind AllocKind
+	Ptr  uint64   // resulting pointer (0 for free)
+	Old  uint64   // prior pointer for realloc/free
+	Size uint64   // requested size (n*size for calloc)
+	Site isa.Addr // the raw, immediate call site of the external call
+}
+
+// SiteAware is implemented by allocators that want to know the immediate
+// call site of each memory-management request — the analogue of reading the
+// return address off the stack, which is how the paper's specialised
+// allocator and the hot-data-streams replication identify allocations.
+type SiteAware interface {
+	SetAllocSite(site isa.Addr)
+}
+
+// Hooks observes execution. Implementations must be cheap; the VM invokes
+// them on every relevant event. A nil hook disables observation.
+type Hooks interface {
+	// OnCall fires after control transfers into an internal function.
+	// site is the call instruction's address, callee the target index.
+	OnCall(site isa.Addr, callee int, fn *isa.Func)
+	// OnReturn fires when an internal function returns to its caller.
+	OnReturn(callee int, fn *isa.Func)
+	// OnAccess fires for every program load and store.
+	OnAccess(addr uint64, size uint8, write bool)
+	// OnAlloc fires after each intercepted memory-management call.
+	OnAlloc(ev AllocEvent)
+}
+
+// Config parameterises a run.
+type Config struct {
+	// Seed drives the deterministic rand external. Zero means 1.
+	Seed uint64
+	// MaxSteps bounds retired instructions; 0 means DefaultMaxSteps.
+	MaxSteps uint64
+	// MaxDepth bounds the call stack; 0 means DefaultMaxDepth.
+	MaxDepth int
+	// Out receives print output; nil discards it.
+	Out io.Writer
+	// GroupBits sizes the group-state vector; 0 allocates DefaultGroupBits
+	// so unrewritten binaries still run gset/gclr-free.
+	GroupBits int
+	// GroupState, when non-nil, is used as the group-state vector instead
+	// of allocating one. The harness shares it between the VM and the
+	// specialised allocator's selector classifier, mirroring the real
+	// allocator locating the state vector in process memory (§4.4).
+	GroupState *bits.Vec
+}
+
+// Defaults for Config.
+const (
+	DefaultMaxSteps  = 2_000_000_000
+	DefaultMaxDepth  = 4096
+	DefaultGroupBits = 64
+)
+
+// VM executes one program.
+type VM struct {
+	prog      *isa.Program
+	mem       *mem.Memory
+	alloc     Allocator
+	siteAware SiteAware
+	hooks     Hooks
+	group     *bits.Vec
+
+	cfg Config
+	rng uint64
+
+	regs   []int64 // register stack; frames are windows into it
+	frames []frame
+
+	steps  uint64
+	loads  uint64
+	stores uint64
+	halted bool
+}
+
+type frame struct {
+	fn    int
+	pc    int
+	base  int   // register window start in regs
+	dst   uint8 // caller register receiving the return value
+	ret   int   // caller pc to resume at
+	site  isa.Addr
+	entry bool // bottom frame has no caller
+}
+
+// New prepares a VM. The program must be linked and valid; memory and
+// allocator are required, hooks optional.
+func New(p *isa.Program, memory *mem.Memory, alloc Allocator, hooks Hooks, cfg Config) *VM {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = DefaultMaxDepth
+	}
+	if cfg.GroupBits == 0 {
+		cfg.GroupBits = DefaultGroupBits
+	}
+	group := cfg.GroupState
+	if group == nil {
+		group = bits.New(cfg.GroupBits)
+	}
+	v := &VM{
+		prog:  p,
+		mem:   memory,
+		alloc: alloc,
+		hooks: hooks,
+		group: group,
+		cfg:   cfg,
+		rng:   cfg.Seed,
+	}
+	if sa, ok := alloc.(SiteAware); ok {
+		v.siteAware = sa
+	}
+	return v
+}
+
+// GroupState exposes the group-state bit vector, which the specialised
+// allocator reads ("its first task is to locate the address of the group
+// state vector", §4.4).
+func (v *VM) GroupState() *bits.Vec { return v.group }
+
+// Steps reports retired instructions.
+func (v *VM) Steps() uint64 { return v.steps }
+
+// Loads and Stores report executed memory operations.
+func (v *VM) Loads() uint64 { return v.loads }
+
+// Stores reports executed store instructions.
+func (v *VM) Stores() uint64 { return v.stores }
+
+// ErrMaxSteps is returned when the step budget is exhausted.
+var ErrMaxSteps = errors.New("vm: step budget exhausted")
+
+func (v *VM) trap(f frame, format string, args ...any) error {
+	fn := v.prog.Funcs[f.fn]
+	return fmt.Errorf("vm: trap in %s @%d: %s", fn.Name, f.pc, fmt.Sprintf(format, args...))
+}
+
+func (v *VM) rand() uint64 {
+	// xorshift64*: deterministic, cheap, good enough for workload shaping.
+	x := v.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	v.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Run executes the program's entry function to completion and returns its
+// result value.
+func (v *VM) Run() (int64, error) {
+	entry := v.prog.Funcs[v.prog.Entry]
+	v.regs = make([]int64, 0, 4096)
+	v.regs = append(v.regs, make([]int64, entry.NRegs)...)
+	v.frames = v.frames[:0]
+	v.frames = append(v.frames, frame{fn: v.prog.Entry, base: 0, entry: true})
+	v.halted = false
+
+	for {
+		if len(v.frames) == 0 {
+			return 0, errors.New("vm: frame stack underflow")
+		}
+		f := &v.frames[len(v.frames)-1]
+		fn := v.prog.Funcs[f.fn]
+		code := fn.Code
+		regs := v.regs[f.base : f.base+fn.NRegs]
+
+	inner:
+		for {
+			if f.pc >= len(code) {
+				return 0, v.trap(*f, "fell off function end")
+			}
+			if v.steps >= v.cfg.MaxSteps {
+				return 0, ErrMaxSteps
+			}
+			in := code[f.pc]
+			v.steps++
+			switch in.Op {
+			case isa.OpNop:
+				f.pc++
+			case isa.OpConst:
+				regs[in.A] = in.Imm
+				f.pc++
+			case isa.OpMov:
+				regs[in.A] = regs[in.B]
+				f.pc++
+			case isa.OpAdd:
+				regs[in.A] = regs[in.B] + regs[in.C]
+				f.pc++
+			case isa.OpSub:
+				regs[in.A] = regs[in.B] - regs[in.C]
+				f.pc++
+			case isa.OpMul:
+				regs[in.A] = regs[in.B] * regs[in.C]
+				f.pc++
+			case isa.OpDiv:
+				if regs[in.C] == 0 {
+					return 0, v.trap(*f, "division by zero")
+				}
+				regs[in.A] = regs[in.B] / regs[in.C]
+				f.pc++
+			case isa.OpMod:
+				if regs[in.C] == 0 {
+					return 0, v.trap(*f, "mod by zero")
+				}
+				regs[in.A] = regs[in.B] % regs[in.C]
+				f.pc++
+			case isa.OpAnd:
+				regs[in.A] = regs[in.B] & regs[in.C]
+				f.pc++
+			case isa.OpOr:
+				regs[in.A] = regs[in.B] | regs[in.C]
+				f.pc++
+			case isa.OpXor:
+				regs[in.A] = regs[in.B] ^ regs[in.C]
+				f.pc++
+			case isa.OpShl:
+				regs[in.A] = regs[in.B] << (uint64(regs[in.C]) & 63)
+				f.pc++
+			case isa.OpShr:
+				regs[in.A] = int64(uint64(regs[in.B]) >> (uint64(regs[in.C]) & 63))
+				f.pc++
+			case isa.OpAddImm:
+				regs[in.A] = regs[in.B] + in.Imm
+				f.pc++
+			case isa.OpEq:
+				regs[in.A] = b2i(regs[in.B] == regs[in.C])
+				f.pc++
+			case isa.OpNe:
+				regs[in.A] = b2i(regs[in.B] != regs[in.C])
+				f.pc++
+			case isa.OpLt:
+				regs[in.A] = b2i(regs[in.B] < regs[in.C])
+				f.pc++
+			case isa.OpLe:
+				regs[in.A] = b2i(regs[in.B] <= regs[in.C])
+				f.pc++
+			case isa.OpJmp:
+				f.pc = int(in.Imm)
+			case isa.OpBz:
+				if regs[in.A] == 0 {
+					f.pc = int(in.Imm)
+				} else {
+					f.pc++
+				}
+			case isa.OpBnz:
+				if regs[in.A] != 0 {
+					f.pc = int(in.Imm)
+				} else {
+					f.pc++
+				}
+			case isa.OpLoad:
+				addr := uint64(regs[in.B] + in.Imm)
+				if v.hooks != nil {
+					v.hooks.OnAccess(addr, in.Size, false)
+				}
+				v.loads++
+				regs[in.A] = int64(v.mem.Read(addr, in.Size))
+				f.pc++
+			case isa.OpStore:
+				addr := uint64(regs[in.B] + in.Imm)
+				if v.hooks != nil {
+					v.hooks.OnAccess(addr, in.Size, true)
+				}
+				v.stores++
+				v.mem.Write(addr, in.Size, uint64(regs[in.A]))
+				f.pc++
+			case isa.OpGroupSet:
+				v.group.Set(int(in.Imm))
+				f.pc++
+			case isa.OpGroupClr:
+				v.group.Clear(int(in.Imm))
+				f.pc++
+			case isa.OpHalt:
+				return 0, nil
+			case isa.OpRet:
+				val := regs[in.A]
+				if f.entry {
+					return val, nil
+				}
+				if v.hooks != nil {
+					v.hooks.OnReturn(f.fn, fn)
+				}
+				dst, ret, base := f.dst, f.ret, f.base
+				v.frames = v.frames[:len(v.frames)-1]
+				v.regs = v.regs[:base]
+				pf := &v.frames[len(v.frames)-1]
+				v.regs[pf.base+int(dst)] = val
+				pf.pc = ret
+				break inner
+			case isa.OpCall, isa.OpCallInd:
+				var target isa.FnRef
+				if in.Op == isa.OpCall {
+					target = in.Fn
+				} else {
+					t := regs[in.D]
+					if t < 0 || t >= int64(len(v.prog.Funcs)) {
+						return 0, v.trap(*f, "indirect call to bad function index %d", t)
+					}
+					target = isa.FnRef(t)
+				}
+				if target.IsExtern() {
+					res, err := v.callExtern(f, in, regs, target.ExternOf())
+					if err != nil {
+						return 0, err
+					}
+					if v.halted {
+						return res, nil
+					}
+					regs[in.A] = res
+					f.pc++
+					continue
+				}
+				if len(v.frames) >= v.cfg.MaxDepth {
+					return 0, v.trap(*f, "call stack overflow (%d frames)", len(v.frames))
+				}
+				callee := v.prog.Funcs[target]
+				if int(in.C) != callee.NParams {
+					return 0, v.trap(*f, "call to %s with %d args, want %d", callee.Name, in.C, callee.NParams)
+				}
+				newBase := len(v.regs)
+				v.regs = append(v.regs, make([]int64, callee.NRegs)...)
+				for i := 0; i < int(in.C); i++ {
+					v.regs[newBase+i] = regs[int(in.B)+i]
+				}
+				v.frames = append(v.frames, frame{
+					fn:   int(target),
+					base: newBase,
+					dst:  in.A,
+					ret:  f.pc + 1,
+					site: in.Addr,
+				})
+				if v.hooks != nil {
+					v.hooks.OnCall(in.Addr, int(target), callee)
+				}
+				break inner
+			default:
+				return 0, v.trap(*f, "illegal opcode %s", in.Op)
+			}
+		}
+	}
+}
+
+func (v *VM) callExtern(f *frame, in isa.Inst, regs []int64, ext isa.Extern) (int64, error) {
+	arg := func(i int) int64 {
+		if i < int(in.C) {
+			return regs[int(in.B)+i]
+		}
+		return 0
+	}
+	switch ext {
+	case isa.ExtMalloc, isa.ExtCalloc, isa.ExtRealloc, isa.ExtFree:
+		if v.siteAware != nil {
+			v.siteAware.SetAllocSite(in.Addr)
+		}
+	}
+	switch ext {
+	case isa.ExtMalloc:
+		size := uint64(arg(0))
+		ptr := v.alloc.Malloc(size)
+		if v.hooks != nil {
+			v.hooks.OnAlloc(AllocEvent{Kind: KindMalloc, Ptr: ptr, Size: size, Site: in.Addr})
+		}
+		return int64(ptr), nil
+	case isa.ExtCalloc:
+		n, size := uint64(arg(0)), uint64(arg(1))
+		ptr := v.alloc.Calloc(n, size)
+		if ptr != 0 {
+			v.mem.Zero(ptr, n*size)
+		}
+		if v.hooks != nil {
+			v.hooks.OnAlloc(AllocEvent{Kind: KindCalloc, Ptr: ptr, Size: n * size, Site: in.Addr})
+		}
+		return int64(ptr), nil
+	case isa.ExtRealloc:
+		old, size := uint64(arg(0)), uint64(arg(1))
+		ptr := v.alloc.Realloc(old, size)
+		if v.hooks != nil {
+			v.hooks.OnAlloc(AllocEvent{Kind: KindRealloc, Ptr: ptr, Old: old, Size: size, Site: in.Addr})
+		}
+		return int64(ptr), nil
+	case isa.ExtFree:
+		ptr := uint64(arg(0))
+		if ptr != 0 {
+			v.alloc.Free(ptr)
+		}
+		if v.hooks != nil {
+			v.hooks.OnAlloc(AllocEvent{Kind: KindFree, Old: ptr, Site: in.Addr})
+		}
+		return 0, nil
+	case isa.ExtRand:
+		bound := arg(0)
+		r := v.rand()
+		if bound > 0 {
+			return int64(r % uint64(bound)), nil
+		}
+		return int64(r), nil
+	case isa.ExtPrint:
+		if v.cfg.Out != nil {
+			fmt.Fprintln(v.cfg.Out, arg(0))
+		}
+		return arg(0), nil
+	case isa.ExtExit:
+		v.halted = true
+		return arg(0), nil
+	}
+	return 0, v.trap(*f, "unknown external %d", ext)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// MultiHooks fans events out to several observers in order.
+type MultiHooks []Hooks
+
+// OnCall implements Hooks.
+func (m MultiHooks) OnCall(site isa.Addr, callee int, fn *isa.Func) {
+	for _, h := range m {
+		h.OnCall(site, callee, fn)
+	}
+}
+
+// OnReturn implements Hooks.
+func (m MultiHooks) OnReturn(callee int, fn *isa.Func) {
+	for _, h := range m {
+		h.OnReturn(callee, fn)
+	}
+}
+
+// OnAccess implements Hooks.
+func (m MultiHooks) OnAccess(addr uint64, size uint8, write bool) {
+	for _, h := range m {
+		h.OnAccess(addr, size, write)
+	}
+}
+
+// OnAlloc implements Hooks.
+func (m MultiHooks) OnAlloc(ev AllocEvent) {
+	for _, h := range m {
+		h.OnAlloc(ev)
+	}
+}
+
+// NopHooks is an embeddable no-op Hooks implementation.
+type NopHooks struct{}
+
+// OnCall implements Hooks.
+func (NopHooks) OnCall(isa.Addr, int, *isa.Func) {}
+
+// OnReturn implements Hooks.
+func (NopHooks) OnReturn(int, *isa.Func) {}
+
+// OnAccess implements Hooks.
+func (NopHooks) OnAccess(uint64, uint8, bool) {}
+
+// OnAlloc implements Hooks.
+func (NopHooks) OnAlloc(AllocEvent) {}

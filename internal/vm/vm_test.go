@@ -1,0 +1,474 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+
+	"halo/internal/isa"
+	"halo/internal/mem"
+	"halo/internal/prog"
+)
+
+// bumpAlloc is a trivial allocator for VM tests.
+type bumpAlloc struct {
+	next  uint64
+	sizes map[uint64]uint64
+	m     *mem.Memory
+	frees int
+}
+
+func newBump(m *mem.Memory) *bumpAlloc {
+	return &bumpAlloc{next: mem.HeapBase, sizes: map[uint64]uint64{}, m: m}
+}
+
+func (b *bumpAlloc) Malloc(size uint64) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	p := b.next
+	b.next += (size + 7) &^ 7
+	b.sizes[p] = size
+	return p
+}
+func (b *bumpAlloc) Calloc(n, size uint64) uint64 { return b.Malloc(n * size) }
+func (b *bumpAlloc) Realloc(p, size uint64) uint64 {
+	np := b.Malloc(size)
+	old := b.sizes[p]
+	if old > size {
+		old = size
+	}
+	b.m.Copy(np, p, old)
+	return np
+}
+func (b *bumpAlloc) Free(p uint64) { b.frees++ }
+
+func run(t *testing.T, build func(b *prog.Builder), cfg Config) (int64, *VM) {
+	t.Helper()
+	b := prog.NewBuilder("test")
+	build(b)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewMemory()
+	v := New(p, m, newBump(m), nil, cfg)
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, v
+}
+
+func TestArithmetic(t *testing.T) {
+	res, _ := run(t, func(b *prog.Builder) {
+		f := b.Func("main", 0)
+		a := f.ConstReg(21)
+		two := f.ConstReg(2)
+		r := f.Reg()
+		f.Mul(r, a, two)
+		f.Ret(r)
+	}, Config{})
+	if res != 42 {
+		t.Fatalf("got %d", res)
+	}
+}
+
+func TestCallsAndReturns(t *testing.T) {
+	res, _ := run(t, func(b *prog.Builder) {
+		sq := b.Func("square", 1)
+		r := sq.Reg()
+		sq.Mul(r, sq.Param(0), sq.Param(0))
+		sq.Ret(r)
+
+		f := b.Func("main", 0)
+		x := f.ConstReg(7)
+		y := f.Call("square", x)
+		f.Ret(y)
+	}, Config{})
+	if res != 49 {
+		t.Fatalf("got %d", res)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	res, _ := run(t, func(b *prog.Builder) {
+		fib := b.Func("fib", 1)
+		n := fib.Param(0)
+		two := fib.ConstReg(2)
+		cond := fib.Reg()
+		fib.Lt(cond, n, two)
+		rec := fib.NewLabel()
+		fib.Bz(cond, rec)
+		fib.Ret(n)
+		fib.Bind(rec)
+		a := fib.Reg()
+		fib.AddImm(a, n, -1)
+		r1 := fib.Call("fib", a)
+		bb := fib.Reg()
+		fib.AddImm(bb, n, -2)
+		r2 := fib.Call("fib", bb)
+		sum := fib.Reg()
+		fib.Add(sum, r1, r2)
+		fib.Ret(sum)
+
+		f := b.Func("main", 0)
+		x := f.ConstReg(10)
+		f.Ret(f.Call("fib", x))
+	}, Config{})
+	if res != 55 {
+		t.Fatalf("fib(10) = %d, want 55", res)
+	}
+}
+
+func TestIndirectCall(t *testing.T) {
+	res, _ := run(t, func(b *prog.Builder) {
+		inc := b.Func("inc", 1)
+		r := inc.Reg()
+		inc.AddImm(r, inc.Param(0), 1)
+		inc.Ret(r)
+		dbl := b.Func("dbl", 1)
+		r2 := dbl.Reg()
+		dbl.Add(r2, dbl.Param(0), dbl.Param(0))
+		dbl.Ret(r2)
+
+		f := b.Func("main", 0)
+		fn := f.Reg()
+		f.ConstFunc(fn, "dbl")
+		x := f.ConstReg(21)
+		f.Ret(f.CallInd(fn, x))
+	}, Config{})
+	if res != 42 {
+		t.Fatalf("got %d", res)
+	}
+}
+
+func TestLoadStoreAndGlobals(t *testing.T) {
+	res, _ := run(t, func(b *prog.Builder) {
+		b.Globals(2)
+		f := b.Func("main", 0)
+		x := f.ConstReg(123)
+		f.StoreGlobal(1, x)
+		y := f.Reg()
+		f.LoadGlobal(y, 1)
+		f.Ret(y)
+	}, Config{})
+	if res != 123 {
+		t.Fatalf("got %d", res)
+	}
+}
+
+func TestMallocFreeEvents(t *testing.T) {
+	var events []AllocEvent
+	h := &recordHooks{onAlloc: func(ev AllocEvent) { events = append(events, ev) }}
+	b := prog.NewBuilder("test")
+	f := b.Func("main", 0)
+	size := f.ConstReg(24)
+	p := f.Malloc(size)
+	v := f.ConstReg(7)
+	f.StoreWord(p, 0, v)
+	got := f.Reg()
+	f.LoadWord(got, p, 0)
+	f.Free(p)
+	f.Ret(got)
+	pr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewMemory()
+	machine := New(pr, m, newBump(m), h, Config{})
+	res, err := machine.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 7 {
+		t.Fatalf("heap round trip = %d", res)
+	}
+	if len(events) != 2 || events[0].Kind != KindMalloc || events[1].Kind != KindFree {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].Size != 24 || events[0].Ptr == 0 {
+		t.Fatalf("malloc event = %+v", events[0])
+	}
+	if events[0].Site == isa.NoAddr {
+		t.Fatal("malloc site missing")
+	}
+}
+
+type recordHooks struct {
+	NopHooks
+	onAlloc  func(AllocEvent)
+	onAccess func(addr uint64, size uint8, write bool)
+	onCall   func(site isa.Addr, callee int, fn *isa.Func)
+	onRet    func(callee int, fn *isa.Func)
+}
+
+func (r *recordHooks) OnAlloc(ev AllocEvent) {
+	if r.onAlloc != nil {
+		r.onAlloc(ev)
+	}
+}
+func (r *recordHooks) OnAccess(addr uint64, size uint8, write bool) {
+	if r.onAccess != nil {
+		r.onAccess(addr, size, write)
+	}
+}
+func (r *recordHooks) OnCall(site isa.Addr, callee int, fn *isa.Func) {
+	if r.onCall != nil {
+		r.onCall(site, callee, fn)
+	}
+}
+func (r *recordHooks) OnReturn(callee int, fn *isa.Func) {
+	if r.onRet != nil {
+		r.onRet(callee, fn)
+	}
+}
+
+func TestCallHooksBalance(t *testing.T) {
+	depth, maxDepth, calls := 0, 0, 0
+	h := &recordHooks{
+		onCall: func(isa.Addr, int, *isa.Func) {
+			depth++
+			calls++
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+		},
+		onRet: func(int, *isa.Func) { depth-- },
+	}
+	b := prog.NewBuilder("test")
+	leaf := b.Func("leaf", 0)
+	leaf.RetConst(1)
+	mid := b.Func("mid", 0)
+	mid.Ret(mid.Call("leaf"))
+	f := b.Func("main", 0)
+	f.LoopN(3, func(prog.Reg) { f.Call("mid") })
+	f.RetConst(0)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewMemory()
+	if _, err := New(p, m, newBump(m), h, Config{}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if depth != 0 {
+		t.Fatalf("unbalanced hooks: depth %d", depth)
+	}
+	if calls != 6 || maxDepth != 2 {
+		t.Fatalf("calls=%d maxDepth=%d", calls, maxDepth)
+	}
+}
+
+func TestGroupStateOps(t *testing.T) {
+	b := prog.NewBuilder("test")
+	f := b.Func("main", 0)
+	f.RetConst(0)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-insert group ops (normally the rewriter's job).
+	p.Funcs[0].Code = append([]isa.Inst{
+		{Op: isa.OpGroupSet, Imm: 3},
+		{Op: isa.OpGroupSet, Imm: 5},
+		{Op: isa.OpGroupClr, Imm: 3},
+	}, p.Funcs[0].Code...)
+	p.Link()
+	m := mem.NewMemory()
+	v := New(p, m, newBump(m), nil, Config{})
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v.GroupState().Test(3) || !v.GroupState().Test(5) {
+		t.Fatalf("group state = %s", v.GroupState())
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	build := func(b *prog.Builder) {
+		f := b.Func("main", 0)
+		sum := f.ConstReg(0)
+		f.LoopN(10, func(prog.Reg) {
+			r := f.RandConst(100)
+			f.Add(sum, sum, r)
+		})
+		f.Ret(sum)
+	}
+	r1, _ := run(t, build, Config{Seed: 42})
+	r2, _ := run(t, build, Config{Seed: 42})
+	r3, _ := run(t, build, Config{Seed: 43})
+	if r1 != r2 {
+		t.Fatalf("same seed diverged: %d != %d", r1, r2)
+	}
+	if r1 == r3 {
+		t.Fatalf("different seeds agreed: %d", r1)
+	}
+}
+
+func TestPrintAndExit(t *testing.T) {
+	var out bytes.Buffer
+	b := prog.NewBuilder("test")
+	f := b.Func("main", 0)
+	x := f.ConstReg(99)
+	f.Print(x)
+	code := f.ConstReg(3)
+	f.CallExt(isa.ExtExit, code)
+	f.RetConst(0) // unreachable
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewMemory()
+	v := New(p, m, newBump(m), nil, Config{Out: &out})
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 3 {
+		t.Fatalf("exit code = %d", res)
+	}
+	if out.String() != "99\n" {
+		t.Fatalf("print output = %q", out.String())
+	}
+}
+
+func TestTraps(t *testing.T) {
+	t.Run("div by zero", func(t *testing.T) {
+		b := prog.NewBuilder("test")
+		f := b.Func("main", 0)
+		x := f.ConstReg(1)
+		z := f.ConstReg(0)
+		r := f.Reg()
+		f.Div(r, x, z)
+		f.Ret(r)
+		p, _ := b.Build()
+		m := mem.NewMemory()
+		if _, err := New(p, m, newBump(m), nil, Config{}).Run(); err == nil {
+			t.Fatal("no trap")
+		}
+	})
+	t.Run("step budget", func(t *testing.T) {
+		b := prog.NewBuilder("test")
+		f := b.Func("main", 0)
+		l := f.NewLabel()
+		f.Bind(l)
+		f.Jmp(l)
+		p, _ := b.Build()
+		m := mem.NewMemory()
+		_, err := New(p, m, newBump(m), nil, Config{MaxSteps: 1000}).Run()
+		if err != ErrMaxSteps {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("stack overflow", func(t *testing.T) {
+		b := prog.NewBuilder("test")
+		f := b.Func("main", 0)
+		f.Ret(f.Call("main"))
+		p, _ := b.Build()
+		m := mem.NewMemory()
+		if _, err := New(p, m, newBump(m), nil, Config{MaxDepth: 64}).Run(); err == nil {
+			t.Fatal("no overflow trap")
+		}
+	})
+	t.Run("bad indirect target", func(t *testing.T) {
+		b := prog.NewBuilder("test")
+		f := b.Func("main", 0)
+		bad := f.ConstReg(99)
+		f.Ret(f.CallInd(bad))
+		p, _ := b.Build()
+		m := mem.NewMemory()
+		if _, err := New(p, m, newBump(m), nil, Config{}).Run(); err == nil {
+			t.Fatal("no trap")
+		}
+	})
+}
+
+func TestAccessHookSeesSizes(t *testing.T) {
+	type acc struct {
+		size  uint8
+		write bool
+	}
+	var got []acc
+	h := &recordHooks{onAccess: func(addr uint64, size uint8, write bool) {
+		got = append(got, acc{size, write})
+	}}
+	b := prog.NewBuilder("test")
+	f := b.Func("main", 0)
+	size := f.ConstReg(64)
+	p := f.Malloc(size)
+	v := f.ConstReg(1)
+	f.Store(p, 0, v, 4)
+	r := f.Reg()
+	f.Load(r, p, 0, 2)
+	f.Ret(r)
+	pr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewMemory()
+	if _, err := New(pr, m, newBump(m), h, Config{}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []acc{{4, true}, {2, false}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("accesses = %+v", got)
+	}
+}
+
+func TestStepAndOpCounts(t *testing.T) {
+	_, v := run(t, func(b *prog.Builder) {
+		f := b.Func("main", 0)
+		size := f.ConstReg(8)
+		p := f.Malloc(size)
+		x := f.ConstReg(5)
+		f.StoreWord(p, 0, x)
+		y := f.Reg()
+		f.LoadWord(y, p, 0)
+		f.Ret(y)
+	}, Config{})
+	if v.Loads() != 1 || v.Stores() != 1 {
+		t.Fatalf("loads=%d stores=%d", v.Loads(), v.Stores())
+	}
+	if v.Steps() == 0 {
+		t.Fatal("no steps counted")
+	}
+}
+
+func TestCallocZeroesReusedMemory(t *testing.T) {
+	res, _ := run(t, func(b *prog.Builder) {
+		f := b.Func("main", 0)
+		size := f.ConstReg(16)
+		p1 := f.Malloc(size)
+		x := f.ConstReg(0xFF)
+		f.StoreWord(p1, 0, x)
+		f.Free(p1)
+		n := f.ConstReg(2)
+		sz := f.ConstReg(8)
+		p2 := f.Calloc(n, sz)
+		r := f.Reg()
+		f.LoadWord(r, p2, 0)
+		f.Ret(r)
+	}, Config{})
+	// The bump allocator never reuses, but calloc must still yield zeros.
+	if res != 0 {
+		t.Fatalf("calloc memory = %d, want 0", res)
+	}
+}
+
+func TestReallocPreservesData(t *testing.T) {
+	res, _ := run(t, func(b *prog.Builder) {
+		f := b.Func("main", 0)
+		size := f.ConstReg(8)
+		p := f.Malloc(size)
+		x := f.ConstReg(1234)
+		f.StoreWord(p, 0, x)
+		big := f.ConstReg(64)
+		q := f.Realloc(p, big)
+		r := f.Reg()
+		f.LoadWord(r, q, 0)
+		f.Ret(r)
+	}, Config{})
+	if res != 1234 {
+		t.Fatalf("realloc lost data: %d", res)
+	}
+}

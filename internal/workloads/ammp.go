@@ -1,0 +1,199 @@
+package workloads
+
+import (
+	"halo/internal/isa"
+	"halo/internal/prog"
+)
+
+// ammp models the SPEC CPU2000 molecular-dynamics code: a linked chain of
+// atoms, each with a bond list connecting it to neighbours, plus cold
+// per-atom velocity-history blocks allocated between atoms. Atoms, bonds
+// and history blocks are all 40 bytes, so the size-segregated baseline
+// interleaves hot atoms and cold history records in one size class,
+// halving the useful density of every cache line the force loop touches.
+// Grouping {atom, bond} away from the history records restores it.
+func init() {
+	register(Workload{
+		Name: "ammp",
+		Description: "SPEC2000 ammp: atom chain + bond lists force loop, " +
+			"cold history blocks diluting the shared size class",
+		Build:     buildAmmp,
+		TestScale: 500,
+		RefScale:  2800,
+	})
+}
+
+// Layouts (all three types in the 48-byte size class).
+//
+//	atom (40B): 0 next, 8 x, 16 fx, 24 bondHead, 32 hist ptr
+//	bond (40B): 0 next, 8 other atom, 16 k, 24 pad
+//	hist (40B): 0 vx, 8 vy (cold)
+const (
+	amAtNext  = 0
+	amAtX     = 8
+	amAtFX    = 16
+	amAtBonds = 24
+	amAtHist  = 32
+
+	amBdNext = 0
+	amBdB    = 8
+	amBdK    = 16
+
+	amGlobAtoms = 0
+	amGlobTab   = 1
+)
+
+func buildAmmp(scale int) *isa.Program {
+	b := prog.NewBuilder("ammp")
+	b.Globals(2)
+
+	aa := b.Func("a_m_alloc_atom", 0)
+	{
+		f := aa
+		sz := f.ConstReg(40)
+		p := f.Malloc(sz)
+		x := f.RandConst(4096)
+		f.StoreWord(p, amAtX, x)
+		zero := f.ConstReg(0)
+		f.StoreWord(p, amAtFX, zero)
+		f.StoreWord(p, amAtBonds, zero)
+		f.Ret(p)
+	}
+	ab := b.Func("a_m_alloc_bond", 2) // (a, b)
+	{
+		f := ab
+		pa, pb := f.Param(0), f.Param(1)
+		sz := f.ConstReg(40)
+		e := f.Malloc(sz)
+		f.StoreWord(e, amBdB, pb)
+		k := f.RandConst(100)
+		f.AddImm(k, k, 1)
+		f.StoreWord(e, amBdK, k)
+		head := readField(f, pa, amAtBonds)
+		f.StoreWord(e, amBdNext, head)
+		f.StoreWord(pa, amAtBonds, e)
+		f.RetConst(0)
+	}
+	ah := b.Func("a_m_alloc_hist", 0)
+	{
+		f := ah
+		sz := f.ConstReg(40)
+		p := f.Malloc(sz)
+		zero := f.ConstReg(0)
+		f.StoreWord(p, 0, zero)
+		f.StoreWord(p, 8, zero)
+		f.Ret(p)
+	}
+
+	// force_pass: for each atom, accumulate bonded forces — the hot
+	// atom+bond co-traversal.
+	fp := b.Func("force_pass", 0)
+	{
+		f := fp
+		acc := f.ConstReg(0)
+		listWalk(f, amGlobAtoms, amAtNext, func(a prog.Reg) {
+			ax := readField(f, a, amAtX)
+			e := f.Reg()
+			f.LoadWord(e, a, amAtBonds)
+			loop := f.NewLabel()
+			done := f.NewLabel()
+			f.Bind(loop)
+			f.Bz(e, done)
+			k := readField(f, e, amBdK)
+			other := readField(f, e, amBdB)
+			ox := readField(f, other, amAtX)
+			d := f.Reg()
+			f.Sub(d, ax, ox)
+			f.Mul(d, d, k)
+			fx := readField(f, a, amAtFX)
+			f.Add(fx, fx, d)
+			f.StoreWord(a, amAtFX, fx)
+			f.Add(acc, acc, d)
+			f.LoadWord(e, e, amBdNext)
+			f.Jmp(loop)
+			f.Bind(done)
+		})
+		f.Ret(acc)
+	}
+
+	// integrate: rare pass updating positions and touching history.
+	ig := b.Func("integrate", 0)
+	{
+		f := ig
+		listWalk(f, amGlobAtoms, amAtNext, func(a prog.Reg) {
+			fx := readField(f, a, amAtFX)
+			x := readField(f, a, amAtX)
+			f.Add(x, x, fx)
+			f.StoreWord(a, amAtX, x)
+			h := readField(f, a, amAtHist)
+			touch(f, h, 0)
+			touch(f, h, 8)
+		})
+		f.RetConst(0)
+	}
+
+	main := b.Func("main", 0)
+	{
+		f := main
+		n := f.ConstReg(int64(scale))
+		// Atom table for random bonding.
+		eight := f.ConstReg(8)
+		tabSz := f.Reg()
+		f.Mul(tabSz, n, eight)
+		tab := f.Malloc(tabSz)
+		f.StoreGlobal(amGlobTab, tab)
+		// Atoms with interleaved cold history blocks.
+		f.Loop(n, func(i prog.Reg) {
+			a := f.Call("a_m_alloc_atom")
+			h := f.Call("a_m_alloc_hist")
+			f.StoreWord(a, amAtHist, h)
+			listPush(f, amGlobAtoms, a, amAtNext)
+			idx := f.Reg()
+			f.Sub(idx, n, i)
+			off := f.Reg()
+			f.Mul(off, idx, eight)
+			slot := f.Reg()
+			f.Add(slot, tab, off)
+			f.StoreWord(slot, 0, a)
+		})
+		// Bonds: 3 per atom to random partners.
+		f.Loop(n, func(i prog.Reg) {
+			idx := f.Reg()
+			f.Sub(idx, n, i)
+			off := f.Reg()
+			f.Mul(off, idx, eight)
+			slot := f.Reg()
+			f.Add(slot, tab, off)
+			a := readField(f, slot, 0)
+			f.LoopN(3, func(prog.Reg) {
+				j := f.Rand(n)
+				joff := f.Reg()
+				f.Mul(joff, j, eight)
+				jslot := f.Reg()
+				f.Add(jslot, tab, joff)
+				o := readField(f, jslot, 0)
+				f.Call("a_m_alloc_bond", a, o)
+			})
+		})
+		// MD loop: force passes with integration every 8th step.
+		acc := f.ConstReg(0)
+		steps := f.ConstReg(int64(10 + scale/100))
+		i := f.Reg()
+		f.Const(i, 0)
+		f.Loop(steps, func(prog.Reg) {
+			r := f.Call("force_pass")
+			f.Add(acc, acc, r)
+			f.AddImm(i, i, 1)
+			seven := f.ConstReg(7)
+			m := f.Reg()
+			f.And(m, i, seven)
+			skip := f.NewLabel()
+			f.Bnz(m, skip)
+			f.Call("integrate")
+			f.Bind(skip)
+		})
+		f.Ret(acc)
+	}
+
+	return b.MustBuild()
+}

@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"halo/internal/isa"
+	"halo/internal/prog"
+)
+
+// analyzer models the FreeBench trace analyser: a parse phase reads a
+// stream of instruction records — ALU, memory, and branch operations, each
+// allocated from its own direct parse_* call site and appended to one
+// global sequence — followed by repeated analysis passes. The dependence
+// pass touches only ALU and memory records; the branch-prediction pass
+// touches only branch records. Since the record kinds interleave in
+// allocation order, each pass wastes most of every cache line under a
+// size-segregated allocator; grouping {ALU, memory} apart from {branch}
+// packs what each pass actually reads.
+func init() {
+	register(Workload{
+		Name: "analyzer",
+		Description: "FreeBench analyzer: interleaved ALU/mem/branch " +
+			"records, kind-filtered analysis passes",
+		Build:     buildAnalyzer,
+		TestScale: 2600,
+		RefScale:  15000,
+	})
+}
+
+// Layouts (all record kinds share next@0 and kind@8).
+//
+//	alu (40B):    0 next, 8 kind=1, 16 dst, 24 src, 32 latency
+//	mem (56B):    0 next, 8 kind=2, 16 addr, 24 width, 32 latency
+//	branch (32B): 0 next, 8 kind=3, 16 taken
+const (
+	anNext = 0
+	anKind = 8
+	anF1   = 16
+	anF2   = 24
+	anF3   = 32
+
+	anGlobSeq = 0
+)
+
+func buildAnalyzer(scale int) *isa.Program {
+	b := prog.NewBuilder("analyzer")
+	b.Globals(1)
+
+	mk := func(name string, size, kind int64) {
+		f := b.Func(name, 0)
+		sz := f.ConstReg(size)
+		p := f.Malloc(sz)
+		k := f.ConstReg(kind)
+		f.StoreWord(p, anKind, k)
+		v := f.RandConst(256)
+		f.StoreWord(p, anF1, v)
+		if size > anF2 {
+			w := f.RandConst(64)
+			f.StoreWord(p, anF2, w)
+		}
+		if size > anF3 {
+			zero := f.ConstReg(0)
+			f.StoreWord(p, anF3, zero)
+		}
+		f.Ret(p)
+	}
+	mk("parse_alu", 40, 1)
+	mk("parse_mem", 56, 2)
+	mk("parse_branch", 32, 3)
+
+	// parse: append scale records; roughly 40% ALU, 30% mem, 30% branch,
+	// interleaved as they appear in the input trace.
+	parse := b.Func("parse", 1)
+	{
+		f := parse
+		n := f.Param(0)
+		f.Loop(n, func(prog.Reg) {
+			r := f.RandConst(10)
+			four := f.ConstReg(4)
+			seven := f.ConstReg(7)
+			isAlu := f.Reg()
+			f.Lt(isAlu, r, four)
+			isMem := f.Reg()
+			f.Lt(isMem, r, seven)
+			aluL := f.NewLabel()
+			memL := f.NewLabel()
+			wire := f.NewLabel()
+			rec := f.Reg()
+			f.Bnz(isAlu, aluL)
+			f.Bnz(isMem, memL)
+			p1 := f.Call("parse_branch")
+			f.Mov(rec, p1)
+			f.Jmp(wire)
+			f.Bind(memL)
+			p2 := f.Call("parse_mem")
+			f.Mov(rec, p2)
+			f.Jmp(wire)
+			f.Bind(aluL)
+			p3 := f.Call("parse_alu")
+			f.Mov(rec, p3)
+			f.Bind(wire)
+			listPush(f, anGlobSeq, rec, anNext)
+		})
+		f.RetConst(0)
+	}
+
+	// pass_deps: walk the sequence; process ALU and memory records only.
+	deps := b.Func("pass_deps", 0)
+	{
+		f := deps
+		acc := f.ConstReg(0)
+		three := f.ConstReg(3)
+		listWalk(f, anGlobSeq, anNext, func(p prog.Reg) {
+			k := readField(f, p, anKind)
+			isBr := f.Reg()
+			f.Eq(isBr, k, three)
+			skip := f.NewLabel()
+			f.Bnz(isBr, skip)
+			v1 := readField(f, p, anF1)
+			v2 := readField(f, p, anF2)
+			f.Add(acc, acc, v1)
+			f.Add(acc, acc, v2)
+			touch(f, p, anF3)
+			f.Bind(skip)
+		})
+		f.Ret(acc)
+	}
+
+	// pass_branch: walk the sequence; process branch records only.
+	brp := b.Func("pass_branch", 0)
+	{
+		f := brp
+		acc := f.ConstReg(0)
+		three := f.ConstReg(3)
+		listWalk(f, anGlobSeq, anNext, func(p prog.Reg) {
+			k := readField(f, p, anKind)
+			isBr := f.Reg()
+			f.Eq(isBr, k, three)
+			skip := f.NewLabel()
+			f.Bz(isBr, skip)
+			touch(f, p, anF1)
+			f.Bind(skip)
+		})
+		f.Ret(acc)
+	}
+
+	main := b.Func("main", 0)
+	{
+		f := main
+		n := f.ConstReg(int64(scale))
+		f.Call("parse", n)
+		acc := f.ConstReg(0)
+		f.LoopN(int64(14+scale/1000), func(prog.Reg) {
+			r1 := f.Call("pass_deps")
+			f.Add(acc, acc, r1)
+			r2 := f.Call("pass_branch")
+			f.Add(acc, acc, r2)
+		})
+		listFreeAll(f, anGlobSeq, anNext)
+		f.Ret(acc)
+	}
+
+	return b.MustBuild()
+}

@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"halo/internal/isa"
+	"halo/internal/prog"
+)
+
+// art models the SPEC CPU2000 neural-network recogniser, famous for
+// allocating each neuron's fields as separate tiny heap blocks. Per neuron
+// the init loop allocates six 16-byte field blocks from six distinct call
+// sites — I, W, X (read every match iteration: hot) and T, B, S (touched
+// only during rare normalisation: cold) — in an interleaved order, so the
+// hot fields of one neuron are diluted by its cold fields on the heap.
+// Grouping {I, W, X} packs each neuron's hot state into adjacent slots.
+func init() {
+	register(Workload{
+		Name: "art",
+		Description: "SPEC2000 art: six tiny field blocks per neuron, " +
+			"three hot in the match loop, three cold",
+		Build:     buildArt,
+		TestScale: 520,
+		RefScale:  3000,
+	})
+}
+
+const (
+	arFields   = 6
+	arGlobTab  = 0 // neuron x field pointer table (large, untracked)
+	arGlobN    = 1
+	arFieldSz  = 16
+	arHotCount = 3 // fields 0..2 are hot
+)
+
+var artFieldNames = [arFields]string{
+	"alloc_f1_I", "alloc_f1_W", "alloc_f1_X",
+	"alloc_f1_T", "alloc_f1_B", "alloc_f1_S",
+}
+
+func buildArt(scale int) *isa.Program {
+	b := prog.NewBuilder("art")
+	b.Globals(2)
+
+	for i := 0; i < arFields; i++ {
+		f := b.Func(artFieldNames[i], 0)
+		sz := f.ConstReg(arFieldSz)
+		p := f.Malloc(sz)
+		v := f.RandConst(1000)
+		f.StoreWord(p, 0, v)
+		f.Ret(p)
+	}
+
+	// fieldSlot(neuron, field) -> address of the table slot.
+	fs := b.Func("field_slot", 2)
+	{
+		f := fs
+		neuron, field := f.Param(0), f.Param(1)
+		tab := f.Reg()
+		f.LoadGlobal(tab, arGlobTab)
+		idx := f.Reg()
+		nf := f.ConstReg(arFields)
+		f.Mul(idx, neuron, nf)
+		f.Add(idx, idx, field)
+		eight := f.ConstReg(8)
+		f.Mul(idx, idx, eight)
+		addr := f.Reg()
+		f.Add(addr, tab, idx)
+		f.Ret(addr)
+	}
+
+	// match_pass: per neuron, read I and W, update X — the hot loop.
+	mp := b.Func("match_pass", 0)
+	{
+		f := mp
+		n := f.Reg()
+		f.LoadGlobal(n, arGlobN)
+		acc := f.ConstReg(0)
+		f.Loop(n, func(i prog.Reg) {
+			neuron := f.Reg()
+			f.Sub(neuron, n, i)
+			zero := f.ConstReg(0)
+			one := f.ConstReg(1)
+			two := f.ConstReg(2)
+			sI := f.Call("field_slot", neuron, zero)
+			pI := readField(f, sI, 0)
+			vI := readField(f, pI, 0)
+			sW := f.Call("field_slot", neuron, one)
+			pW := readField(f, sW, 0)
+			vW := readField(f, pW, 0)
+			sX := f.Call("field_slot", neuron, two)
+			pX := readField(f, sX, 0)
+			x := f.Reg()
+			f.Mul(x, vI, vW)
+			f.StoreWord(pX, 0, x)
+			f.Add(acc, acc, x)
+		})
+		f.Ret(acc)
+	}
+
+	// normalize: rare pass over the cold fields.
+	np := b.Func("normalize", 0)
+	{
+		f := np
+		n := f.Reg()
+		f.LoadGlobal(n, arGlobN)
+		acc := f.ConstReg(0)
+		f.Loop(n, func(i prog.Reg) {
+			neuron := f.Reg()
+			f.Sub(neuron, n, i)
+			for j := arHotCount; j < arFields; j++ {
+				fj := f.ConstReg(int64(j))
+				s := f.Call("field_slot", neuron, fj)
+				p := readField(f, s, 0)
+				touch(f, p, 0)
+			}
+		})
+		f.Ret(acc)
+	}
+
+	main := b.Func("main", 0)
+	{
+		f := main
+		n := f.ConstReg(int64(scale))
+		f.StoreGlobal(arGlobN, n)
+		nf := f.ConstReg(arFields)
+		eight := f.ConstReg(8)
+		tabSz := f.Reg()
+		f.Mul(tabSz, n, nf)
+		f.Mul(tabSz, tabSz, eight)
+		tab := f.Malloc(tabSz)
+		f.StoreGlobal(arGlobTab, tab)
+		// Init: per neuron, allocate all six fields interleaved.
+		f.Loop(n, func(i prog.Reg) {
+			neuron := f.Reg()
+			f.Sub(neuron, n, i)
+			for j := 0; j < arFields; j++ {
+				p := f.Call(artFieldNames[j])
+				fj := f.ConstReg(int64(j))
+				s := f.Call("field_slot", neuron, fj)
+				f.StoreWord(s, 0, p)
+			}
+		})
+		// Match loop with rare normalisation.
+		acc := f.ConstReg(0)
+		step := f.Reg()
+		f.Const(step, 0)
+		f.LoopN(int64(20+scale/150), func(prog.Reg) {
+			r := f.Call("match_pass")
+			f.Add(acc, acc, r)
+			f.AddImm(step, step, 1)
+			seven := f.ConstReg(7)
+			m := f.Reg()
+			f.And(m, step, seven)
+			skip := f.NewLabel()
+			f.Bnz(m, skip)
+			f.Call("normalize")
+			f.Bind(skip)
+		})
+		f.Ret(acc)
+	}
+
+	return b.MustBuild()
+}

@@ -1,0 +1,243 @@
+package workloads
+
+import (
+	"halo/internal/isa"
+	"halo/internal/prog"
+)
+
+// equake models the SPEC CPU2000 earthquake simulation's sparse
+// matrix-vector kernel: the stiffness matrix is built from many small heap
+// blocks — per-row metadata (cold after assembly), and per-nonzero column
+// cells and coefficient blocks (both hot: every smvp iteration walks each
+// row's cell list and reads the referenced coefficients). Cells and
+// coefficients come from distinct call sites and interleave with row
+// metadata at assembly time; grouping {cell, coef} recovers dense rows.
+func init() {
+	register(Workload{
+		Name: "equake",
+		Description: "SPEC2000 equake: sparse-matrix assembly and " +
+			"repeated smvp over cell/coefficient lists",
+		Build:     buildEquake,
+		TestScale: 300,
+		RefScale:  1700,
+	})
+}
+
+// Layouts.
+//
+//	rowmeta (48B): 0 cellHead, 8 rowid, 16 nnz (cold after assembly)
+//	cell (24B):    0 next, 8 col, 16 coef ptr
+//	coef (72B):    0..16 the 3x3 block's hot diagonal words
+const (
+	eqRowCells = 0 // used during assembly only
+	eqRowID    = 8
+	eqRowNNZ   = 16
+	eqRowNext  = 24 // metadata list linkage
+
+	eqCellNext = 0
+	eqCellCol  = 8
+	eqCellCoef = 16
+
+	eqGlobRows   = 0 // row cell-head table (large, untracked)
+	eqGlobN      = 1
+	eqGlobVec    = 2 // x vector (large, untracked)
+	eqGlobMetas  = 3 // rowmeta list head (cold)
+	eqGlobCoords = 4 // coordinate record list head (cold)
+)
+
+func buildEquake(scale int) *isa.Program {
+	b := prog.NewBuilder("equake")
+	b.Globals(5)
+
+	mr := b.Func("alloc_rowmeta", 0)
+	{
+		f := mr
+		sz := f.ConstReg(48)
+		p := f.Malloc(sz)
+		zero := f.ConstReg(0)
+		f.StoreWord(p, eqRowCells, zero)
+		f.Ret(p)
+	}
+	mc := b.Func("alloc_cell", 0)
+	{
+		f := mc
+		sz := f.ConstReg(24)
+		p := f.Malloc(sz)
+		zero := f.ConstReg(0)
+		f.StoreWord(p, eqCellNext, zero)
+		f.Ret(p)
+	}
+	// Node-coordinate records: assembly-only data sharing the cells' size
+	// class, allocated with every nonzero — the dilution smvp pays for
+	// under size-segregated placement.
+	mx := b.Func("alloc_coord", 0)
+	{
+		f := mx
+		sz := f.ConstReg(24)
+		p := f.Malloc(sz)
+		v := f.RandConst(4096)
+		f.StoreWord(p, 8, v)
+		listPush(f, eqGlobCoords, p, 0)
+		f.Ret(p)
+	}
+	mk := b.Func("alloc_coef", 0)
+	{
+		f := mk
+		sz := f.ConstReg(72)
+		p := f.Malloc(sz)
+		v := f.RandConst(100)
+		f.StoreWord(p, 0, v)
+		f.StoreWord(p, 8, v)
+		f.StoreWord(p, 16, v)
+		f.Ret(p)
+	}
+
+	// assemble_row(rowid, n): build one row with 3-6 nonzeros. The row's
+	// metadata joins a separate cold list; the cell head is returned for
+	// the row table, which is what smvp traverses.
+	ar := b.Func("assemble_row", 2)
+	{
+		f := ar
+		rowid, n := f.Param(0), f.Param(1)
+		meta := f.Call("alloc_rowmeta")
+		f.StoreWord(meta, eqRowID, rowid)
+		nnz := f.RandConst(4)
+		f.AddImm(nnz, nnz, 3)
+		f.StoreWord(meta, eqRowNNZ, nnz)
+		listPush(f, eqGlobMetas, meta, eqRowNext)
+		f.Loop(nnz, func(prog.Reg) {
+			cell := f.Call("alloc_cell")
+			coef := f.Call("alloc_coef")
+			// Roughly every other nonzero also records node coordinates.
+			cp := f.RandConst(2)
+			noCoord := f.NewLabel()
+			f.Bz(cp, noCoord)
+			f.Call("alloc_coord")
+			f.Bind(noCoord)
+			col := f.Rand(n)
+			f.StoreWord(cell, eqCellCol, col)
+			f.StoreWord(cell, eqCellCoef, coef)
+			head := readField(f, meta, eqRowCells)
+			f.StoreWord(cell, eqCellNext, head)
+			f.StoreWord(meta, eqRowCells, cell)
+		})
+		f.Ret(readField(f, meta, eqRowCells))
+	}
+
+	// checkpoint: the rare pass over row metadata and coordinates (cold).
+	cp := b.Func("checkpoint", 0)
+	{
+		f := cp
+		acc := f.ConstReg(0)
+		listWalk(f, eqGlobMetas, eqRowNext, func(m prog.Reg) {
+			nnz := readField(f, m, eqRowNNZ)
+			f.Add(acc, acc, nnz)
+		})
+		listWalk(f, eqGlobCoords, 0, func(c prog.Reg) {
+			v := readField(f, c, 8)
+			f.Add(acc, acc, v)
+		})
+		f.Ret(acc)
+	}
+
+	// smvp: y[row] += sum over cells of coef * x[col].
+	sm := b.Func("smvp", 0)
+	{
+		f := sm
+		n := f.Reg()
+		f.LoadGlobal(n, eqGlobN)
+		rows := f.Reg()
+		f.LoadGlobal(rows, eqGlobRows)
+		vec := f.Reg()
+		f.LoadGlobal(vec, eqGlobVec)
+		eight := f.ConstReg(8)
+		acc := f.ConstReg(0)
+		f.Loop(n, func(i prog.Reg) {
+			idx := f.Reg()
+			f.Sub(idx, n, i)
+			off := f.Reg()
+			f.Mul(off, idx, eight)
+			slot := f.Reg()
+			f.Add(slot, rows, off)
+			cell := readField(f, slot, 0)
+			sum := f.ConstReg(0)
+			loop := f.NewLabel()
+			done := f.NewLabel()
+			f.Bind(loop)
+			f.Bz(cell, done)
+			col := readField(f, cell, eqCellCol)
+			coef := readField(f, cell, eqCellCoef)
+			c0 := readField(f, coef, 0)
+			c1 := readField(f, coef, 8)
+			xoff := f.Reg()
+			f.Mul(xoff, col, eight)
+			xaddr := f.Reg()
+			f.Add(xaddr, vec, xoff)
+			x := readField(f, xaddr, 0)
+			t := f.Reg()
+			f.Mul(t, c0, x)
+			f.Add(t, t, c1)
+			// The 3x3 block multiply is compute-heavy.
+			for i := 0; i < 6; i++ {
+				f.Mul(t, t, c0)
+				f.Add(t, t, c1)
+			}
+			f.Add(sum, sum, t)
+			f.LoadWord(cell, cell, eqCellNext)
+			f.Jmp(loop)
+			f.Bind(done)
+			f.Add(acc, acc, sum)
+		})
+		f.Ret(acc)
+	}
+
+	main := b.Func("main", 0)
+	{
+		f := main
+		n := f.ConstReg(int64(scale))
+		f.StoreGlobal(eqGlobN, n)
+		eight := f.ConstReg(8)
+		tabSz := f.Reg()
+		f.Mul(tabSz, n, eight)
+		rows := f.Malloc(tabSz)
+		f.StoreGlobal(eqGlobRows, rows)
+		vec := f.Malloc(tabSz)
+		f.StoreGlobal(eqGlobVec, vec)
+		// Assembly.
+		f.Loop(n, func(i prog.Reg) {
+			idx := f.Reg()
+			f.Sub(idx, n, i)
+			head := f.Call("assemble_row", idx, n)
+			off := f.Reg()
+			f.Mul(off, idx, eight)
+			slot := f.Reg()
+			f.Add(slot, rows, off)
+			f.StoreWord(slot, 0, head)
+			// Seed x[idx].
+			xslot := f.Reg()
+			f.Add(xslot, vec, off)
+			v := f.RandConst(64)
+			f.StoreWord(xslot, 0, v)
+		})
+		// Iterated smvp with a rare metadata checkpoint.
+		acc := f.ConstReg(0)
+		step := f.Reg()
+		f.Const(step, 0)
+		f.LoopN(int64(24+scale/80), func(prog.Reg) {
+			r := f.Call("smvp")
+			f.Add(acc, acc, r)
+			f.AddImm(step, step, 1)
+			seven := f.ConstReg(7)
+			m := f.Reg()
+			f.And(m, step, seven)
+			skip := f.NewLabel()
+			f.Bnz(m, skip)
+			c := f.Call("checkpoint")
+			f.Add(acc, acc, c)
+			f.Bind(skip)
+		})
+		f.Ret(acc)
+	}
+
+	return b.MustBuild()
+}

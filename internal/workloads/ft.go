@@ -1,0 +1,267 @@
+package workloads
+
+import (
+	"halo/internal/isa"
+	"halo/internal/prog"
+)
+
+// ft models the Ptrdist minimum-spanning-tree program: a random graph of
+// vertices and adjacency edge lists, plus a linked heap of per-vertex
+// candidate records scanned for the minimum each round (improvements
+// decrease keys in place, as the original's Fibonacci heap does). Vertices,
+// edges and heap records come from three distinct direct call sites; edge
+// lists are diluted at allocation time by cold per-edge geometry records
+// sharing their size class. The hot relaxation loop walks edge lists and
+// dereferences target vertices together, so grouping {vertex, edge, cand}
+// away from the geometry records pays.
+func init() {
+	register(Workload{
+		Name: "ft",
+		Description: "Ptrdist ft: MST over adjacency lists with a " +
+			"linked candidate heap",
+		Build:     buildFT,
+		TestScale: 420,
+		RefScale:  1300,
+	})
+}
+
+// Layouts.
+//
+//	vertex (56B): 0 edgeHead, 8 key, 16 chosen, 24 id
+//	edge (32B):   0 next, 8 target, 16 weight
+//	cand (40B):   0 next, 8 vertex, 16 key, 24 live
+const (
+	ftVtxEdges  = 0
+	ftVtxKey    = 8
+	ftVtxChosen = 16
+	ftVtxID     = 24
+
+	ftEdgeNext   = 0
+	ftEdgeTarget = 8
+	ftEdgeWeight = 16
+
+	ftCandNext = 0
+	ftCandVtx  = 8
+	ftCandKey  = 16
+	ftCandLive = 24
+
+	ftVtxCand = 32 // vertex's candidate record, 0 until first insert
+
+	ftGlobVtxTab = 0 // vertex pointer table (large, untracked)
+	ftGlobN      = 1
+	ftGlobHeap   = 2 // candidate list head
+	ftGlobGeom   = 3 // cold geometry list head
+)
+
+func buildFT(scale int) *isa.Program {
+	b := prog.NewBuilder("ft")
+	b.Globals(4)
+
+	mkVtx := b.Func("create_vertex", 0)
+	{
+		f := mkVtx
+		sz := f.ConstReg(56)
+		p := f.Malloc(sz)
+		zero := f.ConstReg(0)
+		f.StoreWord(p, ftVtxEdges, zero)
+		f.StoreWord(p, ftVtxChosen, zero)
+		f.StoreWord(p, ftVtxCand, zero)
+		big := f.ConstReg(1 << 30)
+		f.StoreWord(p, ftVtxKey, big)
+		f.Ret(p)
+	}
+	// Cold per-edge geometry: shares the edges' size class, touched only
+	// by the final report.
+	mkGeom := b.Func("create_geom", 0)
+	{
+		f := mkGeom
+		sz := f.ConstReg(32)
+		p := f.Malloc(sz)
+		v := f.RandConst(512)
+		f.StoreWord(p, 8, v)
+		listPush(f, ftGlobGeom, p, 0)
+		f.Ret(p)
+	}
+	mkEdge := b.Func("create_edge", 2) // (from, to)
+	{
+		f := mkEdge
+		from, to := f.Param(0), f.Param(1)
+		sz := f.ConstReg(32)
+		e := f.Malloc(sz)
+		f.StoreWord(e, ftEdgeTarget, to)
+		w := f.RandConst(1000)
+		f.AddImm(w, w, 1)
+		f.StoreWord(e, ftEdgeWeight, w)
+		head := readField(f, from, ftVtxEdges)
+		f.StoreWord(e, ftEdgeNext, head)
+		f.StoreWord(from, ftVtxEdges, e)
+		f.RetConst(0)
+	}
+	// heap_insert(vertex, key): allocate the vertex's candidate record on
+	// first insert; later calls decrease the key in place, as the
+	// original's Fibonacci-heap decrease-key does.
+	mkCand := b.Func("heap_insert", 2) // (vertex, key)
+	{
+		f := mkCand
+		v, key := f.Param(0), f.Param(1)
+		existing := readField(f, v, ftVtxCand)
+		fresh := f.NewLabel()
+		f.Bz(existing, fresh)
+		one := f.ConstReg(1)
+		f.StoreWord(existing, ftCandKey, key)
+		f.StoreWord(existing, ftCandLive, one)
+		f.RetConst(0)
+		f.Bind(fresh)
+		sz := f.ConstReg(40)
+		c := f.Malloc(sz)
+		f.StoreWord(c, ftCandVtx, v)
+		f.StoreWord(c, ftCandKey, key)
+		one2 := f.ConstReg(1)
+		f.StoreWord(c, ftCandLive, one2)
+		f.StoreWord(v, ftVtxCand, c)
+		listPush(f, ftGlobHeap, c, ftCandNext)
+		f.RetConst(0)
+	}
+
+	// vertexAt(i) -> pointer from the table.
+	vat := b.Func("vertex_at", 1)
+	{
+		f := vat
+		i := f.Param(0)
+		tab := f.Reg()
+		f.LoadGlobal(tab, ftGlobVtxTab)
+		eight := f.ConstReg(8)
+		off := f.Reg()
+		f.Mul(off, i, eight)
+		addr := f.Reg()
+		f.Add(addr, tab, off)
+		f.Ret(readField(f, addr, 0))
+	}
+
+	// extract_min: scan the candidate list for the live minimum and mark
+	// it dead (the record stays, owned by its vertex, and may be revived
+	// by a later decrease-key).
+	em := b.Func("extract_min", 0)
+	{
+		f := em
+		cur := f.Reg()
+		f.LoadGlobal(cur, ftGlobHeap)
+		best := f.ConstReg(0)
+		bestKey := f.ConstReg(1 << 40)
+		loop := f.NewLabel()
+		done := f.NewLabel()
+		f.Bind(loop)
+		f.Bz(cur, done)
+		live := readField(f, cur, ftCandLive)
+		skip := f.NewLabel()
+		f.Bz(live, skip)
+		k := readField(f, cur, ftCandKey)
+		lt := f.Reg()
+		f.Lt(lt, k, bestKey)
+		f.Bz(lt, skip)
+		f.Mov(bestKey, k)
+		f.Mov(best, cur)
+		f.Bind(skip)
+		f.LoadWord(cur, cur, ftCandNext)
+		f.Jmp(loop)
+		f.Bind(done)
+		none := f.NewLabel()
+		f.Bz(best, none)
+		zero := f.ConstReg(0)
+		f.StoreWord(best, ftCandLive, zero)
+		f.Ret(readField(f, best, ftCandVtx))
+		f.Bind(none)
+		f.RetConst(0)
+	}
+
+	// relax(v): walk v's edges, improving target keys and inserting
+	// fresh candidates — the hot edge+vertex co-traversal.
+	relax := b.Func("relax", 1)
+	{
+		f := relax
+		v := f.Param(0)
+		acc := f.ConstReg(0)
+		e := f.Reg()
+		f.LoadWord(e, v, ftVtxEdges)
+		loop := f.NewLabel()
+		done := f.NewLabel()
+		f.Bind(loop)
+		f.Bz(e, done)
+		t := readField(f, e, ftEdgeTarget)
+		w := readField(f, e, ftEdgeWeight)
+		tKey := readField(f, t, ftVtxKey)
+		better := f.Reg()
+		f.Lt(better, w, tKey)
+		skip := f.NewLabel()
+		f.Bz(better, skip)
+		chosen := readField(f, t, ftVtxChosen)
+		f.Bnz(chosen, skip)
+		f.StoreWord(t, ftVtxKey, w)
+		f.Call("heap_insert", t, w)
+		f.Bind(skip)
+		f.Add(acc, acc, w)
+		f.LoadWord(e, e, ftEdgeNext)
+		f.Jmp(loop)
+		f.Bind(done)
+		f.Ret(acc)
+	}
+
+	main := b.Func("main", 0)
+	{
+		f := main
+		n := f.ConstReg(int64(scale))
+		f.StoreGlobal(ftGlobN, n)
+		eight := f.ConstReg(8)
+		tabSz := f.Reg()
+		f.Mul(tabSz, n, eight)
+		tab := f.Malloc(tabSz)
+		f.StoreGlobal(ftGlobVtxTab, tab)
+		// Vertices.
+		f.Loop(n, func(i prog.Reg) {
+			v := f.Call("create_vertex")
+			idx := f.Reg()
+			f.Sub(idx, n, i)
+			f.StoreWord(v, ftVtxID, idx)
+			off := f.Reg()
+			f.Mul(off, idx, eight)
+			slot := f.Reg()
+			f.Add(slot, tab, off)
+			f.StoreWord(slot, 0, v)
+		})
+		// Edges: 4 random out-edges per vertex.
+		f.Loop(n, func(i prog.Reg) {
+			idx := f.Reg()
+			f.Sub(idx, n, i)
+			from := f.Call("vertex_at", idx)
+			f.LoopN(4, func(prog.Reg) {
+				j := f.Rand(n)
+				to := f.Call("vertex_at", j)
+				f.Call("create_edge", from, to)
+				f.Call("create_geom") // cold twin in the edges' class
+			})
+		})
+		// Prim-ish: seed with vertex 0, then extract/relax rounds.
+		zero := f.ConstReg(0)
+		v0 := f.Call("vertex_at", zero)
+		f.Call("heap_insert", v0, zero)
+		acc := f.ConstReg(0)
+		f.Loop(n, func(prog.Reg) {
+			v := f.Call("extract_min")
+			stop := f.NewLabel()
+			f.Bz(v, stop)
+			one := f.ConstReg(1)
+			f.StoreWord(v, ftVtxChosen, one)
+			r := f.Call("relax", v)
+			f.Add(acc, acc, r)
+			f.Bind(stop)
+		})
+		// Final report: the only reader of the cold geometry records.
+		listWalk(f, ftGlobGeom, 0, func(p prog.Reg) {
+			v := readField(f, p, 8)
+			f.Add(acc, acc, v)
+		})
+		f.Ret(acc)
+	}
+
+	return b.MustBuild()
+}

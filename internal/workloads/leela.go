@@ -1,0 +1,258 @@
+package workloads
+
+import (
+	"halo/internal/isa"
+	"halo/internal/prog"
+)
+
+// leela models the Go engine whose defining trait for the paper is that it
+// "allocates memory exclusively through C++'s new operator": operator new
+// is a *library* function, so the immediate call site of malloc is the same
+// single location inside libstdc++ for every allocation, defeating
+// call-site-keyed identification outright. HALO's shadow stack skips the
+// library frame and traces the call site back into the main binary, where
+// expand_node / create_child / save_board are perfectly distinguishable.
+//
+// The workload runs UCT-style playouts: tree descent touches nodes and
+// their child statistics blocks together (hot), board snapshots rarely
+// (cold). Periodic subtree pruning frees most nodes, which is what leaves
+// HALO's chunks nearly empty at peak (Table 1 reports 99.99% grouped-data
+// fragmentation for leela).
+func init() {
+	register(Workload{
+		Name: "leela",
+		Description: "Go engine: every allocation through library operator " +
+			"new; UCT tree playouts with periodic pruning",
+		Build:     buildLeela,
+		TestScale: 2200,
+		RefScale:  13000,
+	})
+}
+
+// Layouts.
+//
+//	node (48B):   0 firstChild, 8 nextSibling, 16 stats ptr, 24 visits,
+//	              32 score, 40 board ptr (cold)
+//	stats (32B):  0 wins, 8 visits, 16 prior
+//	board (320B): 0.. snapshot words (cold)
+const (
+	leNodeChild  = 0
+	leNodeSib    = 8
+	leNodeStats  = 16
+	leNodeVisits = 24
+	leNodeScore  = 32
+	leNodeBoard  = 40
+
+	leStWins   = 0
+	leStVisits = 8
+	leStPrior  = 16
+
+	leGlobRoot = 0
+	leGlobSeed = 1
+)
+
+func buildLeela(scale int) *isa.Program {
+	b := prog.NewBuilder("leela")
+	b.Globals(2)
+
+	// operator new lives in the C++ runtime library: its call to malloc
+	// is the immediate call site of *every* allocation in this program.
+	opNew := b.LibFunc("operator_new", 1)
+	opNew.Ret(opNew.Malloc(opNew.Param(0)))
+
+	// Main-binary allocation wrappers: the contexts HALO distinguishes.
+	expand := b.Func("expand_node", 0)
+	{
+		f := expand
+		sz := f.ConstReg(48)
+		p := f.Call("operator_new", sz)
+		zero := f.ConstReg(0)
+		f.StoreWord(p, leNodeChild, zero)
+		f.StoreWord(p, leNodeSib, zero)
+		f.StoreWord(p, leNodeVisits, zero)
+		f.StoreWord(p, leNodeScore, zero)
+		f.Ret(p)
+	}
+	mkStats := b.Func("create_child", 0)
+	{
+		f := mkStats
+		sz := f.ConstReg(32)
+		p := f.Call("operator_new", sz)
+		zero := f.ConstReg(0)
+		f.StoreWord(p, leStWins, zero)
+		f.StoreWord(p, leStVisits, zero)
+		prior := f.RandConst(100)
+		f.StoreWord(p, leStPrior, prior)
+		f.Ret(p)
+	}
+	mkBoard := b.Func("save_board", 0)
+	{
+		f := mkBoard
+		sz := f.ConstReg(320)
+		p := f.Call("operator_new", sz)
+		v := f.RandConst(361)
+		f.StoreWord(p, 0, v)
+		f.Ret(p)
+	}
+
+	// newNode: a tree node with its stats block and board snapshot.
+	newNode := b.Func("new_node", 0)
+	{
+		f := newNode
+		n := f.Call("expand_node")
+		st := f.Call("create_child")
+		bd := f.Call("save_board")
+		f.StoreWord(n, leNodeStats, st)
+		f.StoreWord(n, leNodeBoard, bd)
+		f.Ret(n)
+	}
+
+	// grow(parent): add 1-3 children to a node.
+	grow := b.Func("grow", 1)
+	{
+		f := grow
+		parent := f.Param(0)
+		n := f.RandConst(3)
+		f.AddImm(n, n, 1)
+		f.Loop(n, func(prog.Reg) {
+			kid := f.Call("new_node")
+			sib := readField(f, parent, leNodeChild)
+			f.StoreWord(kid, leNodeSib, sib)
+			f.StoreWord(parent, leNodeChild, kid)
+		})
+		f.RetConst(0)
+	}
+
+	// Per-playout scratch state, also through operator new (as leela's
+	// std containers are) and freed at the end of the playout. Under
+	// whole-heap pooling these transient blocks leave dead holes between
+	// long-lived tree nodes; HALO's grouping leaves them out.
+	mkScratch := b.Func("alloc_scratch", 0)
+	{
+		f := mkScratch
+		sz := f.ConstReg(96)
+		p := f.Call("operator_new", sz)
+		zero := f.ConstReg(0)
+		f.StoreWord(p, 0, zero)
+		f.Ret(p)
+	}
+
+	// playout: descend from the root picking children by UCT-ish score,
+	// touching node + stats hot and boards rarely; expand the leaf.
+	playout := b.Func("playout", 0)
+	{
+		f := playout
+		scratch := f.Call("alloc_scratch")
+		cur := f.Reg()
+		f.LoadGlobal(cur, leGlobRoot)
+		acc := f.ConstReg(0)
+		steps := f.ConstReg(0)
+		loop := f.NewLabel()
+		leaf := f.NewLabel()
+		f.Bind(loop)
+		touch(f, cur, leNodeVisits)
+		st := readField(f, cur, leNodeStats)
+		touch(f, st, leStVisits)
+		w := readField(f, st, leStWins)
+		f.Add(acc, acc, w)
+		// Rarely consult the board snapshot.
+		rare := f.RandConst(32)
+		skipBoard := f.NewLabel()
+		f.Bnz(rare, skipBoard)
+		bd := readField(f, cur, leNodeBoard)
+		touch(f, bd, 0)
+		f.Bind(skipBoard)
+		// Select a child: walk the sibling list a random number of hops.
+		kid := readField(f, cur, leNodeChild)
+		f.Bz(kid, leaf)
+		hops := f.RandConst(3)
+		f.Loop(hops, func(prog.Reg) {
+			sib := readField(f, kid, leNodeSib)
+			stay := f.NewLabel()
+			f.Bz(sib, stay)
+			f.Mov(kid, sib)
+			f.Bind(stay)
+			// UCT score: a deliberately compute-heavy evaluation, as
+			// leela is (the paper finds its cache gains do not turn
+			// into speedup — it is compute bound).
+			ks := readField(f, kid, leNodeStats)
+			pv := readField(f, ks, leStPrior)
+			kv := readField(f, ks, leStVisits)
+			score := f.Reg()
+			f.Mov(score, pv)
+			one := f.ConstReg(1)
+			f.Add(kv, kv, one)
+			for i := 0; i < 12; i++ {
+				f.Mul(score, score, pv)
+				f.Div(score, score, kv)
+				f.Add(score, score, pv)
+			}
+			f.Add(acc, acc, score)
+		})
+		f.Mov(cur, kid)
+		f.AddImm(steps, steps, 1)
+		twenty := f.ConstReg(20)
+		deep := f.Reg()
+		f.Lt(deep, steps, twenty)
+		f.Bnz(deep, loop)
+		f.Bind(leaf)
+		// Expand the leaf on one playout in four; most playouts only
+		// update statistics, so tree visits far outnumber allocations.
+		ex := f.RandConst(4)
+		noGrow := f.NewLabel()
+		f.Bnz(ex, noGrow)
+		f.Call("grow", cur)
+		f.Bind(noGrow)
+		touch(f, cur, leNodeScore)
+		touch(f, scratch, 0)
+		f.Free(scratch)
+		f.Ret(acc)
+	}
+
+	// prune(node): recursively free a subtree (children of the node),
+	// the move-commit tree reuse that frees most of the tree.
+	prune := b.Func("prune", 1)
+	{
+		f := prune
+		node := f.Param(0)
+		kid := readField(f, node, leNodeChild)
+		loop := f.NewLabel()
+		done := f.NewLabel()
+		f.Bind(loop)
+		f.Bz(kid, done)
+		next := readField(f, kid, leNodeSib)
+		f.Call("prune", kid)
+		st := readField(f, kid, leNodeStats)
+		f.Free(st)
+		bd := readField(f, kid, leNodeBoard)
+		f.Free(bd)
+		f.Free(kid)
+		f.Mov(kid, next)
+		f.Jmp(loop)
+		f.Bind(done)
+		zero := f.ConstReg(0)
+		f.StoreWord(node, leNodeChild, zero)
+		f.RetConst(0)
+	}
+
+	main := b.Func("main", 0)
+	{
+		f := main
+		root := f.Call("new_node")
+		f.StoreGlobal(leGlobRoot, root)
+		f.Call("grow", root)
+		acc := f.ConstReg(0)
+		// Moves: each runs playouts then prunes the tree back.
+		f.LoopN(int64(scale/500+1), func(prog.Reg) {
+			f.LoopN(500, func(prog.Reg) {
+				r := f.Call("playout")
+				f.Add(acc, acc, r)
+			})
+			f.Call("prune", root)
+			f.Call("grow", root)
+		})
+		f.Ret(acc)
+	}
+
+	return b.MustBuild()
+}

@@ -1,0 +1,457 @@
+package workloads
+
+import (
+	"halo/internal/isa"
+	"halo/internal/prog"
+)
+
+// omnetpp models a discrete-event network simulation: four module types
+// exchange messages through a future-event-set (a binary heap over event
+// records). Each module allocates messages and their payload buffers
+// through two wrapper levels (module-specific create -> shared
+// cMessage_new -> malloc), so call-site-keyed identification collapses
+// every message allocation into one context while HALO's full-context
+// chains separate them per module. Processing an event touches the message
+// header and its payload together: grouping each module's message and
+// payload contexts co-locates them.
+//
+// Per the artifact appendix, omnetpp runs HALO's allocator with 128 KiB
+// chunks and no spare chunks, and chunks are always reused.
+func init() {
+	register(Workload{
+		Name: "omnetpp",
+		Description: "discrete event simulation: per-module messages/payloads " +
+			"through wrappers, processed from a binary-heap FES",
+		Build:       buildOmnetpp,
+		TestScale:   1200,
+		RefScale:    16000,
+		ChunkSize:   128 << 10,
+		NoSpare:     true,
+		AlwaysReuse: true,
+	})
+}
+
+// Layouts.
+//
+//	message (64B): 0 payload ptr, 8 module, 16 kind, 24 timestamp, 32 hops
+//	payload (module-dependent size): 0 len, 8.. data words
+//	event record in FES array (16B): 0 time, 8 message ptr
+const (
+	omMsgPayload = 0
+	omMsgModule  = 8
+	omMsgKind    = 16
+	omMsgTime    = 24
+	omMsgHops    = 32
+
+	omPayLen  = 0
+	omPayData = 8
+
+	omGlobHeap = 0 // FES array base
+	omGlobLen  = 1 // live events
+	omGlobTime = 2 // virtual clock
+	omGlobSubs = 3 // 4 subscriber-list heads (slots 3..6)
+
+	omSubNext = 0
+	omSubGate = 8
+	omSubHits = 16
+)
+
+func buildOmnetpp(scale int) *isa.Program {
+	b := prog.NewBuilder("omnetpp")
+	b.Globals(7)
+
+	// Shared low-level wrapper: cMessage_new(size) -> malloc.
+	cm := b.Func("cMessage_new", 1)
+	cm.Ret(cm.Malloc(cm.Param(0)))
+
+	// Per-module subscriber records (hot: walked on every delivery) and
+	// routing-config records (cold), both 48 bytes and both through the
+	// shared wrapper: the size-segregated baseline interleaves them, and
+	// call-site-keyed identification cannot tell them apart.
+	mkSub := b.Func("register_subscriber", 1) // (module)
+	{
+		f := mkSub
+		m := f.Param(0)
+		sz := f.ConstReg(48)
+		p := f.Call("cMessage_new", sz)
+		g := f.RandConst(16)
+		f.StoreWord(p, omSubGate, g)
+		zero := f.ConstReg(0)
+		f.StoreWord(p, omSubHits, zero)
+		// Push onto the module's list (global slot omGlobSubs+m).
+		eight := f.ConstReg(8)
+		slot := f.Reg()
+		f.Mul(slot, m, eight)
+		base := f.ConstReg(int64(isa.GlobalAddr(omGlobSubs)))
+		f.Add(slot, slot, base)
+		head := readField(f, slot, 0)
+		f.StoreWord(p, omSubNext, head)
+		f.StoreWord(slot, 0, p)
+		f.RetConst(0)
+	}
+	mkCfg := b.Func("load_route_config", 0)
+	{
+		f := mkCfg
+		sz := f.ConstReg(48)
+		p := f.Call("cMessage_new", sz)
+		v := f.RandConst(256)
+		f.StoreWord(p, 8, v)
+		f.Ret(p)
+	}
+
+	// deliver(module): walk the module's subscriber list, the dominant
+	// per-event work.
+	deliver := b.Func("deliver", 1)
+	{
+		f := deliver
+		m := f.Param(0)
+		eight := f.ConstReg(8)
+		slot := f.Reg()
+		f.Mul(slot, m, eight)
+		base := f.ConstReg(int64(isa.GlobalAddr(omGlobSubs)))
+		f.Add(slot, slot, base)
+		cur := readField(f, slot, 0)
+		acc := f.ConstReg(0)
+		loop := f.NewLabel()
+		done := f.NewLabel()
+		f.Bind(loop)
+		f.Bz(cur, done)
+		g := readField(f, cur, omSubGate)
+		f.Add(acc, acc, g)
+		touch(f, cur, omSubHits)
+		f.LoadWord(cur, cur, omSubNext)
+		f.Jmp(loop)
+		f.Bind(done)
+		f.Ret(acc)
+	}
+
+	// Module-specific creators: message + payload, both through the
+	// shared wrapper. Payload sizes differ per module.
+	paySizes := []int64{40, 72, 56, 96}
+	for m := 0; m < 4; m++ {
+		f := b.Func(modName(m), 0)
+		msz := f.ConstReg(64)
+		msg := f.Call("cMessage_new", msz)
+		psz := f.ConstReg(paySizes[m])
+		pay := f.Call("cMessage_new", psz)
+		f.StoreWord(msg, omMsgPayload, pay)
+		mod := f.ConstReg(int64(m))
+		f.StoreWord(msg, omMsgModule, mod)
+		kind := f.RandConst(8)
+		f.StoreWord(msg, omMsgKind, kind)
+		zero := f.ConstReg(0)
+		f.StoreWord(msg, omMsgHops, zero)
+		ln := f.ConstReg(paySizes[m]/8 - 1) // data words after the len field
+		f.StoreWord(pay, omPayLen, ln)
+		// Fill the payload, as a sender would.
+		for w := int64(1); w < paySizes[m]/8; w++ {
+			v := f.RandConst(256)
+			f.StoreWord(pay, 8*w, v)
+		}
+		f.Ret(msg)
+	}
+
+	// fes_push(time, msg): binary-heap sift-up over the event array.
+	push := b.Func("fes_push", 2)
+	{
+		f := push
+		tm, msg := f.Param(0), f.Param(1)
+		base := f.Reg()
+		f.LoadGlobal(base, omGlobHeap)
+		n := f.Reg()
+		f.LoadGlobal(n, omGlobLen)
+		// Back-pressure: drop events beyond the FES capacity (and free
+		// the dropped message, as the simulator's limiter would).
+		limit := f.ConstReg(2500)
+		fits := f.Reg()
+		f.Lt(fits, n, limit)
+		ok := f.NewLabel()
+		f.Bnz(fits, ok)
+		pay := readField(f, msg, omMsgPayload)
+		f.Free(pay)
+		f.Free(msg)
+		f.RetConst(0)
+		f.Bind(ok)
+		// slot address = base + 16*n
+		idx := f.Reg()
+		sixteen := f.ConstReg(16)
+		f.Mul(idx, n, sixteen)
+		slot := f.Reg()
+		f.Add(slot, base, idx)
+		f.StoreWord(slot, 0, tm)
+		f.StoreWord(slot, 8, msg)
+		np := f.Reg()
+		f.AddImm(np, n, 1)
+		f.StoreGlobal(omGlobLen, np)
+
+		// Sift up.
+		i := f.Reg()
+		f.Mov(i, n)
+		loop := f.NewLabel()
+		done := f.NewLabel()
+		f.Bind(loop)
+		f.Bz(i, done)
+		par := f.Reg()
+		one := f.ConstReg(1)
+		two := f.ConstReg(2)
+		f.Sub(par, i, one)
+		f.Div(par, par, two)
+		iAddr := f.Reg()
+		f.Mul(iAddr, i, sixteen)
+		f.Add(iAddr, base, iAddr)
+		pAddr := f.Reg()
+		f.Mul(pAddr, par, sixteen)
+		f.Add(pAddr, base, pAddr)
+		it := readField(f, iAddr, 0)
+		pt := readField(f, pAddr, 0)
+		cmp := f.Reg()
+		f.Lt(cmp, it, pt)
+		f.Bz(cmp, done)
+		// Swap records.
+		im := readField(f, iAddr, 8)
+		pm := readField(f, pAddr, 8)
+		f.StoreWord(iAddr, 0, pt)
+		f.StoreWord(iAddr, 8, pm)
+		f.StoreWord(pAddr, 0, it)
+		f.StoreWord(pAddr, 8, im)
+		f.Mov(i, par)
+		f.Jmp(loop)
+		f.Bind(done)
+		f.RetConst(0)
+	}
+
+	// fes_pop() -> message of the earliest event; advances the clock.
+	pop := b.Func("fes_pop", 0)
+	{
+		f := pop
+		base := f.Reg()
+		f.LoadGlobal(base, omGlobHeap)
+		n := f.Reg()
+		f.LoadGlobal(n, omGlobLen)
+		empty := f.NewLabel()
+		f.Bz(n, empty)
+		top := readField(f, base, 0)
+		msg := readField(f, base, 8)
+		f.StoreGlobal(omGlobTime, top)
+		nm := f.Reg()
+		f.AddImm(nm, n, -1)
+		f.StoreGlobal(omGlobLen, nm)
+		// Move last record to the root.
+		sixteen := f.ConstReg(16)
+		lAddr := f.Reg()
+		f.Mul(lAddr, nm, sixteen)
+		f.Add(lAddr, base, lAddr)
+		lt := readField(f, lAddr, 0)
+		lm := readField(f, lAddr, 8)
+		f.StoreWord(base, 0, lt)
+		f.StoreWord(base, 8, lm)
+
+		// Sift down.
+		i := f.ConstReg(0)
+		loop := f.NewLabel()
+		done := f.NewLabel()
+		f.Bind(loop)
+		l := f.Reg()
+		two := f.ConstReg(2)
+		one := f.ConstReg(1)
+		f.Mul(l, i, two)
+		f.Add(l, l, one)
+		inRange := f.Reg()
+		f.Lt(inRange, l, nm)
+		f.Bz(inRange, done)
+		// Pick the smaller child.
+		r := f.Reg()
+		f.Add(r, l, one)
+		lAddr2 := f.Reg()
+		f.Mul(lAddr2, l, sixteen)
+		f.Add(lAddr2, base, lAddr2)
+		cand := f.Reg()
+		f.Mov(cand, l)
+		candAddr := f.Reg()
+		f.Mov(candAddr, lAddr2)
+		hasR := f.Reg()
+		f.Lt(hasR, r, nm)
+		noR := f.NewLabel()
+		f.Bz(hasR, noR)
+		rAddr := f.Reg()
+		f.Mul(rAddr, r, sixteen)
+		f.Add(rAddr, base, rAddr)
+		ltv := readField(f, lAddr2, 0)
+		rtv := readField(f, rAddr, 0)
+		rless := f.Reg()
+		f.Lt(rless, rtv, ltv)
+		f.Bz(rless, noR)
+		f.Mov(cand, r)
+		f.Mov(candAddr, rAddr)
+		f.Bind(noR)
+		iAddr := f.Reg()
+		f.Mul(iAddr, i, sixteen)
+		f.Add(iAddr, base, iAddr)
+		it := readField(f, iAddr, 0)
+		ct := readField(f, candAddr, 0)
+		swap := f.Reg()
+		f.Lt(swap, ct, it)
+		f.Bz(swap, done)
+		im := readField(f, iAddr, 8)
+		cmv := readField(f, candAddr, 8)
+		f.StoreWord(iAddr, 0, ct)
+		f.StoreWord(iAddr, 8, cmv)
+		f.StoreWord(candAddr, 0, it)
+		f.StoreWord(candAddr, 8, im)
+		f.Mov(i, cand)
+		f.Jmp(loop)
+		f.Bind(done)
+		f.Ret(msg)
+		f.Bind(empty)
+		f.RetConst(0)
+	}
+
+	// schedule(module): create a module message and push it at a future
+	// time.
+	sched := b.Func("schedule", 1)
+	{
+		f := sched
+		m := f.Param(0)
+		msg := f.Reg()
+		// Dispatch to the module creator.
+		next := [4]*prog.Label{}
+		end := f.NewLabel()
+		for i := 0; i < 4; i++ {
+			next[i] = f.NewLabel()
+		}
+		for i := 0; i < 4; i++ {
+			f.Bind(next[i])
+			if i < 3 {
+				ci := f.ConstReg(int64(i))
+				isI := f.Reg()
+				f.Eq(isI, m, ci)
+				f.Bz(isI, next[i+1])
+			}
+			r := f.Call(modName(i))
+			f.Mov(msg, r)
+			if i < 3 {
+				f.Jmp(end)
+			}
+		}
+		f.Bind(end)
+		now := f.Reg()
+		f.LoadGlobal(now, omGlobTime)
+		delay := f.RandConst(12)
+		f.AddImm(delay, delay, 4)
+		tm := f.Reg()
+		f.Add(tm, now, delay)
+		f.AddImm(tm, tm, 1)
+		f.StoreWord(msg, omMsgTime, tm)
+		f.Call("fes_push", tm, msg)
+		f.RetConst(0)
+	}
+
+	// handle(msg): touch the message and its payload, occasionally
+	// forward (reschedule a new message), then free.
+	handle := b.Func("handle", 1)
+	{
+		f := handle
+		msg := f.Param(0)
+		touch(f, msg, omMsgHops)
+		kind := readField(f, msg, omMsgKind)
+		mod := readField(f, msg, omMsgModule)
+		pay := readField(f, msg, omMsgPayload)
+		ln := readField(f, pay, omPayLen)
+		// Walk the payload words.
+		acc := f.Reg()
+		f.Add(acc, kind, mod)
+		off := f.ConstReg(omPayData)
+		i := f.Reg()
+		f.AddImm(i, ln, -1)
+		loop := f.NewLabel()
+		done := f.NewLabel()
+		f.Bind(loop)
+		cond := f.Reg()
+		zero := f.ConstReg(0)
+		f.Le(cond, i, zero)
+		f.Bnz(cond, done)
+		addr := f.Reg()
+		eight := f.ConstReg(8)
+		f.Mul(addr, i, eight)
+		f.Add(addr, pay, addr)
+		f.Add(addr, addr, off)
+		v := readField(f, addr, 0)
+		f.Add(acc, acc, v)
+		f.AddImm(i, i, -1)
+		f.Jmp(loop)
+		f.Bind(done)
+		// Deliver to the module's subscribers: the bulk of the work.
+		dr := f.Call("deliver", mod)
+		f.Add(acc, acc, dr)
+		// Branching: slightly supercritical (E ≈ 1.125 children per
+		// event), so the event population grows until the FES
+		// back-pressure caps it — a busy network in steady state.
+		fwd := f.RandConst(8)
+		skip := f.NewLabel()
+		double := f.NewLabel()
+		f.Bz(fwd, skip) // 1/8: drop
+		three := f.ConstReg(3)
+		isTwo := f.Reg()
+		f.Lt(isTwo, fwd, three) // 1,2 of 8: two children
+		target := f.RandConst(4)
+		f.Call("schedule", target)
+		f.Bnz(isTwo, double)
+		f.Jmp(skip)
+		f.Bind(double)
+		target2 := f.RandConst(4)
+		f.Call("schedule", target2)
+		f.Bind(skip)
+		f.Free(pay)
+		f.Free(msg)
+		f.Ret(acc)
+	}
+
+	main := b.Func("main", 0)
+	{
+		f := main
+		// The FES array is a single large allocation (untracked: larger
+		// than the maximum grouped size), as omnetpp's FES is.
+		cap := f.ConstReg(32 * 4096)
+		heap := f.Malloc(cap)
+		f.StoreGlobal(omGlobHeap, heap)
+		zero := f.ConstReg(0)
+		f.StoreGlobal(omGlobLen, zero)
+		f.StoreGlobal(omGlobTime, zero)
+		// Module setup: subscribers interleaved with routing config.
+		for m := 0; m < 4; m++ {
+			mr := f.ConstReg(int64(m))
+			f.LoopN(400, func(prog.Reg) {
+				f.Call("register_subscriber", mr)
+				f.Call("load_route_config")
+			})
+		}
+		// Seed the simulation.
+		f.LoopN(64, func(prog.Reg) {
+			m := f.RandConst(4)
+			f.Call("schedule", m)
+		})
+		// Event loop.
+		acc := f.ConstReg(0)
+		f.LoopN(int64(scale), func(prog.Reg) {
+			msg := f.Call("fes_pop")
+			reseed := f.NewLabel()
+			stop := f.NewLabel()
+			f.Bz(msg, reseed)
+			r := f.Call("handle", msg)
+			f.Add(acc, acc, r)
+			f.Jmp(stop)
+			// Keep the simulation alive if the FES drains.
+			f.Bind(reseed)
+			m := f.RandConst(4)
+			f.Call("schedule", m)
+			f.Bind(stop)
+		})
+		f.Ret(acc)
+	}
+
+	return b.MustBuild()
+}
+
+func modName(m int) string {
+	return "module_create_" + string(rune('a'+m))
+}

@@ -1,0 +1,202 @@
+package workloads
+
+import (
+	"halo/internal/isa"
+	"halo/internal/prog"
+)
+
+// povray models the §3 motivating example in its original context: a
+// parser allocates geometry objects (planes, CSG composites) and textures
+// through the pov_malloc wrapper, interleaving them on the heap; Copy_Plane
+// and Copy_CSG duplicate geometry through the same wrapper (the contexts
+// Figure 9 groups); rendering then traverses only the geometry list,
+// leaving textures cold. A size-segregated allocator scatters cold textures
+// between hot geometry; HALO's grouping separates them. Because every
+// allocation's immediate call site is inside pov_malloc, call-site-keyed
+// identification (hot data streams) sees a single context and fails.
+func init() {
+	register(Workload{
+		Name: "povray",
+		Description: "ray tracer: geometry/texture allocation through the " +
+			"pov_malloc wrapper, typed traversal (§3 motivating example)",
+		Build:     buildPovray,
+		TestScale: 700,
+		RefScale:  4200,
+	})
+}
+
+// Object layouts (byte offsets).
+//
+//	geometry (plane 56B, csg 72B): 0 sibling, 8 type, 16 bbox, 24 data,
+//	                               32 texture ptr
+//	texture (40B):                 0 next, 8 kind, 16 scale
+const (
+	povSibling = 0
+	povType    = 8
+	povBBox    = 16
+	povData    = 24
+	povTexPtr  = 32
+
+	povTexNext = 0
+	povTexKind = 8
+
+	povGeomList = 0 // global slots
+	povTexList  = 1
+)
+
+func buildPovray(scale int) *isa.Program {
+	b := prog.NewBuilder("povray")
+	b.Globals(2)
+
+	// pov_malloc: the wrapper nearly all povray heap data flows through.
+	pm := b.Func("pov_malloc", 1)
+	pm.Ret(pm.Malloc(pm.Param(0)))
+
+	// get_token: allocates a transient token buffer through the wrapper
+	// and frees it immediately — parser churn that leaves dead holes in
+	// any whole-heap pool formed around pov_malloc's single malloc site.
+	gt := b.Func("get_token", 0)
+	{
+		f := gt
+		sz := f.ConstReg(48)
+		buf := f.Call("pov_malloc", sz)
+		tok := f.RandConst(4)
+		f.StoreWord(buf, 0, tok)
+		v := readField(f, buf, 0)
+		f.Free(buf)
+		f.Ret(v)
+	}
+
+	// create_plane / create_csg / create_texture: the §3 create_* set.
+	mkCreate := func(name string, size int64, typ int64) {
+		f := b.Func(name, 0)
+		sz := f.ConstReg(size)
+		p := f.Call("pov_malloc", sz)
+		tv := f.ConstReg(typ)
+		f.StoreWord(p, povType, tv)
+		f.StoreWord(p, povBBox, tv)
+		zero := f.ConstReg(0)
+		f.StoreWord(p, povData, zero)
+		if size > povTexPtr {
+			f.StoreWord(p, povTexPtr, zero)
+		}
+		f.Ret(p)
+	}
+	mkCreate("create_plane", 56, 1)
+	mkCreate("create_csg", 72, 2)
+	mkCreate("create_texture", 40, 3)
+
+	// Copy_Plane / Copy_CSG duplicate existing geometry (Figure 9 shows
+	// these grouped with the create contexts).
+	mkCopy := func(name string, size int64) {
+		f := b.Func(name, 1)
+		src := f.Param(0)
+		sz := f.ConstReg(size)
+		p := f.Call("pov_malloc", sz)
+		for _, off := range []int64{povType, povBBox, povData, povTexPtr} {
+			v := readField(f, src, off)
+			f.StoreWord(p, off, v)
+		}
+		f.Ret(p)
+	}
+	mkCopy("Copy_Plane", 56)
+	mkCopy("Copy_CSG", 72)
+
+	// parse: reads scale tokens; planes and CSGs join the geometry list,
+	// textures go to their own list and are attached to the most recent
+	// geometry object.
+	parse := b.Func("parse", 1)
+	{
+		f := parse
+		n := f.Param(0)
+		f.Loop(n, func(i prog.Reg) {
+			tok := f.Call("get_token") // 0,1: plane; 2: csg; 3: texture
+			two := f.ConstReg(2)
+			three := f.ConstReg(3)
+			isTex := f.Reg()
+			f.Eq(isTex, tok, three)
+			isCSG := f.Reg()
+			f.Eq(isCSG, tok, two)
+
+			texL := f.NewLabel()
+			csgL := f.NewLabel()
+			doneL := f.NewLabel()
+			f.Bnz(isTex, texL)
+			f.Bnz(isCSG, csgL)
+
+			// Plane.
+			p1 := f.Call("create_plane")
+			listPush(f, povGeomList, p1, povSibling)
+			f.Jmp(doneL)
+
+			// CSG: also duplicated half the time through Copy_CSG.
+			f.Bind(csgL)
+			p2 := f.Call("create_csg")
+			listPush(f, povGeomList, p2, povSibling)
+			dup := f.RandConst(2)
+			skipDup := f.NewLabel()
+			f.Bz(dup, skipDup)
+			p3 := f.Call("Copy_CSG", p2)
+			listPush(f, povGeomList, p3, povSibling)
+			f.Bind(skipDup)
+			f.Jmp(doneL)
+
+			// Texture: linked to the texture list and to the newest
+			// geometry object.
+			f.Bind(texL)
+			t := f.Call("create_texture")
+			listPush(f, povTexList, t, povTexNext)
+			geo := f.Reg()
+			f.LoadGlobal(geo, povGeomList)
+			attach := f.NewLabel()
+			f.Bz(geo, attach)
+			f.StoreWord(geo, povTexPtr, t)
+			f.Bind(attach)
+
+			f.Bind(doneL)
+		})
+		f.RetConst(0)
+	}
+
+	// render: hot traversal of the geometry list; texture objects are
+	// touched only for one in eight geometry objects.
+	render := b.Func("render", 1)
+	{
+		f := render
+		iters := f.Param(0)
+		acc := f.ConstReg(0)
+		f.Loop(iters, func(prog.Reg) {
+			listWalk(f, povGeomList, povSibling, func(p prog.Reg) {
+				ty := readField(f, p, povType)
+				bb := readField(f, p, povBBox)
+				f.Add(acc, acc, ty)
+				f.Add(acc, acc, bb)
+				touch(f, p, povData)
+				// Rarely consult the texture.
+				rare := f.RandConst(8)
+				skip := f.NewLabel()
+				f.Bnz(rare, skip)
+				tex := readField(f, p, povTexPtr)
+				f.Bz(tex, skip)
+				k := readField(f, tex, povTexKind)
+				f.Add(acc, acc, k)
+				f.Bind(skip)
+			})
+		})
+		f.Ret(acc)
+	}
+
+	main := b.Func("main", 0)
+	{
+		f := main
+		n := f.ConstReg(int64(scale))
+		f.Call("parse", n)
+		iters := f.ConstReg(int64(28 + scale/200))
+		r := f.Call("render", iters)
+		listFreeAll(f, povGeomList, povSibling)
+		listFreeAll(f, povTexList, povTexNext)
+		f.Ret(r)
+	}
+
+	return b.MustBuild()
+}

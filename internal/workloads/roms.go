@@ -1,0 +1,169 @@
+package workloads
+
+import (
+	"halo/internal/isa"
+	"halo/internal/prog"
+)
+
+// roms models the ocean-model benchmark's role in the evaluation: a
+// highly regular Fortran program that "tends to call malloc directly", so
+// call-site identification is easy — yet the hot-data-streams technique
+// drowns: its object-granular streams scatter the program's few
+// context-level regularities across an enormous number of hot data streams
+// (">150,000" in the paper, against 31 affinity-graph nodes for HALO),
+// while HALO's optimisation simply has no effect because the sweeps are
+// streaming and placement-insensitive.
+//
+// The program allocates many uniform field tiles from a handful of direct
+// call sites, then sweeps them field-by-field with a rotating tile order,
+// so almost every sweep produces new object sequences for SEQUITUR.
+// Per the artifact appendix, roms runs with --max-groups 4.
+func init() {
+	register(Workload{
+		Name: "roms",
+		Description: "ocean model: uniform field tiles allocated directly, " +
+			"rotating streaming sweeps (stream-count explosion for HDS)",
+		Build:     buildRoms,
+		TestScale: 160,
+		RefScale:  420,
+		MaxGroups: 4,
+	})
+}
+
+// Each field is an array of tile pointers; tiles are 512-byte blocks (64
+// words). Field tile tables live in one large (untracked) pointer block.
+const (
+	roTileWords = 63 // payload words per tile; +1 header word = 512B tiles
+	roFields    = 6
+	roGlobTab   = 0 // base of the field x tile pointer table
+	roGlobTiles = 1 // tiles per field
+)
+
+func buildRoms(scale int) *isa.Program {
+	b := prog.NewBuilder("roms")
+	b.Globals(2)
+
+	// Direct allocation sites: one init function per pair of fields, each
+	// with its own malloc call — the "easy target" structure.
+	for i := 0; i < roFields/2; i++ {
+		f := b.Func(romsInitName(i), 2) // (tableSlotBase, tiles)
+		base, tiles := f.Param(0), f.Param(1)
+		// Two fields per init function = two distinct call sites.
+		for j := 0; j < 2; j++ {
+			fieldOff := f.ConstReg(int64(j))
+			f.Loop(tiles, func(k prog.Reg) {
+				sz := f.ConstReg(8 * (roTileWords + 1))
+				t := f.Malloc(sz) // distinct context per j by call site
+				// slot = base + (fieldOff*tiles + (tiles-k)) * 8
+				idx := f.Reg()
+				f.Mul(idx, fieldOff, tiles)
+				f.Add(idx, idx, tiles)
+				f.Sub(idx, idx, k)
+				eight := f.ConstReg(8)
+				f.Mul(idx, idx, eight)
+				slot := f.Reg()
+				f.Add(slot, base, idx)
+				f.StoreWord(slot, 0, t)
+				// Initialise the whole tile, as the model's setup does.
+				v := f.RandConst(1000)
+				off := f.Reg()
+				f.Const(off, 0)
+				words := f.ConstReg(roTileWords)
+				fill := f.NewLabel()
+				fillDone := f.NewLabel()
+				f.Bind(fill)
+				f.Bz(words, fillDone)
+				addr := f.Reg()
+				f.Add(addr, t, off)
+				f.StoreWord(addr, 0, v)
+				f.AddImm(off, off, 8)
+				f.AddImm(words, words, -1)
+				f.Jmp(fill)
+				f.Bind(fillDone)
+			})
+		}
+		f.RetConst(0)
+	}
+
+	// sweep(field, phase): stream through the field's tiles in an order
+	// rotated by phase, touching every word of each tile sequentially.
+	sweep := b.Func("sweep", 2)
+	{
+		f := sweep
+		field, phase := f.Param(0), f.Param(1)
+		tab := f.Reg()
+		f.LoadGlobal(tab, roGlobTab)
+		tiles := f.Reg()
+		f.LoadGlobal(tiles, roGlobTiles)
+		acc := f.ConstReg(0)
+		f.Loop(tiles, func(k prog.Reg) {
+			// tile index = (tiles - k + phase) mod tiles; k descends from
+			// tiles to 1, so this scans 0..tiles-1 rotated by phase.
+			idx := f.Reg()
+			f.Sub(idx, tiles, k)
+			f.Add(idx, idx, phase)
+			f.Mod(idx, idx, tiles)
+			// slot = tab + (field*tiles + idx) * 8
+			slot := f.Reg()
+			f.Mul(slot, field, tiles)
+			f.Add(slot, slot, idx)
+			eight := f.ConstReg(8)
+			f.Mul(slot, slot, eight)
+			f.Add(slot, tab, slot)
+			t := readField(f, slot, 0)
+			// Stream the tile: sequential word loads.
+			w := f.ConstReg(roTileWords)
+			off := f.Reg()
+			f.Const(off, 0)
+			inner := f.NewLabel()
+			innerDone := f.NewLabel()
+			f.Bind(inner)
+			f.Bz(w, innerDone)
+			addr := f.Reg()
+			f.Add(addr, t, off)
+			v := readField(f, addr, 0)
+			f.Add(acc, acc, v)
+			f.AddImm(off, off, 8)
+			f.AddImm(w, w, -1)
+			f.Jmp(inner)
+			f.Bind(innerDone)
+		})
+		f.Ret(acc)
+	}
+
+	main := b.Func("main", 0)
+	{
+		f := main
+		tiles := f.ConstReg(int64(scale))
+		f.StoreGlobal(roGlobTiles, tiles)
+		// Pointer table: fields x tiles words, one large allocation.
+		tabSz := f.ConstReg(int64(8 * roFields * scale))
+		tab := f.Malloc(tabSz)
+		f.StoreGlobal(roGlobTab, tab)
+		// Initialise fields pairwise.
+		for i := 0; i < roFields/2; i++ {
+			base := f.Reg()
+			off := f.ConstReg(int64(8 * 2 * i * scale))
+			f.Add(base, tab, off)
+			f.Call(romsInitName(i), base, tiles)
+		}
+		// Timestep loop: sweep every field from a fresh random phase, so
+		// nearly every sweep presents SEQUITUR with a new tile sequence.
+		acc := f.ConstReg(0)
+		f.LoopN(int64(10+scale/40), func(step prog.Reg) {
+			for fi := 0; fi < roFields; fi++ {
+				fr := f.ConstReg(int64(fi))
+				phase := f.Rand(tiles)
+				r := f.Call("sweep", fr, phase)
+				f.Add(acc, acc, r)
+			}
+		})
+		f.Ret(acc)
+	}
+
+	return b.MustBuild()
+}
+
+func romsInitName(i int) string {
+	return "init_fields_" + string(rune('u'+i))
+}

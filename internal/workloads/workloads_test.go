@@ -1,0 +1,131 @@
+package workloads
+
+import (
+	"testing"
+
+	"halo/internal/alloc"
+	"halo/internal/mem"
+	"halo/internal/vm"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"health", "ft", "analyzer", "ammp", "art", "equake",
+		"povray", "omnetpp", "xalanc", "leela", "roms"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registered %d workloads, want %d", len(all), len(want))
+	}
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Fatalf("order[%d] = %s, want %s", i, all[i].Name, name)
+		}
+	}
+	if _, ok := Get("nonexistent"); ok {
+		t.Fatal("phantom workload")
+	}
+}
+
+func TestArtifactFlags(t *testing.T) {
+	// The artifact appendix's per-benchmark settings (§A.8).
+	om := MustGet("omnetpp")
+	if om.ChunkSize != 128<<10 || !om.NoSpare || !om.AlwaysReuse {
+		t.Fatalf("omnetpp flags: %+v", om)
+	}
+	xa := MustGet("xalanc")
+	if !xa.NoSpare || !xa.AlwaysReuse {
+		t.Fatalf("xalanc flags: %+v", xa)
+	}
+	ro := MustGet("roms")
+	if ro.MaxGroups != 4 {
+		t.Fatalf("roms max groups = %d", ro.MaxGroups)
+	}
+}
+
+// runOnce executes a workload build at the given scale.
+func runOnce(t *testing.T, w Workload, scale int, seed uint64) (int64, uint64) {
+	t.Helper()
+	p := w.Build(scale)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	m := mem.NewMemory()
+	v := vm.New(p, m, alloc.NewSizeSeg(mem.NewOS(m)), nil, vm.Config{Seed: seed})
+	res, err := v.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	return res, v.Steps()
+}
+
+func TestAllWorkloadsRunAtTestScale(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			_, steps := runOnce(t, w, w.TestScale, 5)
+			if steps < 10000 {
+				t.Fatalf("suspiciously small run: %d steps", steps)
+			}
+		})
+	}
+}
+
+func TestScaleInvariantCallSites(t *testing.T) {
+	// Profile transfer requires test and ref builds to share call-site
+	// addresses (§5.1 methodology).
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			a := w.Build(w.TestScale).CallSites()
+			b := w.Build(w.RefScale).CallSites()
+			if len(a) != len(b) {
+				t.Fatalf("call-site counts differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("site %d: %v vs %v", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+func TestWorkloadsDeterministicPerSeed(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			r1, s1 := runOnce(t, w, w.TestScale, 9)
+			r2, s2 := runOnce(t, w, w.TestScale, 9)
+			if r1 != r2 || s1 != s2 {
+				t.Fatalf("nondeterministic: %d/%d vs %d/%d", r1, s1, r2, s2)
+			}
+		})
+	}
+}
+
+func TestLeelaUsesLibraryAllocator(t *testing.T) {
+	p := MustGet("leela").Build(100)
+	idx := p.FuncByName("operator_new")
+	if idx < 0 || !p.Funcs[idx].Lib {
+		t.Fatal("leela's operator new must be a library function")
+	}
+}
+
+func TestWorkloadAllocationProfiles(t *testing.T) {
+	// Every workload must actually allocate enough small objects for the
+	// optimisation to have something to work with.
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p := w.Build(w.TestScale)
+			m := mem.NewMemory()
+			a := alloc.NewSizeSeg(mem.NewOS(m))
+			v := vm.New(p, m, a, nil, vm.Config{Seed: 5})
+			if _, err := v.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if a.Stats().Allocs < 100 {
+				t.Fatalf("only %d allocations", a.Stats().Allocs)
+			}
+		})
+	}
+}

@@ -1,0 +1,296 @@
+package workloads
+
+import (
+	"halo/internal/isa"
+	"halo/internal/prog"
+)
+
+// xalanc models the XSLT processor's defining trait for this paper:
+// "significant indirection in its call chains, requiring the traversal of
+// tens of stack frames to properly appreciate the context in which
+// allocations have been made". Every DOM node — element, attribute, text —
+// is allocated through the same three-deep helper chain
+// (XalanAllocate -> MemMgrAllocate -> poolAllocate -> malloc), from a
+// recursive-descent parser. Only the full (reduced) call stack
+// distinguishes the node types; the immediate malloc call site is a single
+// shared location, and even a 4-frame window sees only the helper chain.
+//
+// The transform phase walks elements and their attributes hot, text nodes
+// cold. Per the artifact appendix, xalanc runs with no spare chunks and
+// always-reused chunks.
+func init() {
+	register(Workload{
+		Name: "xalanc",
+		Description: "XSLT processor: DOM nodes allocated through a deep " +
+			"shared helper chain from a recursive parser",
+		Build:       buildXalanc,
+		TestScale:   900,
+		RefScale:    5200,
+		NoSpare:     true,
+		AlwaysReuse: true,
+	})
+}
+
+// Layouts. Both node kinds keep their sibling pointer at offset 8 and a
+// kind word at offset 16, so the walker advances and dispatches uniformly.
+//
+//	element (48B): 0 firstChild, 8 nextSibling, 16 kind=1, 24 tag,
+//	               32 hits, 40 attrHead
+//	attribute (32B): 0 next, 8 key, 16 value
+//	text (32B): 0 len, 8 nextSibling, 16 kind=0 — shares the attributes'
+//	            size class
+//	namespace record (48B): 0 next, 8 uri — cold, shares the elements'
+//	            size class, linked into a global list read only by the
+//	            rare namespace-resolution pass
+const (
+	xaElChild = 0
+	xaElSib   = 8
+	xaElKind  = 16
+	xaElTag   = 24
+	xaElHits  = 32
+	xaElAttr  = 40
+
+	xaAtNext = 0
+	xaAtKey  = 8
+	xaAtVal  = 16
+
+	xaTxLen = 0
+	xaTxSib = 8
+
+	xaGlobRoot  = 0
+	xaGlobNodes = 1 // allocation budget left
+	xaGlobNS    = 2 // namespace record list (cold)
+)
+
+func buildXalanc(scale int) *isa.Program {
+	b := prog.NewBuilder("xalanc")
+	b.Globals(3)
+
+	// The shared allocator chain: three frames deep, used by every node
+	// type. A call-site-keyed identifier sees only poolAllocate's call to
+	// malloc.
+	pool := b.Func("poolAllocate", 1)
+	pool.Ret(pool.Malloc(pool.Param(0)))
+	mgr := b.Func("MemMgrAllocate", 1)
+	mgr.Ret(mgr.Call("poolAllocate", mgr.Param(0)))
+	xa := b.Func("XalanAllocate", 1)
+	xa.Ret(xa.Call("MemMgrAllocate", xa.Param(0)))
+
+	// Node constructors, each through the full chain.
+	newEl := b.Func("newElement", 0)
+	{
+		f := newEl
+		sz := f.ConstReg(48)
+		p := f.Call("XalanAllocate", sz)
+		zero := f.ConstReg(0)
+		f.StoreWord(p, xaElChild, zero)
+		f.StoreWord(p, xaElSib, zero)
+		f.StoreWord(p, xaElAttr, zero)
+		f.StoreWord(p, xaElHits, zero)
+		tag := f.RandConst(32)
+		f.StoreWord(p, xaElTag, tag)
+		one := f.ConstReg(1)
+		f.StoreWord(p, xaElKind, one)
+		f.Ret(p)
+	}
+	newAt := b.Func("newAttribute", 0)
+	{
+		f := newAt
+		sz := f.ConstReg(32)
+		p := f.Call("XalanAllocate", sz)
+		k := f.RandConst(16)
+		f.StoreWord(p, xaAtKey, k)
+		v := f.RandConst(1024)
+		f.StoreWord(p, xaAtVal, v)
+		f.Ret(p)
+	}
+	newTx := b.Func("newText", 0)
+	{
+		f := newTx
+		sz := f.ConstReg(32)
+		p := f.Call("XalanAllocate", sz)
+		zero := f.ConstReg(0)
+		f.StoreWord(p, xaElKind, zero)
+		f.StoreWord(p, xaTxSib, zero)
+		ln := f.RandConst(120)
+		f.StoreWord(p, xaTxLen, ln)
+		f.Ret(p)
+	}
+	// Namespace records: cold per-element data in the elements' class,
+	// collected on a global list.
+	newNS := b.Func("newNamespace", 0)
+	{
+		f := newNS
+		sz := f.ConstReg(48)
+		p := f.Call("XalanAllocate", sz)
+		v := f.RandConst(64)
+		f.StoreWord(p, 8, v)
+		listPush(f, xaGlobNS, p, 0)
+		f.Ret(p)
+	}
+
+	// resolveNamespaces: the only reader of the cold namespace records.
+	rns := b.Func("resolveNamespaces", 0)
+	{
+		f := rns
+		acc := f.ConstReg(0)
+		listWalk(f, xaGlobNS, 0, func(p prog.Reg) {
+			v := readField(f, p, 8)
+			f.Add(acc, acc, v)
+		})
+		f.Ret(acc)
+	}
+
+	// parseElement(depth): builds one element with attributes and child
+	// elements/text, recursing — the deep, repetitive stacks the reduced
+	// contexts canonicalise.
+	pe := b.Func("parseElement", 1)
+	{
+		f := pe
+		depth := f.Param(0)
+		el := f.Call("newElement")
+
+		// Stop if the node budget is exhausted.
+		budget := f.Reg()
+		f.LoadGlobal(budget, xaGlobNodes)
+		zero := f.ConstReg(0)
+		haveBudget := f.Reg()
+		f.Lt(haveBudget, zero, budget)
+		noKids := f.NewLabel()
+		f.Bz(haveBudget, noKids)
+		f.AddImm(budget, budget, -1)
+		f.StoreGlobal(xaGlobNodes, budget)
+
+		// Attributes: 1-3 per element, plus the element's cold namespace
+		// record, allocated amid the hot nodes.
+		nAttr := f.RandConst(3)
+		f.AddImm(nAttr, nAttr, 1)
+		f.Loop(nAttr, func(prog.Reg) {
+			at := f.Call("newAttribute")
+			head := readField(f, el, xaElAttr)
+			f.StoreWord(at, xaAtNext, head)
+			f.StoreWord(el, xaElAttr, at)
+		})
+		f.Call("newNamespace")
+
+		// Children: recurse while depth remains.
+		deep := f.Reg()
+		f.Lt(deep, zero, depth)
+		f.Bz(deep, noKids)
+		nKids := f.RandConst(2)
+		f.AddImm(nKids, nKids, 2) // 2-3 children
+		f.Loop(nKids, func(prog.Reg) {
+			d1 := f.Reg()
+			f.AddImm(d1, depth, -1)
+			isText := f.RandConst(3) // 1 in 3 children is text
+			textL := f.NewLabel()
+			wire := f.NewLabel()
+			kid := f.Reg()
+			f.Bz(isText, textL)
+			c := f.Call("parseElement", d1)
+			f.Mov(kid, c)
+			f.Jmp(wire)
+			f.Bind(textL)
+			tx := f.Call("newText")
+			f.Mov(kid, tx)
+			f.Bind(wire)
+			sib := readField(f, el, xaElChild)
+			f.StoreWord(kid, xaElSib, sib) // sibling slot is offset 8 for
+			f.StoreWord(el, xaElChild, kid) // both node kinds by design
+		})
+		f.Bind(noKids)
+		f.Ret(el)
+	}
+
+	// transform: recursive walk; elements and attributes are hot, text is
+	// sampled rarely. Node kinds are distinguished by the kind word,
+	// which only element constructors set.
+	tr := b.Func("transform", 1)
+	{
+		f := tr
+		node := f.Param(0)
+		acc := f.ConstReg(0)
+		cur := f.Reg()
+		f.Mov(cur, node)
+		loop := f.NewLabel()
+		done := f.NewLabel()
+		f.Bind(loop)
+		f.Bz(cur, done)
+		// Text nodes are cold: only one in eight transform visits reads
+		// them; elements and attributes are always processed.
+		kind := readField(f, cur, xaElKind)
+		isEl := f.NewLabel()
+		next := f.NewLabel()
+		f.Bnz(kind, isEl)
+		sample := f.RandConst(8)
+		f.Bnz(sample, next)
+		ln := readField(f, cur, xaTxLen)
+		f.Add(acc, acc, ln)
+		f.Jmp(next)
+		f.Bind(isEl)
+		touch(f, cur, xaElHits)
+		tag := readField(f, cur, xaElTag)
+		f.Add(acc, acc, tag)
+		// Attributes.
+		at := readField(f, cur, xaElAttr)
+		aLoop := f.NewLabel()
+		aDone := f.NewLabel()
+		f.Bind(aLoop)
+		f.Bz(at, aDone)
+		v := readField(f, at, xaAtVal)
+		f.Add(acc, acc, v)
+		f.LoadWord(at, at, xaAtNext)
+		f.Jmp(aLoop)
+		f.Bind(aDone)
+		// Children.
+		kid := readField(f, cur, xaElChild)
+		skipKid := f.NewLabel()
+		f.Bz(kid, skipKid)
+		r := f.Call("transform", kid)
+		f.Add(acc, acc, r)
+		f.Bind(skipKid)
+		f.Bind(next)
+		f.LoadWord(cur, cur, xaElSib)
+		f.Jmp(loop)
+		f.Bind(done)
+		f.Ret(acc)
+	}
+
+	main := b.Func("main", 0)
+	{
+		f := main
+		budget := f.ConstReg(int64(scale))
+		f.StoreGlobal(xaGlobNodes, budget)
+		// The document is a root element with one parsed section per
+		// input chunk, each a deep tree.
+		root := f.Call("newElement")
+		f.StoreGlobal(xaGlobRoot, root)
+		f.LoopN(int64(scale/50+1), func(prog.Reg) {
+			depth := f.ConstReg(8)
+			sect := f.Call("parseElement", depth)
+			sib := readField(f, root, xaElChild)
+			f.StoreWord(sect, xaElSib, sib)
+			f.StoreWord(root, xaElChild, sect)
+		})
+		acc := f.ConstReg(0)
+		step := f.Reg()
+		f.Const(step, 0)
+		f.LoopN(int64(16+scale/300), func(prog.Reg) {
+			r := f.Call("transform", root)
+			f.Add(acc, acc, r)
+			// Namespace resolution every eighth pass (cold data).
+			f.AddImm(step, step, 1)
+			seven := f.ConstReg(7)
+			m := f.Reg()
+			f.And(m, step, seven)
+			skip := f.NewLabel()
+			f.Bnz(m, skip)
+			nr := f.Call("resolveNamespaces")
+			f.Add(acc, acc, nr)
+			f.Bind(skip)
+		})
+		f.Ret(acc)
+	}
+
+	return b.MustBuild()
+}
