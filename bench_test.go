@@ -7,6 +7,11 @@
 package halo
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"halo/internal/cache"
@@ -15,7 +20,9 @@ import (
 	"halo/internal/hds"
 	"halo/internal/isa"
 	"halo/internal/measure"
+	"halo/internal/profstore"
 	"halo/internal/rewrite"
+	"halo/internal/service"
 	"halo/internal/workloads"
 )
 
@@ -278,6 +285,162 @@ func BenchmarkRewriter(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := rewrite.Instrument(p, sites); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileStore measures profile image round-trips and merging,
+// the building blocks of the halod service path.
+func BenchmarkProfileStore(b *testing.B) {
+	w := workloads.MustGet("art")
+	p := w.Build(w.TestScale)
+	profA, err := core.Profile(p, core.Config{ProfileSeed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	profB, err := core.Profile(p, core.Config{ProfileSeed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := profstore.Encode(profA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(img)))
+		for i := 0; i < b.N; i++ {
+			if _, err := profstore.Encode(profA); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(len(img)))
+		for i := 0; i < b.N; i++ {
+			if _, err := profstore.Decode(img); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := profstore.Merge(profA, profB); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServiceOptimize measures the halod request path end to end over
+// HTTP: a cold optimize request (the full pipeline runs on a worker)
+// versus a repeated identical request served from the content-addressed
+// artifact cache. The gap is the service's scaling story: a fleet
+// re-requesting a (program, profile, config) triple costs a map lookup,
+// not a pipeline run.
+func BenchmarkServiceOptimize(b *testing.B) {
+	srv := service.New(service.Config{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	w := workloads.MustGet("art")
+	p := w.Build(w.TestScale)
+	img, err := p.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var progResp struct {
+		ID string `json:"id"`
+	}
+	benchPost(b, ts.URL+"/v1/programs", img, &progResp)
+	prof, err := core.Profile(p, core.Config{ProfileSeed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := profstore.Encode(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var profResp struct {
+		ID string `json:"id"`
+	}
+	benchPost(b, ts.URL+"/v1/profiles", blob, &profResp)
+
+	withProfile, err := json.Marshal(service.OptimizeRequest{
+		Program:  progResp.ID,
+		Profiles: []string{profResp.ID},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// No profile named: the server runs the training workload itself.
+	withTraining, err := json.Marshal(service.OptimizeRequest{Program: progResp.ID})
+	if err != nil {
+		b.Fatal(err)
+	}
+	optimizeOnce := func(b *testing.B, reqBody []byte) service.JobStatus {
+		var st service.JobStatus
+		benchPost(b, ts.URL+"/v1/optimize", reqBody, &st)
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "?wait=1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(data, &st); err != nil {
+			b.Fatal(err)
+		}
+		if st.State != "done" {
+			b.Fatalf("job %s: %s (%s)", st.ID, st.State, st.Error)
+		}
+		return st
+	}
+
+	b.Run("cold_pipeline", func(b *testing.B) {
+		// Full pipeline per request: profile on a worker, then group,
+		// identify, rewrite.
+		for i := 0; i < b.N; i++ {
+			srv.FlushCache()
+			if st := optimizeOnce(b, withTraining); st.Cached {
+				b.Fatal("cold request hit the cache")
+			}
+		}
+	})
+	b.Run("cold_from_profile", func(b *testing.B) {
+		// The uploaded profile replaces the training run; the request
+		// still pays for grouping, identification and rewriting.
+		for i := 0; i < b.N; i++ {
+			srv.FlushCache()
+			if st := optimizeOnce(b, withProfile); st.Cached {
+				b.Fatal("cold request hit the cache")
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		optimizeOnce(b, withProfile) // warm the artifact cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if st := optimizeOnce(b, withProfile); !st.Cached {
+				b.Fatal("cached request missed")
+			}
+		}
+	})
+}
+
+func benchPost(b *testing.B, url string, body []byte, out any) {
+	b.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		b.Fatalf("POST %s: %d %s", url, resp.StatusCode, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,17 +2,21 @@
 // the paper artifact's workflow (halo baseline / halo run) plus the
 // individual stages:
 //
-//	halo build     -w povray -scale test -o povray.hbin    build a workload binary
-//	halo disasm    povray.hbin                             disassemble a binary
-//	halo profile   povray.hbin [-seed N]                   profile and print the affinity graph
-//	halo groups    povray.hbin                             print allocation groups (Figure 9 view)
-//	halo opt       povray.hbin -o povray.halo.hbin         rewrite + emit runtime policy
-//	halo run       povray.hbin [-policy p.json] [-alloc jemalloc|ptmalloc|halo|hds|random]
-//	halo pipeline  -w povray                               end-to-end: profile test, measure ref
-//	halo list                                              list workloads
+//	halo build         -w povray -scale test -o povray.hbin  build a workload binary
+//	halo disasm        povray.hbin                           disassemble a binary
+//	halo profile       [-seed N] [-o p.hprof] povray.hbin    profile; print graph, save profile
+//	halo profile-merge -o m.hprof a.hprof b.hprof ...        merge saved profiles
+//	halo groups        [flags] povray.hbin                   print allocation groups (Figure 9 view)
+//	halo opt           [-profile m.hprof] -o ... povray.hbin rewrite + emit runtime policy
+//	halo run           [-policy p.json] [-alloc halo|jemalloc|ptmalloc|random] povray.hbin
+//	halo pipeline      -w povray                             end-to-end: profile test, measure ref
+//	halo list                                                list workloads
 //
-// Binaries are the encoded mini-ISA images of internal/isa; policies are
-// JSON documents carrying selectors and group-allocator settings.
+// Flags come before the positional binary argument.
+//
+// Binaries are the encoded mini-ISA images of internal/isa; profiles are
+// the versioned images of internal/profstore; policies are JSON documents
+// carrying selectors and group-allocator settings.
 package main
 
 import (
@@ -28,6 +32,9 @@ import (
 	"halo/internal/halloc"
 	"halo/internal/isa"
 	"halo/internal/measure"
+	"halo/internal/policy"
+	"halo/internal/profile"
+	"halo/internal/profstore"
 	"halo/internal/rewrite"
 	"halo/internal/workloads"
 )
@@ -46,6 +53,8 @@ func main() {
 		err = cmdDisasm(args)
 	case "profile":
 		err = cmdProfile(args)
+	case "profile-merge":
+		err = cmdProfileMerge(args)
 	case "groups":
 		err = cmdGroups(args)
 	case "opt":
@@ -73,37 +82,26 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: halo <command> [flags]
 
 commands:
-  build     build a workload into a binary image
-  disasm    disassemble a binary image
-  profile   profile a binary and print its affinity graph
-  groups    print the allocation groups formed from a profile
-  opt       run the full pipeline, emit rewritten binary + policy
-  run       execute a binary under an allocator policy
-  pipeline  end-to-end: profile on test input, measure on ref input
-  list      list available workloads`)
+  build          build a workload into a binary image
+  disasm         disassemble a binary image
+  profile        profile a binary; print its affinity graph, save with -o
+  profile-merge  merge saved profiles from independent training runs
+  groups         print the allocation groups formed from a profile
+  opt            run the full pipeline, emit rewritten binary + policy
+  run            execute a binary under an allocator policy
+  pipeline       end-to-end: profile on test input, measure on ref input
+  list           list available workloads`)
 }
 
-// Policy is the JSON document `halo opt` emits and `halo run` consumes.
-type Policy struct {
-	Program   string         `json:"program"`
-	NumBits   int            `json:"num_bits"`
-	Selectors []PolicySel    `json:"selectors"`
-	Halloc    PolicyHalloc   `json:"halloc"`
-	Sites     map[string]int `json:"sites"` // site string -> bit
-}
+// Policy is the JSON document `halo opt` emits and `halo run` consumes —
+// the same document cmd/halod serves for finished jobs (internal/policy).
+type Policy = policy.Doc
 
 // PolicySel is one lowered selector.
-type PolicySel struct {
-	Group int     `json:"group"`
-	Conj  [][]int `json:"conj"`
-}
+type PolicySel = policy.Sel
 
 // PolicyHalloc carries group-allocator tuning.
-type PolicyHalloc struct {
-	ChunkSize   uint64 `json:"chunk_size,omitempty"`
-	NoSpare     bool   `json:"no_spare,omitempty"`
-	AlwaysReuse bool   `json:"always_reuse,omitempty"`
-}
+type PolicyHalloc = policy.Halloc
 
 func loadProgram(path string) (*isa.Program, error) {
 	img, err := os.ReadFile(path)
@@ -168,6 +166,8 @@ func cmdProfile(args []string) error {
 	seed := fs.Uint64("seed", 7, "training seed")
 	dist := fs.Uint64("affinity-distance", 128, "affinity distance A in bytes")
 	top := fs.Int("top", 20, "contexts to print")
+	trace := fs.Bool("trace", false, "record the data reference trace (hot-data-streams input)")
+	out := fs.String("o", "", "save the profile image (input to profile-merge, opt, halod)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: halo profile [flags] <binary>")
@@ -178,6 +178,7 @@ func cmdProfile(args []string) error {
 	}
 	cfg := core.Config{ProfileSeed: *seed}
 	cfg.Profile.AffinityDistance = *dist
+	cfg.Profile.RecordTrace = *trace
 	prof, err := core.Profile(p, cfg)
 	if err != nil {
 		return err
@@ -187,6 +188,46 @@ func cmdProfile(args []string) error {
 	fmt.Printf("affinity graph: %d nodes, %d edges after 90%% coverage filter (%d raw nodes)\n",
 		prof.Graph.NumNodes(), prof.Graph.NumEdges(), prof.RawGraph.NumNodes())
 	fmt.Printf("\nhottest contexts:\n%s", prof.DescribeTop(*top))
+	if *out != "" {
+		if err := profstore.Save(*out, prof); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote profile %s\n", *out)
+	}
+	return nil
+}
+
+func cmdProfileMerge(args []string) error {
+	fs := flag.NewFlagSet("profile-merge", flag.ExitOnError)
+	out := fs.String("o", "", "output profile image (omit to only print the merged summary)")
+	coverage := fs.Float64("coverage", profstore.DefaultCoverage, "re-filter coverage for the merged graph")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: halo profile-merge [-o merged.hprof] <profile>...")
+	}
+	profs := make([]*profile.Profile, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		prof, err := profstore.Load(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("%s: program %s, %d contexts, %d accesses\n",
+			path, prof.ProgName, len(prof.Contexts), prof.TotalAccesses)
+		profs = append(profs, prof)
+	}
+	merged, err := profstore.MergeWithCoverage(*coverage, profs...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("merged: program %s, %d contexts, %d accesses, graph %d nodes / %d edges (%d raw nodes)\n",
+		merged.ProgName, len(merged.Contexts), merged.TotalAccesses,
+		merged.Graph.NumNodes(), merged.Graph.NumEdges(), merged.RawGraph.NumNodes())
+	if *out != "" {
+		if err := profstore.Save(*out, merged); err != nil {
+			return err
+		}
+		fmt.Printf("wrote profile %s\n", *out)
+	}
 	return nil
 }
 
@@ -221,6 +262,7 @@ func cmdOpt(args []string) error {
 	out := fs.String("o", "", "rewritten binary path (default <in>.halo.hbin)")
 	polOut := fs.String("policy", "", "policy path (default <in>.policy.json)")
 	seed := fs.Uint64("seed", 7, "training seed")
+	profPath := fs.String("profile", "", "use a saved profile image instead of a fresh training run")
 	chunk := fs.Uint64("chunk-size", 0, "group chunk size")
 	maxSpare := fs.Int("max-spare-chunks", 1, "spare chunks kept")
 	maxGroups := fs.Int("max-groups", 0, "cap the number of groups")
@@ -235,8 +277,21 @@ func cmdOpt(args []string) error {
 	}
 	cfg := core.Config{ProfileSeed: *seed}
 	cfg.Group.MaxGroups = *maxGroups
-	opt, err := core.Optimize(p, cfg)
-	if err != nil {
+	var opt *core.Optimized
+	if *profPath != "" {
+		prof, err := profstore.Load(*profPath)
+		if err != nil {
+			return err
+		}
+		if prof.ProgName != p.Name {
+			return fmt.Errorf("profile %s is for program %q, not %q", *profPath, prof.ProgName, p.Name)
+		}
+		prof.Prog = p
+		opt, err = core.OptimizeFromProfile(p, prof, cfg)
+		if err != nil {
+			return err
+		}
+	} else if opt, err = core.Optimize(p, cfg); err != nil {
 		return err
 	}
 	img, err := opt.Rewrite.Prog.Encode()

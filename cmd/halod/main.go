@@ -1,0 +1,93 @@
+// Command halod is the HALO optimization daemon: the service layer of
+// internal/service behind a plain HTTP listener. Training machines upload
+// program and profile images, the daemon merges profiles, runs the
+// pipeline on a bounded worker pool, and serves the optimized artifacts
+// (group reports, rewritten binaries, allocator policies) from a
+// content-addressed cache.
+//
+//	halod [-addr :7920] [-workers N] [-queue N] [-max-upload BYTES]
+//
+// Typical session (see README.md for the full walkthrough):
+//
+//	halo build -w povray -o povray.hbin
+//	halo profile -seed 3 -o povray.s3.hprof povray.hbin
+//	curl --data-binary @povray.hbin   $H/v1/programs
+//	curl --data-binary @povray.s3.hprof $H/v1/profiles
+//	curl -d '{"program":"...","profiles":["..."]}' $H/v1/optimize
+//	curl "$H/v1/jobs/job-000001?wait=1"
+//	curl -o povray.halo.hbin $H/v1/jobs/job-000001/binary
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"halo/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":7920", "listen address")
+	workers := flag.Int("workers", 0, "optimization worker pool size (0 = service default)")
+	queue := flag.Int("queue", 0, "job queue depth (0 = service default)")
+	maxUpload := flag.Int64("max-upload", 0, "max upload size in bytes (0 = service default)")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxUploadBytes: *maxUpload,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(srv),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-stop
+		log.Printf("halod: shutting down")
+		// The drain window must outlast the service's longest handler:
+		// GET /v1/jobs/{id}?wait=1 long-polls for up to five minutes.
+		ctx, cancel := context.WithTimeout(context.Background(), 6*time.Minute)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+
+	log.Printf("halod: listening on %s (%s)", *addr, describe(srv))
+	err := httpSrv.ListenAndServe()
+	if err == http.ErrServerClosed {
+		// Shutdown closed the listener; wait for in-flight requests
+		// (long-polling job waiters included) to finish draining.
+		<-drained
+	}
+	srv.Close() // drain the worker pool
+	if err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "halod: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func describe(s *service.Server) string {
+	st := s.Stats()
+	return fmt.Sprintf("%d workers", st.Workers)
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

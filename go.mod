@@ -1,0 +1,3 @@
+module halo
+
+go 1.24

@@ -35,6 +35,7 @@ import (
 	"halo/internal/isa"
 	"halo/internal/measure"
 	"halo/internal/profile"
+	"halo/internal/profstore"
 )
 
 // Config parameterises the pipeline; the zero value uses the paper's
@@ -73,6 +74,30 @@ func OptimizeFromProfile(p *isa.Program, prof *Profile, cfg Config) (*Optimized,
 func AnalyzeHDS(prof *Profile, cfg Config) (*hds.Result, error) {
 	return core.AnalyzeHDS(prof, cfg)
 }
+
+// Profile persistence and merging (internal/profstore re-exports). These
+// are the building blocks of the service deployment: training runs save
+// profiles, a central optimizer merges them and feeds the result to
+// OptimizeFromProfile (or lets cmd/halod do all of it over HTTP).
+
+// EncodeProfile serialises a profile to its versioned binary image.
+func EncodeProfile(p *Profile) ([]byte, error) { return profstore.Encode(p) }
+
+// DecodeProfile parses a profile image. The result carries the program's
+// name but not the program itself; pair it with the matching binary before
+// rendering reports.
+func DecodeProfile(image []byte) (*Profile, error) { return profstore.Decode(image) }
+
+// SaveProfile writes a profile image to a file.
+func SaveProfile(path string, p *Profile) error { return profstore.Save(path, p) }
+
+// LoadProfile reads a profile image from a file.
+func LoadProfile(path string) (*Profile, error) { return profstore.Load(path) }
+
+// MergeProfiles deterministically combines profiles of one program from
+// independent training runs (different seeds or scales) into a single
+// profile for OptimizeFromProfile. The merge is order-independent.
+func MergeProfiles(profs ...*Profile) (*Profile, error) { return profstore.Merge(profs...) }
 
 // Measurement re-exports.
 

@@ -1,6 +1,9 @@
 package halo
 
 import (
+	"bytes"
+	"fmt"
+	"path/filepath"
 	"testing"
 
 	"halo/internal/measure"
@@ -84,6 +87,68 @@ func TestFacadeProfileAndHDS(t *testing.T) {
 			len(hr.SiteGroups))
 	}
 	_ = distinctHDS
+}
+
+// TestFacadeProfileStore exercises the profile persistence surface: two
+// training runs at different seeds, saved, reloaded, merged, and driven
+// through OptimizeFromProfile.
+func TestFacadeProfileStore(t *testing.T) {
+	w := workloads.MustGet("art")
+	prog := w.Build(w.TestScale)
+
+	dir := t.TempDir()
+	paths := make([]string, 0, 2)
+	for i, seed := range []uint64{3, 5} {
+		prof, err := ProfileProgram(prog, Config{ProfileSeed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("art.%d.hprof", i))
+		if err := SaveProfile(path, prof); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	loaded := make([]*Profile, 0, 2)
+	for _, path := range paths {
+		prof, err := LoadProfile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded = append(loaded, prof)
+	}
+	merged, err := MergeProfiles(loaded...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.ProgName != "art" {
+		t.Fatalf("merged program = %q", merged.ProgName)
+	}
+	opt, err := OptimizeFromProfile(prog, merged, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Groups) == 0 || len(opt.BitSelectors) == 0 {
+		t.Fatalf("merged profile produced no policy: %d groups, %d selectors",
+			len(opt.Groups), len(opt.BitSelectors))
+	}
+
+	// Encode/Decode round-trips the merged profile byte-identically.
+	img, err := EncodeProfile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeProfile(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, err := EncodeProfile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, img2) {
+		t.Fatal("profile image not stable under decode/encode")
+	}
 }
 
 // TestFacadeTrials exercises the trial aggregation path.

@@ -39,9 +39,9 @@ func (e EdgeKey) IsLoop() bool { return e.U == e.V }
 
 // Graph is the pairwise affinity graph.
 type Graph struct {
-	nodes map[Ctx]uint64    // context -> macro accesses observed
+	nodes map[Ctx]uint64     // context -> macro accesses observed
 	edges map[EdgeKey]uint64 // pair -> affinitive access pairs
-	total uint64            // total macro accesses (including filtered)
+	total uint64             // total macro accesses (including filtered)
 }
 
 // NewGraph returns an empty graph.
@@ -65,6 +65,35 @@ func (g *Graph) AddEdge(a, b Ctx, w uint64) {
 		g.nodes[b] = 0
 	}
 	g.edges[MakeEdge(a, b)] += w
+}
+
+// AddAccesses records n macro accesses to a context at once. It is the
+// bulk form of AddAccess used when merging or reconstructing graphs.
+func (g *Graph) AddAccesses(c Ctx, n uint64) {
+	g.nodes[c] += n
+	g.total += n
+}
+
+// SetNodeAccesses sets a node's access count without touching the total.
+// Decoders use it to rebuild filtered graphs, whose totals deliberately
+// exceed the sum of their surviving nodes.
+func (g *Graph) SetNodeAccesses(c Ctx, n uint64) { g.nodes[c] = n }
+
+// SetTotalAccesses overrides the total macro-access count. Decoders call
+// it after SetNodeAccesses/AddEdge to restore a serialised graph exactly.
+func (g *Graph) SetTotalAccesses(n uint64) { g.total = n }
+
+// Merge folds other into g, translating every context through remap. Node
+// access counts, edge weights and the observed-access total all add; the
+// result is independent of merge order because addition commutes.
+func (g *Graph) Merge(other *Graph, remap func(Ctx) Ctx) {
+	for c, a := range other.nodes {
+		g.nodes[remap(c)] += a // inserts the node even when a == 0
+	}
+	for e, w := range other.edges {
+		g.AddEdge(remap(e.U), remap(e.V), w)
+	}
+	g.total += other.total
 }
 
 // NumNodes reports the node count.

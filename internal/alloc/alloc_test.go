@@ -8,8 +8,8 @@ import (
 	"halo/internal/mem"
 )
 
-func newSS() *SizeSeg      { return NewSizeSeg(mem.NewOS(mem.NewMemory())) }
-func newBT() *BoundaryTag  { return NewBoundaryTag(mem.NewOS(mem.NewMemory())) }
+func newSS() *SizeSeg     { return NewSizeSeg(mem.NewOS(mem.NewMemory())) }
+func newBT() *BoundaryTag { return NewBoundaryTag(mem.NewOS(mem.NewMemory())) }
 
 func allocators() map[string]func() Allocator {
 	return map[string]func() Allocator{

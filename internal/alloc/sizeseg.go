@@ -84,8 +84,8 @@ type SizeSeg struct {
 	os *mem.OS
 	statsTracker
 
-	classes []classState // one per entry of SizeClasses
-	pageMap map[uint64]*run  // page id -> owning run, for O(1) free
+	classes []classState      // one per entry of SizeClasses
+	pageMap map[uint64]*run   // page id -> owning run, for O(1) free
 	large   map[uint64]uint64 // base -> payload size
 
 	arena     mem.Region // current extent being carved into runs

@@ -179,9 +179,9 @@ type Config struct {
 	L1, L2, L3  LevelConfig
 	TLB         TLBConfig // first-level DTLB
 	STLB        TLBConfig // unified second-level TLB; Entries=0 disables
-	MemLatency  uint64 // cycles for a DRAM access
-	Prefetch    bool   // next-line prefetch into L2 on L2 miss
-	PrefetchDeg int    // lines prefetched ahead (default 1)
+	MemLatency  uint64    // cycles for a DRAM access
+	Prefetch    bool      // next-line prefetch into L2 on L2 miss
+	PrefetchDeg int       // lines prefetched ahead (default 1)
 	BaseCPI     float64
 	ClockGHz    float64
 }

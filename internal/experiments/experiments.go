@@ -314,5 +314,3 @@ func (e *Engine) Run(ids []string) ([]*Table, error) {
 	}
 	return out, nil
 }
-
-

@@ -103,9 +103,9 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestFormatBytes(t *testing.T) {
 	cases := map[uint64]string{
-		512:       "512B",
-		2 << 10:   "2.00KiB",
-		3 << 20:   "3.00MiB",
+		512:     "512B",
+		2 << 10: "2.00KiB",
+		3 << 20: "3.00MiB",
 	}
 	for in, want := range cases {
 		if got := formatBytes(in); got != want {

@@ -21,8 +21,8 @@ type Result struct {
 	Candidates int // candidate streams considered
 	Rules      int // grammar rules inferred
 	TraceLen   int
-	Sets       []CoallocSet      // selected co-allocation sets
-	SiteGroups map[isa.Addr]int  // runtime policy: immediate site -> group
+	Sets       []CoallocSet     // selected co-allocation sets
+	SiteGroups map[isa.Addr]int // runtime policy: immediate site -> group
 }
 
 // Analyze runs the pipeline over a profile's data reference trace: grammar

@@ -34,9 +34,9 @@ func TestSequiturExpandReproducesInput(t *testing.T) {
 		{1, 2, 1, 2},
 		{1, 2, 1, 2, 1, 2},
 		{1, 2, 3, 1, 2, 3, 1, 2, 3},
-		{1, 2, 1, 2, 3, 1, 2, 1, 2, 3},            // nested rules
-		{5, 5, 5, 5, 5, 5, 5, 5},                  // runs
-		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},           // no repetition
+		{1, 2, 1, 2, 3, 1, 2, 1, 2, 3},  // nested rules
+		{5, 5, 5, 5, 5, 5, 5, 5},        // runs
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, // no repetition
 		{1, 2, 2, 1, 2, 2, 3, 1, 2, 2, 1, 2, 2, 3}, // deep nesting
 	}
 	for _, seq := range cases {
@@ -107,7 +107,7 @@ func TestSequiturRuleUtility(t *testing.T) {
 	for _, r := range g.Rules() {
 		for _, v := range r.Body() {
 			if v < 0 {
-				refs[int(-v - 1)]++
+				refs[int(-v-1)]++
 			}
 		}
 	}

@@ -53,9 +53,9 @@ func TestBuildNeedsConjunction(t *testing.T) {
 	// pair (a AND b) does.
 	a, b := site(1, 1), site(2, 2)
 	contexts := []*profile.Context{
-		ctx(0, 0, a, b),  // member
-		ctx(1, -1, a),    // conflict sharing a
-		ctx(2, -1, b),    // conflict sharing b
+		ctx(0, 0, a, b), // member
+		ctx(1, -1, a),   // conflict sharing a
+		ctx(2, -1, b),   // conflict sharing b
 	}
 	groups := []group.Group{{ID: 0, Members: []affinity.Ctx{0}, Accesses: 10}}
 	res := Build(groups, contexts)

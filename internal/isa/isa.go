@@ -46,8 +46,8 @@ const (
 	OpAnd
 	OpOr
 	OpXor
-	OpShl // shift count taken mod 64
-	OpShr // logical shift right
+	OpShl    // shift count taken mod 64
+	OpShr    // logical shift right
 	OpAddImm // r[A] = r[B] + Imm
 
 	// Comparisons produce 0 or 1. r[A] = r[B] cmp r[C].
@@ -115,13 +115,13 @@ type Extern int32
 // The external symbol table. Malloc..Free are the POSIX.1 memory-management
 // routines the paper's instrumentation tool intercepts.
 const (
-	ExtMalloc Extern = iota // malloc(size) -> ptr
-	ExtCalloc               // calloc(n, size) -> zeroed ptr
-	ExtRealloc              // realloc(ptr, size) -> ptr
-	ExtFree                 // free(ptr) -> 0
-	ExtRand                 // rand(n) -> uniform [0, n); rand(0) -> raw 64-bit
-	ExtPrint                // print(x) -> x (debug sink)
-	ExtExit                 // exit(code): halts the machine
+	ExtMalloc  Extern = iota // malloc(size) -> ptr
+	ExtCalloc                // calloc(n, size) -> zeroed ptr
+	ExtRealloc               // realloc(ptr, size) -> ptr
+	ExtFree                  // free(ptr) -> 0
+	ExtRand                  // rand(n) -> uniform [0, n); rand(0) -> raw 64-bit
+	ExtPrint                 // print(x) -> x (debug sink)
+	ExtExit                  // exit(code): halts the machine
 	externCount
 )
 

@@ -65,9 +65,9 @@ type Policy struct {
 	Kind PolicyKind
 
 	// HALO policy inputs.
-	Rewritten *isa.Program          // instrumented binary
-	Selectors []halloc.BitSelector  // lowered selectors
-	NumBits   int                   // group-state width
+	Rewritten *isa.Program         // instrumented binary
+	Selectors []halloc.BitSelector // lowered selectors
+	NumBits   int                  // group-state width
 
 	// HDS policy input.
 	SiteGroups map[isa.Addr]int

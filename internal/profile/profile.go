@@ -66,6 +66,7 @@ type Ref struct {
 // Profile is the result of a profiling run.
 type Profile struct {
 	Prog     *isa.Program
+	ProgName string          // survives serialisation, where Prog does not
 	Graph    *affinity.Graph // filtered per Config.Coverage
 	RawGraph *affinity.Graph // unfiltered
 	Contexts []*Context      // indexed by affinity.Ctx
@@ -235,6 +236,7 @@ func (p *Profiler) OnAccess(addr uint64, size uint8, write bool) {
 func (p *Profiler) Finish() *Profile {
 	return &Profile{
 		Prog:          p.prog,
+		ProgName:      p.prog.Name,
 		Graph:         p.graph.Filter(p.cfg.Coverage),
 		RawGraph:      p.graph,
 		Contexts:      p.contexts.list,

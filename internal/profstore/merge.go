@@ -1,0 +1,110 @@
+package profstore
+
+import (
+	"fmt"
+	"sort"
+
+	"halo/internal/affinity"
+	"halo/internal/profile"
+)
+
+// DefaultCoverage is the paper's node-filter fraction (§4.1), applied to
+// the merged raw graph when no explicit coverage is given.
+const DefaultCoverage = 0.90
+
+// Merge combines profiles from independent training runs of one program
+// into a single profile, filtering the merged graph at the paper's default
+// 90% coverage. See MergeWithCoverage for the semantics.
+func Merge(profs ...*profile.Profile) (*profile.Profile, error) {
+	return MergeWithCoverage(DefaultCoverage, profs...)
+}
+
+// MergeWithCoverage combines profiles of one program (matched by ProgName)
+// by identifying allocation contexts across runs through their reduced
+// chains, summing node access counts and edge weights, and re-filtering the
+// merged raw graph at the given coverage. The result is deterministic and
+// independent of argument order: context IDs are assigned in canonical
+// (chain-key) order, and all combination is additive.
+//
+// Two per-run artefacts do not survive merging, by design: allocation
+// serial logs (serial spaces of distinct runs are incomparable; serials
+// only feed the co-allocatability check during live profiling) and data
+// reference traces (the hot-data-streams analysis is defined over a single
+// run's reference order). Merged profiles drive grouping, identification
+// and rewriting — the OptimizeFromProfile path.
+func MergeWithCoverage(coverage float64, profs ...*profile.Profile) (*profile.Profile, error) {
+	if len(profs) == 0 {
+		return nil, fmt.Errorf("profstore: merge: no profiles")
+	}
+	if coverage <= 0 || coverage > 1 {
+		return nil, fmt.Errorf("profstore: merge: coverage %v out of (0,1]", coverage)
+	}
+	name := progName(profs[0])
+	for _, p := range profs {
+		if p == nil {
+			return nil, fmt.Errorf("profstore: merge: nil profile")
+		}
+		if p.RawGraph == nil {
+			return nil, fmt.Errorf("profstore: merge: profile for %q has no raw graph", progName(p))
+		}
+		if n := progName(p); n != name {
+			return nil, fmt.Errorf("profstore: merge: program mismatch: %q vs %q", name, n)
+		}
+	}
+
+	// Canonical context numbering: every distinct chain across all inputs,
+	// interned in ascending chain-key order.
+	chains := make(map[string][]profile.ChainEntry)
+	for _, p := range profs {
+		for _, c := range p.Contexts {
+			chains[profile.ChainKey(c.Chain)] = c.Chain
+		}
+	}
+	keys := make([]string, 0, len(chains))
+	for k := range chains {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	set := profile.NewContextSet()
+	for _, k := range keys {
+		set.Intern(chains[k])
+	}
+
+	// Fold every input into the canonical numbering.
+	raw := affinity.NewGraph()
+	out := &profile.Profile{ProgName: name, Contexts: set.List()}
+	for _, p := range profs {
+		remap := make([]affinity.Ctx, len(p.Contexts))
+		for i, c := range p.Contexts {
+			merged := set.Lookup(c.Chain)
+			merged.Allocs += c.Allocs
+			remap[i] = merged.ID
+		}
+		raw.Merge(p.RawGraph, func(c affinity.Ctx) affinity.Ctx { return remap[c] })
+		out.TotalAllocs += p.TotalAllocs
+		out.TrackedAllocs += p.TrackedAllocs
+		if p.PeakLive > out.PeakLive {
+			out.PeakLive = p.PeakLive
+		}
+		if out.Prog == nil {
+			out.Prog = p.Prog
+		}
+	}
+	out.RawGraph = raw
+	out.Graph = raw.Filter(coverage)
+	out.TotalAccesses = raw.TotalAccesses()
+	return out, nil
+}
+
+func progName(p *profile.Profile) string {
+	if p == nil {
+		return ""
+	}
+	if p.ProgName != "" {
+		return p.ProgName
+	}
+	if p.Prog != nil {
+		return p.Prog.Name
+	}
+	return ""
+}

@@ -1,0 +1,378 @@
+package profstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"halo/internal/core"
+	"halo/internal/profile"
+	"halo/internal/workloads"
+)
+
+// profileWorkload profiles a workload at test scale with the given seed.
+func profileWorkload(t testing.TB, name string, seed uint64, trace bool) *profile.Profile {
+	t.Helper()
+	w := workloads.MustGet(name)
+	p := w.Build(w.TestScale)
+	cfg := core.Config{ProfileSeed: seed}
+	cfg.Profile.RecordTrace = trace
+	prof, err := core.Profile(p, cfg)
+	if err != nil {
+		t.Fatalf("profiling %s: %v", name, err)
+	}
+	return prof
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		workload string
+		trace    bool
+	}{
+		{"povray", false},
+		{"art", true},
+	} {
+		t.Run(tc.workload, func(t *testing.T) {
+			prof := profileWorkload(t, tc.workload, 7, tc.trace)
+			img, err := Encode(prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Decode(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got.ProgName != prof.ProgName {
+				t.Errorf("ProgName = %q, want %q", got.ProgName, prof.ProgName)
+			}
+			if got.Prog != nil {
+				t.Errorf("decoded profile should not carry a program")
+			}
+			if got.TotalAllocs != prof.TotalAllocs || got.TrackedAllocs != prof.TrackedAllocs ||
+				got.TotalAccesses != prof.TotalAccesses || got.PeakLive != prof.PeakLive {
+				t.Errorf("stats mismatch: got %d/%d/%d/%d want %d/%d/%d/%d",
+					got.TotalAllocs, got.TrackedAllocs, got.TotalAccesses, got.PeakLive,
+					prof.TotalAllocs, prof.TrackedAllocs, prof.TotalAccesses, prof.PeakLive)
+			}
+
+			if len(got.Contexts) != len(prof.Contexts) {
+				t.Fatalf("%d contexts, want %d", len(got.Contexts), len(prof.Contexts))
+			}
+			for i, want := range prof.Contexts {
+				c := got.Contexts[i]
+				if c.ID != want.ID || c.Allocs != want.Allocs || !reflect.DeepEqual(c.Chain, want.Chain) {
+					t.Fatalf("context %d differs: %+v vs %+v", i, c, want)
+				}
+				if !reflect.DeepEqual(c.Serials(), want.Serials()) {
+					t.Fatalf("context %d serials differ (%d vs %d entries)",
+						i, len(c.Serials()), len(want.Serials()))
+				}
+			}
+
+			checkGraphsEqual(t, "filtered", prof, got, true)
+			checkGraphsEqual(t, "raw", prof, got, false)
+
+			if !reflect.DeepEqual(got.Trace, prof.Trace) &&
+				!(len(got.Trace) == 0 && len(prof.Trace) == 0) {
+				t.Errorf("trace differs: %d vs %d refs", len(got.Trace), len(prof.Trace))
+			}
+
+			// The strongest round-trip property: re-encoding the decoded
+			// profile reproduces the image byte for byte.
+			img2, err := Encode(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(img, img2) {
+				t.Errorf("re-encoded image differs (%d vs %d bytes)", len(img), len(img2))
+			}
+		})
+	}
+}
+
+func checkGraphsEqual(t *testing.T, label string, want, got *profile.Profile, filtered bool) {
+	t.Helper()
+	wg, gg := want.RawGraph, got.RawGraph
+	if filtered {
+		wg, gg = want.Graph, got.Graph
+	}
+	if wg.TotalAccesses() != gg.TotalAccesses() {
+		t.Errorf("%s graph total = %d, want %d", label, gg.TotalAccesses(), wg.TotalAccesses())
+	}
+	wantNodes, gotNodes := wg.Nodes(), gg.Nodes()
+	if !reflect.DeepEqual(wantNodes, gotNodes) {
+		t.Fatalf("%s graph nodes differ: %v vs %v", label, gotNodes, wantNodes)
+	}
+	for _, c := range wantNodes {
+		if wg.Accesses(c) != gg.Accesses(c) {
+			t.Errorf("%s graph accesses(ctx%d) = %d, want %d", label, c, gg.Accesses(c), wg.Accesses(c))
+		}
+	}
+	if !reflect.DeepEqual(wg.EdgeWeights(), gg.EdgeWeights()) {
+		t.Fatalf("%s graph edge weights differ", label)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	prof := profileWorkload(t, "art", 7, true)
+	a, err := Encode(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of one profile differ")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	prof := profileWorkload(t, "povray", 7, false)
+	img, err := Encode(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("bitflips", func(t *testing.T) {
+		// The CRC catches any single-byte corruption; sample positions
+		// across the image, including the trailing checksum itself.
+		stride := len(img)/257 + 1
+		for pos := 0; pos < len(img); pos += stride {
+			bad := append([]byte(nil), img...)
+			bad[pos] ^= 0x41
+			if _, err := Decode(bad); err == nil {
+				t.Fatalf("corruption at byte %d/%d not detected", pos, len(img))
+			}
+		}
+		for pos := len(img) - 4; pos < len(img); pos++ {
+			bad := append([]byte(nil), img...)
+			bad[pos] ^= 0x41
+			if _, err := Decode(bad); err == nil {
+				t.Fatalf("checksum corruption at byte %d not detected", pos)
+			}
+		}
+	})
+
+	t.Run("truncation", func(t *testing.T) {
+		stride := len(img)/257 + 1
+		for n := 0; n < len(img); n += stride {
+			if _, err := Decode(img[:n]); err == nil {
+				t.Fatalf("truncation to %d/%d bytes not detected", n, len(img))
+			}
+		}
+	})
+
+	t.Run("trailing-garbage", func(t *testing.T) {
+		if _, err := Decode(append(append([]byte(nil), img...), 0, 1, 2)); err == nil {
+			t.Fatal("trailing bytes not detected")
+		}
+	})
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Decode(nil); err == nil {
+			t.Fatal("empty image not detected")
+		}
+	})
+}
+
+// TestDecodeForgedCounts crafts tiny images with valid checksums that
+// claim enormous element counts; Decode must reject them from the count
+// alone instead of allocating.
+func TestDecodeForgedCounts(t *testing.T) {
+	forge := func(build func(buf *bytes.Buffer)) []byte {
+		var buf bytes.Buffer
+		buf.WriteString(magic)
+		writeUvarint(&buf, version)
+		writeString(&buf, "forged")
+		writeUvarint(&buf, 0) // TotalAllocs
+		writeUvarint(&buf, 0) // TrackedAllocs
+		writeUvarint(&buf, 0) // PeakLive
+		build(&buf)
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf.Bytes()))
+		buf.Write(crc[:])
+		return buf.Bytes()
+	}
+	emptyGraph := func(buf *bytes.Buffer) {
+		writeUvarint(buf, 0) // total
+		writeUvarint(buf, 0) // nodes
+		writeUvarint(buf, 0) // edges
+	}
+	for name, img := range map[string][]byte{
+		"contexts": forge(func(buf *bytes.Buffer) {
+			writeUvarint(buf, maxContexts) // claims 4M contexts in ~30 bytes
+		}),
+		"serials": forge(func(buf *bytes.Buffer) {
+			writeUvarint(buf, 1) // one context
+			writeUvarint(buf, 0) // empty chain
+			writeUvarint(buf, 0) // allocs
+			writeUvarint(buf, maxSerials)
+		}),
+		"trace": forge(func(buf *bytes.Buffer) {
+			writeUvarint(buf, 0) // contexts
+			emptyGraph(buf)
+			emptyGraph(buf)
+			writeUvarint(buf, maxTraceLen)
+		}),
+		"graph-nodes": forge(func(buf *bytes.Buffer) {
+			writeUvarint(buf, 0) // contexts
+			writeUvarint(buf, 0) // graph total
+			writeUvarint(buf, maxNodes)
+		}),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Decode(img); err == nil {
+				t.Fatalf("forged %s count accepted", name)
+			}
+		})
+	}
+}
+
+func TestMergeDeterministic(t *testing.T) {
+	a := profileWorkload(t, "art", 3, false)
+	b := profileWorkload(t, "art", 5, false)
+	c := profileWorkload(t, "art", 11, false)
+
+	ab, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := Merge(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgAB, err := Encode(ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgBA, err := Encode(ba)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(imgAB, imgBA) {
+		t.Fatal("merge(A,B) and merge(B,A) encode differently")
+	}
+
+	abc, err := Merge(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cba, err := Merge(c, b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgABC, err := Encode(abc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgCBA, err := Encode(cba)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(imgABC, imgCBA) {
+		t.Fatal("three-way merges in different orders encode differently")
+	}
+}
+
+func TestMergeSums(t *testing.T) {
+	a := profileWorkload(t, "art", 3, false)
+	b := profileWorkload(t, "art", 5, false)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalAllocs != a.TotalAllocs+b.TotalAllocs {
+		t.Errorf("TotalAllocs = %d, want %d", m.TotalAllocs, a.TotalAllocs+b.TotalAllocs)
+	}
+	if m.TrackedAllocs != a.TrackedAllocs+b.TrackedAllocs {
+		t.Errorf("TrackedAllocs = %d, want %d", m.TrackedAllocs, a.TrackedAllocs+b.TrackedAllocs)
+	}
+	if got, want := m.RawGraph.TotalAccesses(), a.RawGraph.TotalAccesses()+b.RawGraph.TotalAccesses(); got != want {
+		t.Errorf("merged raw accesses = %d, want %d", got, want)
+	}
+	// Per-context allocation counts add across runs, matched by chain.
+	set := profile.NewContextSet()
+	for _, c := range m.Contexts {
+		set.Intern(c.Chain)
+	}
+	var checked int
+	for _, c := range a.Contexts {
+		mc := set.Lookup(c.Chain)
+		if mc == nil {
+			t.Fatalf("merged profile lost context %v", c.Chain)
+		}
+		want := c.Allocs
+		for _, bc := range b.Contexts {
+			if profile.ChainKey(bc.Chain) == profile.ChainKey(c.Chain) {
+				want += bc.Allocs
+			}
+		}
+		if m.Contexts[mc.ID].Allocs != want {
+			t.Fatalf("context %v allocs = %d, want %d", c.Chain, m.Contexts[mc.ID].Allocs, want)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no contexts checked")
+	}
+	// Serial logs and traces deliberately do not survive merging.
+	for _, c := range m.Contexts {
+		if len(c.Serials()) != 0 {
+			t.Fatal("merged context carries serials")
+		}
+	}
+	if len(m.Trace) != 0 {
+		t.Fatal("merged profile carries a trace")
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	if _, err := Merge(); err == nil {
+		t.Fatal("empty merge did not fail")
+	}
+	a := profileWorkload(t, "art", 3, false)
+	p := profileWorkload(t, "povray", 3, false)
+	if _, err := Merge(a, p); err == nil {
+		t.Fatal("cross-program merge did not fail")
+	}
+	if _, err := Merge(a, nil); err == nil {
+		t.Fatal("nil profile merge did not fail")
+	}
+	if _, err := MergeWithCoverage(0, a); err == nil {
+		t.Fatal("zero coverage did not fail")
+	}
+}
+
+// TestMergedProfileOptimizes drives a merged multi-seed profile through the
+// standard OptimizeFromProfile path and checks the result is deterministic.
+func TestMergedProfileOptimizes(t *testing.T) {
+	w := workloads.MustGet("art")
+	p := w.Build(w.TestScale)
+	a := profileWorkload(t, "art", 3, false)
+	b := profileWorkload(t, "art", 5, false)
+
+	var reports []string
+	for i := 0; i < 2; i++ {
+		m, err := Merge(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := core.OptimizeFromProfile(p, m, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(opt.Groups) == 0 || len(opt.BitSelectors) == 0 {
+			t.Fatalf("merged profile produced no policy: %d groups, %d selectors",
+				len(opt.Groups), len(opt.BitSelectors))
+		}
+		reports = append(reports, opt.GroupReport())
+	}
+	if reports[0] != reports[1] {
+		t.Fatalf("merged optimization not deterministic:\n%s\nvs\n%s", reports[0], reports[1])
+	}
+}

@@ -1,0 +1,531 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"halo/internal/core"
+	"halo/internal/policy"
+	"halo/internal/profile"
+	"halo/internal/profstore"
+)
+
+// OptimizeConfig is the request-level pipeline configuration. Zero values
+// take the paper's defaults throughout (internal/core). All fields
+// participate in the artifact-cache key, so two requests hit the same
+// cache entry exactly when their configurations are identical.
+type OptimizeConfig struct {
+	// ProfileSeed drives the training run when the server profiles the
+	// program itself (no profiles named in the request).
+	ProfileSeed      uint64  `json:"profile_seed"`
+	AffinityDistance uint64  `json:"affinity_distance"`
+	MaxObjectSize    uint64  `json:"max_object_size"`
+	Coverage         float64 `json:"coverage"`
+	MinWeight        uint64  `json:"min_weight"`
+	MaxGroupMembers  int     `json:"max_group_members"`
+	MergeTol         float64 `json:"merge_tol"`
+	GroupThreshold   float64 `json:"group_threshold"`
+	MaxGroups        int     `json:"max_groups"`
+}
+
+// validate rejects values the pipeline cannot take. Zero means "use the
+// default" throughout and is always valid.
+func (c OptimizeConfig) validate() error {
+	if c.Coverage < 0 || c.Coverage > 1 {
+		return fmt.Errorf("coverage %v out of [0,1]", c.Coverage)
+	}
+	if c.GroupThreshold < 0 || c.MergeTol < 0 {
+		return fmt.Errorf("negative group_threshold or merge_tol")
+	}
+	if c.MaxGroupMembers < 0 || c.MaxGroups < 0 {
+		return fmt.Errorf("negative max_group_members or max_groups")
+	}
+	return nil
+}
+
+func (c OptimizeConfig) coreConfig() core.Config {
+	var cfg core.Config
+	cfg.ProfileSeed = c.ProfileSeed
+	cfg.Profile.AffinityDistance = c.AffinityDistance
+	cfg.Profile.MaxObjectSize = c.MaxObjectSize
+	cfg.Profile.Coverage = c.Coverage
+	cfg.Group.MinWeight = c.MinWeight
+	cfg.Group.MaxGroupMembers = c.MaxGroupMembers
+	cfg.Group.MergeTol = c.MergeTol
+	cfg.Group.GroupThreshold = c.GroupThreshold
+	cfg.Group.MaxGroups = c.MaxGroups
+	return cfg
+}
+
+// OptimizeRequest is the POST /v1/optimize body. Profiles are optional:
+// none makes the server run the training workload itself; several are
+// merged (deterministically) before grouping.
+type OptimizeRequest struct {
+	Program  string         `json:"program"`
+	Profiles []string       `json:"profiles,omitempty"`
+	Config   OptimizeConfig `json:"config"`
+}
+
+// cacheKey content-addresses a request: program hash, sorted profile
+// hashes, and the full configuration.
+func (r OptimizeRequest) cacheKey() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "program=%s\n", r.Program)
+	profs := append([]string(nil), r.Profiles...)
+	// Merging is order-independent, so the key must be too.
+	sort.Strings(profs)
+	for _, p := range profs {
+		fmt.Fprintf(h, "profile=%s\n", p)
+	}
+	cfg, _ := json.Marshal(r.Config) // fixed field order, no omitempty
+	h.Write(cfg)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Artifact is a completed optimization, cached content-addressed.
+type Artifact struct {
+	Key       string
+	Program   string   // program hash
+	Profiles  []string // profile hashes (empty: server-side training run)
+	Groups    int
+	Selectors int
+	NumBits   int
+	Inserted  int
+	Dropped   int
+	Report    string
+	Binary    []byte // rewritten program image
+	Policy    []byte // PolicyDoc JSON
+	Elapsed   time.Duration
+}
+
+// PolicyDoc is the allocator policy document served for finished jobs —
+// the same document `halo opt` writes and `halo run -alloc halo -policy`
+// consumes (internal/policy), so artifacts fetched from the daemon feed
+// straight into the CLI.
+type PolicyDoc = policy.Doc
+
+// PolicySel is one lowered selector.
+type PolicySel = policy.Sel
+
+// Job tracks one optimize request through the worker pool.
+type Job struct {
+	ID        string
+	Key       string
+	State     string // "queued", "running", "done", "failed"
+	Cached    bool
+	Coalesced bool
+	Err       string
+	Created   time.Time
+
+	req  OptimizeRequest
+	done chan struct{} // closed when the job settles
+}
+
+// JobStatus is the JSON view of a job.
+type JobStatus struct {
+	ID        string         `json:"id"`
+	State     string         `json:"state"`
+	Key       string         `json:"key"`
+	Cached    bool           `json:"cached"`
+	Coalesced bool           `json:"coalesced,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	Result    *ResultSummary `json:"result,omitempty"`
+}
+
+// ResultSummary carries the artifact's headline numbers; the heavyweight
+// artifacts hang off the /v1/jobs/{id}/... endpoints.
+type ResultSummary struct {
+	Groups      int     `json:"groups"`
+	Selectors   int     `json:"selectors"`
+	NumBits     int     `json:"num_bits"`
+	Inserted    int     `json:"inserted"`
+	Dropped     int     `json:"dropped_conjs"`
+	BinaryBytes int     `json:"binary_bytes"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+}
+
+// handleOptimize validates a request, consults the artifact cache and the
+// in-flight table, and otherwise queues a job on the worker pool.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad optimize request: %v", err)
+		return
+	}
+	if err := req.Config.validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "bad optimize config: %v", err)
+		return
+	}
+	s.mu.Lock()
+	prog := s.programs[req.Program]
+	if prog == nil {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown program %q", req.Program)
+		return
+	}
+	for _, id := range req.Profiles {
+		pe := s.profiles[id]
+		if pe == nil {
+			s.mu.Unlock()
+			httpError(w, http.StatusNotFound, "unknown profile %q", id)
+			return
+		}
+		if pe.ProgName != prog.Prog.Name {
+			s.mu.Unlock()
+			httpError(w, http.StatusBadRequest, "profile %s is for program %q, not %q",
+				id, pe.ProgName, prog.Prog.Name)
+			return
+		}
+	}
+	key := req.cacheKey()
+
+	// Cache hit: settle the job immediately.
+	if _, ok := s.artifacts[key]; ok {
+		job := s.newJobLocked(req, key)
+		job.State = "done"
+		job.Cached = true
+		close(job.done)
+		s.stats.CacheHits++
+		status := s.jobStatusLocked(job)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, status)
+		return
+	}
+	// Identical request already in flight: coalesce onto it.
+	if running := s.inflight[key]; running != nil {
+		s.stats.Coalesced++
+		status := s.jobStatusLocked(running)
+		status.Coalesced = true
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, status)
+		return
+	}
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	job := s.newJobLocked(req, key)
+	select {
+	case s.queue <- job:
+	default:
+		delete(s.jobs, job.ID)
+		s.jobOrder = s.jobOrder[:len(s.jobOrder)-1]
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.QueueDepth)
+		return
+	}
+	s.inflight[key] = job
+	s.stats.CacheMisses++
+	s.stats.JobsQueued++
+	status := s.jobStatusLocked(job)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, status)
+}
+
+func (s *Server) newJobLocked(req OptimizeRequest, key string) *Job {
+	s.nextJob++
+	job := &Job{
+		ID:      fmt.Sprintf("job-%06d", s.nextJob),
+		Key:     key,
+		State:   "queued",
+		Created: time.Now(),
+		req:     req,
+		done:    make(chan struct{}),
+	}
+	s.jobs[job.ID] = job
+	s.jobOrder = append(s.jobOrder, job.ID)
+	// Bound the retained history: evict the oldest settled jobs, skipping
+	// (never evicting) queued/running ones. Cached artifacts are keyed
+	// separately and survive eviction.
+	if excess := len(s.jobOrder) - s.cfg.JobHistory; excess > 0 {
+		kept := s.jobOrder[:0]
+		for _, id := range s.jobOrder {
+			j := s.jobs[id]
+			if excess > 0 && (j.State == "done" || j.State == "failed") {
+				delete(s.jobs, id)
+				excess--
+				continue
+			}
+			kept = append(kept, id)
+		}
+		s.jobOrder = kept
+	}
+	return job
+}
+
+func (s *Server) jobStatusLocked(job *Job) JobStatus {
+	st := JobStatus{
+		ID:        job.ID,
+		State:     job.State,
+		Key:       job.Key,
+		Cached:    job.Cached,
+		Coalesced: job.Coalesced,
+		Error:     job.Err,
+	}
+	if job.State == "done" {
+		if a := s.artifacts[job.Key]; a != nil {
+			st.Result = &ResultSummary{
+				Groups:      a.Groups,
+				Selectors:   a.Selectors,
+				NumBits:     a.NumBits,
+				Inserted:    a.Inserted,
+				Dropped:     a.Dropped,
+				BinaryBytes: len(a.Binary),
+				ElapsedSec:  a.Elapsed.Seconds(),
+			}
+		}
+	}
+	return st
+}
+
+// worker drains the job queue until Close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes the pipeline for one job and publishes its artifact.
+func (s *Server) runJob(job *Job) {
+	s.mu.Lock()
+	job.State = "running"
+	prog := s.programs[job.req.Program]
+	blobs := make([][]byte, 0, len(job.req.Profiles))
+	for _, id := range job.req.Profiles {
+		if pe := s.profiles[id]; pe != nil {
+			blobs = append(blobs, pe.Blob)
+		}
+	}
+	s.mu.Unlock()
+
+	start := time.Now()
+	artifact, err := buildArtifact(prog, job.req, blobs)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.inflight, job.Key)
+	if err != nil {
+		job.State = "failed"
+		job.Err = err.Error()
+		s.stats.JobsFailed++
+	} else {
+		artifact.Key = job.Key
+		artifact.Elapsed = time.Since(start)
+		s.artifacts[job.Key] = artifact
+		job.State = "done"
+		s.stats.JobsDone++
+	}
+	close(job.done)
+}
+
+// buildArtifact runs the pipeline: decode (or record) a profile, merge if
+// several, group, identify, rewrite, and package the artifacts. It runs
+// outside the server lock; everything it reads is immutable (program
+// entries, profile blobs) and everything it mutates is freshly decoded.
+func buildArtifact(prog *programEntry, req OptimizeRequest, blobs [][]byte) (*Artifact, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("program disappeared")
+	}
+	cfg := req.Config.coreConfig()
+
+	var opt *core.Optimized
+	var err error
+	if len(blobs) == 0 {
+		// No profiles: the server runs the training workload itself.
+		opt, err = core.Optimize(prog.Prog, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("optimize: %w", err)
+		}
+	} else {
+		// Decode fresh copies: the pipeline mutates context group
+		// assignments, so cached blobs must never share decoded state.
+		prof, err := decodeAndMerge(req.Config, blobs)
+		if err != nil {
+			return nil, err
+		}
+		prof.Prog = prog.Prog
+		opt, err = core.OptimizeFromProfile(prog.Prog, prof, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("optimize: %w", err)
+		}
+	}
+
+	binary, err := opt.Rewrite.Prog.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("encoding rewritten binary: %w", err)
+	}
+	pol := PolicyDoc{
+		Program: prog.Prog.Name,
+		NumBits: opt.Rewrite.NumBits,
+		Sites:   map[string]int{},
+	}
+	for site, bit := range opt.Rewrite.SiteBits {
+		pol.Sites[site.String()] = bit
+	}
+	for _, sel := range opt.BitSelectors {
+		pol.Selectors = append(pol.Selectors, PolicySel{Group: sel.Group, Conj: sel.Conj})
+	}
+	polJSON, err := json.MarshalIndent(pol, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("encoding policy: %w", err)
+	}
+	return &Artifact{
+		Program:   req.Program,
+		Profiles:  append([]string(nil), req.Profiles...),
+		Groups:    len(opt.Groups),
+		Selectors: len(opt.BitSelectors),
+		NumBits:   opt.Rewrite.NumBits,
+		Inserted:  opt.Rewrite.Inserted,
+		Dropped:   opt.DroppedConjs,
+		Report:    opt.GroupReport(),
+		Binary:    binary,
+		Policy:    polJSON,
+	}, nil
+}
+
+func decodeAndMerge(cfg OptimizeConfig, blobs [][]byte) (*profile.Profile, error) {
+	profs, err := decodeProfiles(blobs)
+	if err != nil {
+		return nil, err
+	}
+	if len(profs) == 1 {
+		// Nothing to merge, but the request's coverage must still apply:
+		// the uploaded image carries the uploader's filtered graph.
+		p := profs[0]
+		if cfg.Coverage != 0 {
+			p.Graph = p.RawGraph.Filter(cfg.Coverage)
+		}
+		return p, nil
+	}
+	coverage := cfg.Coverage
+	if coverage == 0 {
+		coverage = profstore.DefaultCoverage
+	}
+	merged, err := profstore.MergeWithCoverage(coverage, profs...)
+	if err != nil {
+		return nil, fmt.Errorf("merging profiles: %w", err)
+	}
+	return merged, nil
+}
+
+// decodeProfiles decodes fresh profile copies from stored blobs.
+func decodeProfiles(blobs [][]byte) ([]*profile.Profile, error) {
+	profs := make([]*profile.Profile, 0, len(blobs))
+	for _, blob := range blobs {
+		p, err := profstore.Decode(blob)
+		if err != nil {
+			return nil, fmt.Errorf("decoding profile: %w", err)
+		}
+		profs = append(profs, p)
+	}
+	return profs, nil
+}
+
+// --- job endpoints ------------------------------------------------------
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *Job {
+	s.mu.Lock()
+	job := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if job == nil {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+	}
+	return job
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		out = append(out, s.jobStatusLocked(s.jobs[id]))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job := s.lookupJob(w, r)
+	if job == nil {
+		return
+	}
+	if wait := r.URL.Query().Get("wait"); wait != "" && wait != "0" && wait != "false" {
+		select {
+		case <-job.done:
+		case <-r.Context().Done():
+			httpError(w, http.StatusRequestTimeout, "client went away")
+			return
+		case <-time.After(5 * time.Minute):
+			httpError(w, http.StatusGatewayTimeout, "job still running")
+			return
+		}
+	}
+	s.mu.Lock()
+	status := s.jobStatusLocked(job)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, status)
+}
+
+// jobArtifact resolves a settled job's artifact, reporting the right HTTP
+// error for unsettled or failed jobs.
+func (s *Server) jobArtifact(w http.ResponseWriter, r *http.Request) *Artifact {
+	job := s.lookupJob(w, r)
+	if job == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch job.State {
+	case "failed":
+		httpError(w, http.StatusConflict, "job failed: %s", job.Err)
+		return nil
+	case "done":
+		if a := s.artifacts[job.Key]; a != nil {
+			return a
+		}
+		httpError(w, http.StatusGone, "artifact evicted; resubmit the request")
+		return nil
+	default:
+		httpError(w, http.StatusConflict, "job is %s; poll /v1/jobs/%s?wait=1", job.State, job.ID)
+		return nil
+	}
+}
+
+func (s *Server) handleJobReport(w http.ResponseWriter, r *http.Request) {
+	if a := s.jobArtifact(w, r); a != nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(a.Report))
+	}
+}
+
+func (s *Server) handleJobBinary(w http.ResponseWriter, r *http.Request) {
+	if a := s.jobArtifact(w, r); a != nil {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(a.Binary)
+	}
+}
+
+func (s *Server) handleJobPolicy(w http.ResponseWriter, r *http.Request) {
+	if a := s.jobArtifact(w, r); a != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(a.Policy)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := s.statsLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
+	s.FlushCache()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "cache flushed"})
+}

@@ -1,0 +1,420 @@
+// Package service is the optimization daemon behind cmd/halod: an HTTP/JSON
+// server that turns the in-process pipeline into the paper's deployment
+// story — a fleet of machines profiles its workloads, ships the profiles to
+// a central optimizer, and fetches optimized artifacts back (the same shape
+// BOLT-style post-link optimization takes in data centers).
+//
+// The server stores programs (internal/isa images) and profiles
+// (internal/profstore images) content-addressed by SHA-256. Optimize
+// requests become jobs executed by a bounded worker pool; completed
+// artifacts — the group report, the rewritten binary, the allocator policy
+// — land in a content-addressed cache keyed by (program hash, profile
+// hashes, config), so a repeated request is a cache hit and an identical
+// request in flight is coalesced onto the running job.
+//
+// Endpoints:
+//
+//	POST   /v1/programs          upload a program image        -> {id, ...}
+//	GET    /v1/programs          list programs
+//	GET    /v1/programs/{id}     download a program image
+//	POST   /v1/profiles          upload a profile image        -> {id, ...}
+//	GET    /v1/profiles          list profiles
+//	GET    /v1/profiles/{id}     download a profile image
+//	POST   /v1/profiles/merge    merge stored profiles         -> {id, ...}
+//	POST   /v1/optimize          submit an optimize job        -> {job, ...}
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         job status; ?wait=1 blocks until settled
+//	GET    /v1/jobs/{id}/report  group report (text)
+//	GET    /v1/jobs/{id}/binary  rewritten program image
+//	GET    /v1/jobs/{id}/policy  allocator policy (JSON)
+//	GET    /v1/stats             counters
+//	DELETE /v1/cache             drop cached artifacts
+//	GET    /healthz              liveness
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"halo/internal/isa"
+	"halo/internal/profile"
+	"halo/internal/profstore"
+)
+
+// Config parameterises the server.
+type Config struct {
+	// Workers is the optimization worker-pool size. Default 4.
+	Workers int
+	// QueueDepth bounds pending jobs; submissions beyond it are rejected
+	// with 503. Default 256.
+	QueueDepth int
+	// MaxUploadBytes bounds program/profile uploads. Default 64 MiB.
+	MaxUploadBytes int64
+	// JobHistory bounds the retained job records: once exceeded, the
+	// oldest settled jobs are evicted (their cached artifacts survive).
+	// Default 4096.
+	JobHistory int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 4096
+	}
+	return c
+}
+
+// Stats are the server's monotonic counters.
+type Stats struct {
+	Programs    int    `json:"programs"`
+	Profiles    int    `json:"profiles"`
+	JobsQueued  uint64 `json:"jobs_queued"`
+	JobsDone    uint64 `json:"jobs_done"`
+	JobsFailed  uint64 `json:"jobs_failed"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	Coalesced   uint64 `json:"coalesced"`
+	Artifacts   int    `json:"artifacts"`
+	Workers     int    `json:"workers"`
+}
+
+type programEntry struct {
+	ID    string
+	Image []byte
+	Prog  *isa.Program
+}
+
+type profileEntry struct {
+	ID       string
+	Blob     []byte
+	ProgName string
+	Contexts int
+	Accesses uint64
+}
+
+// Server implements http.Handler.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu        sync.Mutex
+	programs  map[string]*programEntry
+	profiles  map[string]*profileEntry
+	jobs      map[string]*Job
+	jobOrder  []string
+	artifacts map[string]*Artifact
+	inflight  map[string]*Job // cache key -> running/queued job
+	nextJob   int
+	closed    bool
+	stats     Stats
+
+	queue chan *Job
+	wg    sync.WaitGroup
+}
+
+// New starts a server and its worker pool. Callers must Close it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		programs:  make(map[string]*programEntry),
+		profiles:  make(map[string]*profileEntry),
+		jobs:      make(map[string]*Job),
+		artifacts: make(map[string]*Artifact),
+		inflight:  make(map[string]*Job),
+		queue:     make(chan *Job, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/programs", s.handleProgramUpload)
+	mux.HandleFunc("GET /v1/programs", s.handleProgramList)
+	mux.HandleFunc("GET /v1/programs/{id}", s.handleProgramGet)
+	mux.HandleFunc("POST /v1/profiles", s.handleProfileUpload)
+	mux.HandleFunc("GET /v1/profiles", s.handleProfileList)
+	mux.HandleFunc("GET /v1/profiles/{id}", s.handleProfileGet)
+	mux.HandleFunc("POST /v1/profiles/merge", s.handleProfileMerge)
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleJobReport)
+	mux.HandleFunc("GET /v1/jobs/{id}/binary", s.handleJobBinary)
+	mux.HandleFunc("GET /v1/jobs/{id}/policy", s.handleJobPolicy)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("DELETE /v1/cache", s.handleCacheFlush)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP dispatches to the API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops accepting jobs and waits for the worker pool to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+func (s *Server) statsLocked() Stats {
+	st := s.stats
+	st.Programs = len(s.programs)
+	st.Profiles = len(s.profiles)
+	st.Artifacts = len(s.artifacts)
+	st.Workers = s.cfg.Workers
+	return st
+}
+
+// FlushCache drops every cached artifact (not the jobs that produced them).
+func (s *Server) FlushCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.artifacts = make(map[string]*Artifact)
+}
+
+// hashID content-addresses a blob.
+func hashID(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// --- blob uploads and downloads ----------------------------------------
+
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxUploadBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return nil, false
+	}
+	if int64(len(data)) > s.cfg.MaxUploadBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", s.cfg.MaxUploadBytes)
+		return nil, false
+	}
+	return data, true
+}
+
+func (s *Server) handleProgramUpload(w http.ResponseWriter, r *http.Request) {
+	img, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	prog, err := isa.Decode(img)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid program image: %v", err)
+		return
+	}
+	id := hashID(img)
+	s.mu.Lock()
+	if _, dup := s.programs[id]; !dup {
+		s.programs[id] = &programEntry{ID: id, Image: img, Prog: prog}
+	}
+	s.mu.Unlock()
+	st := prog.Stat()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":    id,
+		"name":  prog.Name,
+		"bytes": len(img),
+		"funcs": st.Funcs,
+		"insts": st.Insts,
+	})
+}
+
+func (s *Server) handleProgramList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]map[string]any, 0, len(s.programs))
+	for _, e := range sortedValues(s.programs, func(e *programEntry) string { return e.ID }) {
+		out = append(out, map[string]any{"id": e.ID, "name": e.Prog.Name, "bytes": len(e.Image)})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleProgramGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	e := s.programs[r.PathValue("id")]
+	s.mu.Unlock()
+	if e == nil {
+		httpError(w, http.StatusNotFound, "unknown program %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(e.Image)
+}
+
+func (s *Server) handleProfileUpload(w http.ResponseWriter, r *http.Request) {
+	blob, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	prof, err := profstore.Decode(blob)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid profile image: %v", err)
+		return
+	}
+	writeProfileEntry(w, s.storeProfile(blob, prof))
+}
+
+// storeProfile stores an already-validated profile blob, deduplicating by
+// hash; prof is the blob's decoded form, consulted only for metadata.
+func (s *Server) storeProfile(blob []byte, prof *profile.Profile) *profileEntry {
+	id := hashID(blob)
+	entry := &profileEntry{
+		ID:       id,
+		Blob:     blob,
+		ProgName: prof.ProgName,
+		Contexts: len(prof.Contexts),
+		Accesses: prof.TotalAccesses,
+	}
+	s.mu.Lock()
+	if prev, dup := s.profiles[id]; dup {
+		entry = prev
+	} else {
+		s.profiles[id] = entry
+	}
+	s.mu.Unlock()
+	return entry
+}
+
+func writeProfileEntry(w http.ResponseWriter, e *profileEntry) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":       e.ID,
+		"prog":     e.ProgName,
+		"bytes":    len(e.Blob),
+		"contexts": e.Contexts,
+		"accesses": e.Accesses,
+	})
+}
+
+func (s *Server) handleProfileList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]map[string]any, 0, len(s.profiles))
+	for _, e := range sortedValues(s.profiles, func(e *profileEntry) string { return e.ID }) {
+		out = append(out, map[string]any{"id": e.ID, "prog": e.ProgName, "bytes": len(e.Blob)})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleProfileGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	e := s.profiles[r.PathValue("id")]
+	s.mu.Unlock()
+	if e == nil {
+		httpError(w, http.StatusNotFound, "unknown profile %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(e.Blob)
+}
+
+func (s *Server) handleProfileMerge(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Profiles []string `json:"profiles"`
+		Coverage float64  `json:"coverage"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad merge request: %v", err)
+		return
+	}
+	if len(req.Profiles) == 0 {
+		httpError(w, http.StatusBadRequest, "merge request names no profiles")
+		return
+	}
+	if req.Coverage == 0 {
+		req.Coverage = profstore.DefaultCoverage
+	}
+	blobs := make([][]byte, 0, len(req.Profiles))
+	s.mu.Lock()
+	for _, id := range req.Profiles {
+		e := s.profiles[id]
+		if e == nil {
+			s.mu.Unlock()
+			httpError(w, http.StatusNotFound, "unknown profile %q", id)
+			return
+		}
+		blobs = append(blobs, e.Blob)
+	}
+	s.mu.Unlock()
+	blob, merged, err := mergeBlobs(req.Coverage, blobs)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "merge: %v", err)
+		return
+	}
+	writeProfileEntry(w, s.storeProfile(blob, merged))
+}
+
+// mergeBlobs decodes fresh copies of the given profile images and merges
+// them into a new image, returned alongside its decoded form. Unlike the
+// optimize path, a single input is still merged, which canonicalises its
+// context numbering.
+func mergeBlobs(coverage float64, blobs [][]byte) ([]byte, *profile.Profile, error) {
+	profs, err := decodeProfiles(blobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	merged, err := profstore.MergeWithCoverage(coverage, profs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	img, err := profstore.Encode(merged)
+	if err != nil {
+		return nil, nil, err
+	}
+	return img, merged, nil
+}
+
+// --- helpers ------------------------------------------------------------
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// sortedValues returns map values ordered by a key function.
+func sortedValues[M ~map[string]V, V any](m M, key func(V) string) []V {
+	out := make([]V, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+	return out
+}

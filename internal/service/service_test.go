@@ -1,0 +1,469 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"halo/internal/core"
+	"halo/internal/isa"
+	"halo/internal/profstore"
+	"halo/internal/workloads"
+)
+
+// testClient wraps the raw HTTP interactions the e2e tests repeat.
+type testClient struct {
+	t   *testing.T
+	url string
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *testClient) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, &testClient{t: t, url: ts.URL}
+}
+
+func (c *testClient) post(path string, body []byte, out any) (int, string) {
+	c.t.Helper()
+	resp, err := http.Post(c.url+path, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		c.t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, out); err != nil {
+			c.t.Fatalf("POST %s: bad JSON %q: %v", path, data, err)
+		}
+	}
+	return resp.StatusCode, string(data)
+}
+
+func (c *testClient) postJSON(path string, req any, out any) (int, string) {
+	c.t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return c.post(path, body, out)
+}
+
+func (c *testClient) get(path string, out any) (int, []byte) {
+	c.t.Helper()
+	resp, err := http.Get(c.url + path)
+	if err != nil {
+		c.t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, out); err != nil {
+			c.t.Fatalf("GET %s: bad JSON %q: %v", path, data, err)
+		}
+	}
+	return resp.StatusCode, data
+}
+
+// uploadProgram builds a workload at test scale and uploads its image.
+func (c *testClient) uploadProgram(name string) (string, *isa.Program) {
+	c.t.Helper()
+	w := workloads.MustGet(name)
+	p := w.Build(w.TestScale)
+	img, err := p.Encode()
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	var resp struct {
+		ID   string `json:"id"`
+		Name string `json:"name"`
+	}
+	if code, body := c.post("/v1/programs", img, &resp); code != http.StatusOK {
+		c.t.Fatalf("program upload: %d %s", code, body)
+	}
+	if resp.Name != name {
+		c.t.Fatalf("uploaded program name = %q, want %q", resp.Name, name)
+	}
+	return resp.ID, p
+}
+
+// uploadProfile profiles the program in-process at the given seed (as a
+// training machine would) and uploads the encoded profile.
+func (c *testClient) uploadProfile(p *isa.Program, seed uint64) string {
+	c.t.Helper()
+	prof, err := core.Profile(p, core.Config{ProfileSeed: seed})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	blob, err := profstore.Encode(prof)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	var resp struct {
+		ID string `json:"id"`
+	}
+	if code, body := c.post("/v1/profiles", blob, &resp); code != http.StatusOK {
+		c.t.Fatalf("profile upload: %d %s", code, body)
+	}
+	return resp.ID
+}
+
+// optimizeWait submits an optimize request and waits for the job to settle.
+func (c *testClient) optimizeWait(req OptimizeRequest) JobStatus {
+	c.t.Helper()
+	var st JobStatus
+	code, body := c.postJSON("/v1/optimize", req, &st)
+	if code != http.StatusOK && code != http.StatusAccepted {
+		c.t.Fatalf("optimize: %d %s", code, body)
+	}
+	if code, _ := c.get("/v1/jobs/"+st.ID+"?wait=1", &st); code != http.StatusOK {
+		c.t.Fatalf("job wait: %d", code)
+	}
+	if st.State != "done" {
+		c.t.Fatalf("job %s state = %s (%s)", st.ID, st.State, st.Error)
+	}
+	return st
+}
+
+// TestServiceEndToEnd is the tentpole's acceptance flow: profile two
+// workloads at two seeds each (client side, as a training fleet would),
+// upload everything, merge per workload on the server, optimize through
+// the running server, and verify the served artifacts against the local
+// OptimizeFromProfile path.
+func TestServiceEndToEnd(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 4})
+
+	for _, name := range []string{"art", "povray"} {
+		t.Run(name, func(t *testing.T) {
+			progID, prog := c.uploadProgram(name)
+			profA := c.uploadProfile(prog, 3)
+			profB := c.uploadProfile(prog, 5)
+
+			// Server-side merge of the two training runs.
+			var merged struct {
+				ID   string `json:"id"`
+				Prog string `json:"prog"`
+			}
+			code, body := c.postJSON("/v1/profiles/merge",
+				map[string]any{"profiles": []string{profA, profB}}, &merged)
+			if code != http.StatusOK {
+				t.Fatalf("merge: %d %s", code, body)
+			}
+			if merged.Prog != name {
+				t.Fatalf("merged profile program = %q, want %q", merged.Prog, name)
+			}
+
+			// Optimize with the merged profile through the server.
+			st := c.optimizeWait(OptimizeRequest{Program: progID, Profiles: []string{merged.ID}})
+			if st.Result == nil || st.Result.Groups == 0 || st.Result.Selectors == 0 {
+				t.Fatalf("served result has no policy: %+v", st.Result)
+			}
+
+			// The served artifacts must decode and match the local
+			// OptimizeFromProfile run over the same merged profile.
+			_, report := c.get("/v1/jobs/"+st.ID+"/report", nil)
+			_, binary := c.get("/v1/jobs/"+st.ID+"/binary", nil)
+			var pol PolicyDoc
+			if code, _ := c.get("/v1/jobs/"+st.ID+"/policy", &pol); code != http.StatusOK {
+				t.Fatalf("policy fetch: %d", code)
+			}
+			rewritten, err := isa.Decode(binary)
+			if err != nil {
+				t.Fatalf("served binary does not decode: %v", err)
+			}
+			if rewritten.Name != name {
+				t.Fatalf("served binary is %q, want %q", rewritten.Name, name)
+			}
+
+			profLocalA, err := core.Profile(prog, core.Config{ProfileSeed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			profLocalB, err := core.Profile(prog, core.Config{ProfileSeed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mergedLocal, err := profstore.Merge(profLocalA, profLocalB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			optLocal, err := core.OptimizeFromProfile(prog, mergedLocal, core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := string(report), optLocal.GroupReport(); got != want {
+				t.Errorf("served report differs from local pipeline:\n--- served\n%s\n--- local\n%s", got, want)
+			}
+			if st.Result.Groups != len(optLocal.Groups) {
+				t.Errorf("served %d groups, local %d", st.Result.Groups, len(optLocal.Groups))
+			}
+			if pol.NumBits != optLocal.Rewrite.NumBits || len(pol.Selectors) != len(optLocal.BitSelectors) {
+				t.Errorf("served policy (%d bits, %d selectors) differs from local (%d, %d)",
+					pol.NumBits, len(pol.Selectors), optLocal.Rewrite.NumBits, len(optLocal.BitSelectors))
+			}
+
+			// A repeated identical request is served from the artifact
+			// cache, deterministically.
+			st2 := c.optimizeWait(OptimizeRequest{Program: progID, Profiles: []string{merged.ID}})
+			if !st2.Cached {
+				t.Fatalf("repeated request was not a cache hit: %+v", st2)
+			}
+			if st2.Key != st.Key {
+				t.Fatalf("repeated request keyed differently: %s vs %s", st2.Key, st.Key)
+			}
+			_, report2 := c.get("/v1/jobs/"+st2.ID+"/report", nil)
+			if !bytes.Equal(report, report2) {
+				t.Fatal("cached artifact differs from original")
+			}
+		})
+	}
+
+	var stats Stats
+	if code, _ := c.get("/v1/stats", &stats); code != http.StatusOK {
+		t.Fatal("stats fetch failed")
+	}
+	if stats.CacheHits < 2 {
+		t.Errorf("cache hits = %d, want >= 2", stats.CacheHits)
+	}
+	if stats.JobsFailed != 0 {
+		t.Errorf("jobs failed = %d", stats.JobsFailed)
+	}
+}
+
+// TestServiceConcurrentOptimize drives 16 concurrent optimize requests (8+
+// distinct cache keys per program) through a pool of 8 workers.
+func TestServiceConcurrentOptimize(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 8})
+
+	type target struct {
+		progID string
+		seed   uint64
+	}
+	var targets []target
+	for _, name := range []string{"art", "povray"} {
+		progID, _ := c.uploadProgram(name)
+		for seed := uint64(1); seed <= 8; seed++ {
+			targets = append(targets, target{progID, seed})
+		}
+	}
+	if len(targets) < 16 {
+		t.Fatalf("only %d targets", len(targets))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(targets))
+	for _, tgt := range targets {
+		wg.Add(1)
+		go func(tgt target) {
+			defer wg.Done()
+			// No profiles named: the server runs the training workload
+			// itself, so every request is real pipeline work.
+			var st JobStatus
+			code, body := c.postJSON("/v1/optimize", OptimizeRequest{
+				Program: tgt.progID,
+				Config:  OptimizeConfig{ProfileSeed: tgt.seed},
+			}, &st)
+			if code != http.StatusOK && code != http.StatusAccepted {
+				errs <- fmt.Errorf("optimize: %d %s", code, body)
+				return
+			}
+			if code, _ := c.get("/v1/jobs/"+st.ID+"?wait=1", &st); code != http.StatusOK {
+				errs <- fmt.Errorf("job wait: %d", code)
+				return
+			}
+			if st.State != "done" {
+				errs <- fmt.Errorf("job %s: %s (%s)", st.ID, st.State, st.Error)
+				return
+			}
+			if st.Result == nil || st.Result.Groups == 0 {
+				errs <- fmt.Errorf("job %s: empty result", st.ID)
+			}
+		}(tgt)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	stats := s.Stats()
+	if stats.JobsDone < uint64(len(targets)) {
+		t.Errorf("jobs done = %d, want >= %d", stats.JobsDone, len(targets))
+	}
+	if stats.JobsFailed != 0 {
+		t.Errorf("jobs failed = %d", stats.JobsFailed)
+	}
+}
+
+// TestServiceCoalescing checks that identical requests either coalesce onto
+// one in-flight job or hit the cache — the pipeline runs at most once.
+func TestServiceCoalescing(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 2})
+	progID, _ := c.uploadProgram("art")
+
+	req := OptimizeRequest{Program: progID, Config: OptimizeConfig{ProfileSeed: 42}}
+	const n = 6
+	var wg sync.WaitGroup
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			keys[i] = c.optimizeWait(req).Key
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if keys[i] != keys[0] {
+			t.Fatalf("request %d keyed %s, want %s", i, keys[i], keys[0])
+		}
+	}
+	stats := s.Stats()
+	if stats.JobsDone != 1 {
+		t.Errorf("pipeline ran %d times for %d identical requests, want 1", stats.JobsDone, n)
+	}
+	if stats.CacheHits+stats.Coalesced != n-1 {
+		t.Errorf("hits+coalesced = %d+%d, want %d", stats.CacheHits, stats.Coalesced, n-1)
+	}
+}
+
+// TestServiceValidation covers the API's error paths.
+func TestServiceValidation(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	artID, artProg := c.uploadProgram("art")
+	povID, povProg := c.uploadProgram("povray")
+	artProf := c.uploadProfile(artProg, 3)
+	povProf := c.uploadProfile(povProg, 3)
+
+	if code, _ := c.post("/v1/programs", []byte("not a program"), nil); code != http.StatusBadRequest {
+		t.Errorf("garbage program upload: %d, want 400", code)
+	}
+	if code, _ := c.post("/v1/profiles", []byte("not a profile"), nil); code != http.StatusBadRequest {
+		t.Errorf("garbage profile upload: %d, want 400", code)
+	}
+	if code, _ := c.postJSON("/v1/optimize", OptimizeRequest{Program: "missing"}, nil); code != http.StatusNotFound {
+		t.Errorf("optimize of unknown program: %d, want 404", code)
+	}
+	if code, _ := c.postJSON("/v1/optimize",
+		OptimizeRequest{Program: artID, Profiles: []string{"missing"}}, nil); code != http.StatusNotFound {
+		t.Errorf("optimize with unknown profile: %d, want 404", code)
+	}
+	if code, body := c.postJSON("/v1/optimize",
+		OptimizeRequest{Program: artID, Profiles: []string{povProf}}, nil); code != http.StatusBadRequest {
+		t.Errorf("cross-program optimize: %d %s, want 400", code, body)
+	}
+	if code, body := c.postJSON("/v1/profiles/merge",
+		map[string]any{"profiles": []string{artProf, povProf}}, nil); code != http.StatusBadRequest {
+		t.Errorf("cross-program merge: %d %s, want 400", code, body)
+	}
+	if code, _ := c.get("/v1/jobs/job-999999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", code)
+	}
+	for _, bad := range []OptimizeConfig{{Coverage: -1}, {Coverage: 2}, {MaxGroups: -3}} {
+		if code, body := c.postJSON("/v1/optimize",
+			OptimizeRequest{Program: artID, Profiles: []string{artProf}, Config: bad}, nil); code != http.StatusBadRequest {
+			t.Errorf("bad config %+v: %d %s, want 400", bad, code, body)
+		}
+	}
+	if code, _ := c.get("/v1/programs/"+strings.Repeat("0", 64), nil); code != http.StatusNotFound {
+		t.Errorf("unknown program fetch: %d, want 404", code)
+	}
+	if code, _ := c.get("/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz: %d", code)
+	}
+	_ = povID
+}
+
+// TestSingleProfileCoverageApplies guards the single-profile optimize
+// path: the request's coverage must re-filter the uploaded profile's
+// graph, not silently keep the uploader's filtering.
+func TestSingleProfileCoverageApplies(t *testing.T) {
+	w := workloads.MustGet("art")
+	p := w.Build(w.TestScale)
+	prof, err := core.Profile(p, core.Config{ProfileSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := profstore.Encode(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := decodeAndMerge(OptimizeConfig{}, [][]byte{blob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Graph.NumNodes() != prof.Graph.NumNodes() {
+		t.Fatalf("default coverage changed the graph: %d vs %d nodes",
+			def.Graph.NumNodes(), prof.Graph.NumNodes())
+	}
+	full, err := decodeAndMerge(OptimizeConfig{Coverage: 1.0}, [][]byte{blob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Graph.NumNodes() <= def.Graph.NumNodes() {
+		t.Fatalf("coverage 1.0 kept %d nodes, default kept %d; expected more",
+			full.Graph.NumNodes(), def.Graph.NumNodes())
+	}
+}
+
+// TestJobHistoryBounded checks settled jobs are evicted past the limit.
+func TestJobHistoryBounded(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 2, JobHistory: 4})
+	progID, prog := c.uploadProgram("art")
+	profID := c.uploadProfile(prog, 3)
+	req := OptimizeRequest{Program: progID, Profiles: []string{profID}}
+
+	c.optimizeWait(req) // real run
+	for i := 0; i < 10; i++ {
+		c.optimizeWait(req) // cache hits, each still a job record
+	}
+	s.mu.Lock()
+	jobs, order := len(s.jobs), len(s.jobOrder)
+	s.mu.Unlock()
+	if jobs > 4 || order > 4 {
+		t.Fatalf("job history not bounded: %d jobs, %d order entries", jobs, order)
+	}
+	// The artifact cache must survive eviction.
+	if got := c.optimizeWait(req); !got.Cached {
+		t.Fatal("artifact lost with job eviction")
+	}
+}
+
+// TestServiceCacheFlush checks DELETE /v1/cache forces recomputation.
+func TestServiceCacheFlush(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 2})
+	progID, prog := c.uploadProgram("art")
+	profID := c.uploadProfile(prog, 3)
+	req := OptimizeRequest{Program: progID, Profiles: []string{profID}}
+
+	first := c.optimizeWait(req)
+	if first.Cached {
+		t.Fatal("first request cannot be a cache hit")
+	}
+	if got := c.optimizeWait(req); !got.Cached {
+		t.Fatal("second request should hit the cache")
+	}
+	httpReq, _ := http.NewRequest(http.MethodDelete, c.url+"/v1/cache", nil)
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	third := c.optimizeWait(req)
+	if third.Cached {
+		t.Fatal("post-flush request should recompute")
+	}
+	if s.Stats().JobsDone != 2 {
+		t.Errorf("jobs done = %d, want 2", s.Stats().JobsDone)
+	}
+}

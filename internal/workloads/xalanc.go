@@ -195,7 +195,7 @@ func buildXalanc(scale int) *isa.Program {
 			f.Mov(kid, tx)
 			f.Bind(wire)
 			sib := readField(f, el, xaElChild)
-			f.StoreWord(kid, xaElSib, sib) // sibling slot is offset 8 for
+			f.StoreWord(kid, xaElSib, sib)  // sibling slot is offset 8 for
 			f.StoreWord(el, xaElChild, kid) // both node kinds by design
 		})
 		f.Bind(noKids)
