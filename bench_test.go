@@ -260,7 +260,24 @@ func BenchmarkProfiling(b *testing.B) {
 	}
 }
 
-// BenchmarkVMInterpreter measures raw interpretation speed without hooks.
+// BenchmarkMeasureTrials measures the parallel trial harness end to end:
+// warm-up plus four measured trials of the baseline policy, fanned out
+// over the worker pool (ns/op here is the number the halobench -json
+// trajectory tracks per workload×technique).
+func BenchmarkMeasureTrials(b *testing.B) {
+	w := workloads.MustGet("povray")
+	p := w.Build(w.TestScale)
+	machine := cache.XeonW2195()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := measure.MeasureTrials(p, measure.Policy{Kind: measure.Jemalloc}, 4, 1000, machine); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVMInterpreter measures raw interpretation speed without an
+// event sink attached.
 func BenchmarkVMInterpreter(b *testing.B) {
 	w := workloads.MustGet("art")
 	p := w.Build(w.TestScale)

@@ -1,12 +1,19 @@
 // Command halobench regenerates the paper's evaluation tables and figures
 // (§5) over the simulated substrate, printing aligned text tables and
-// optionally writing JSON results, in the spirit of the artifact's
-// `halo baseline` / `halo run` / `halo plot` workflow.
+// optionally writing machine-readable JSON, in the spirit of the
+// artifact's `halo baseline` / `halo run` / `halo plot` workflow.
 //
 // Usage:
 //
 //	halobench [-run all|fig9,fig12,fig13,fig14,fig15,tab1,baseline,roms]
-//	          [-trials N] [-quick] [-workloads a,b,c] [-json out.json] [-v]
+//	          [-trials N] [-quick] [-workloads a,b,c] [-parallel N]
+//	          [-json out.json] [-v]
+//
+// The -json document carries the rendered tables plus one flat result
+// record per measured workload×technique pair (miss reduction, speedup,
+// simulated seconds, and ns/op — the wall-clock of one serial measurement
+// run, timed outside the worker pools) and the sweep's wall-clock — the
+// format the repository's BENCH_*.json trajectory records.
 package main
 
 import (
@@ -16,9 +23,22 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"halo/internal/experiments"
 )
+
+// jsonDoc is the -json output document.
+type jsonDoc struct {
+	Trials    int                       `json:"trials"`
+	Quick     bool                      `json:"quick"`
+	Seed      uint64                    `json:"seed"`
+	Parallel  int                       `json:"parallel"`
+	Workloads []string                  `json:"workloads,omitempty"`
+	Results   []experiments.BenchResult `json:"results"`
+	Tables    []*experiments.Table      `json:"tables"`
+	WallNs    int64                     `json:"wall_ns"`
+}
 
 func main() {
 	var (
@@ -26,7 +46,8 @@ func main() {
 		trials    = flag.Int("trials", 5, "measured trials per configuration (paper: 10)")
 		quick     = flag.Bool("quick", false, "reduced trials and test-scale inputs")
 		workloads = flag.String("workloads", "", "restrict to a comma-separated workload subset")
-		jsonOut   = flag.String("json", "", "also write results as JSON to this file")
+		parallel  = flag.Int("parallel", 0, "workload-level worker pool per experiment (0 = one per CPU, 1 = serial)")
+		jsonOut   = flag.String("json", "", "also write machine-readable results as JSON to this file")
 		verbose   = flag.Bool("v", false, "log progress to stderr")
 		seed      = flag.Uint64("seed", 0, "measurement seed base (0 = default)")
 	)
@@ -37,10 +58,11 @@ func main() {
 		logw = os.Stderr
 	}
 	opts := experiments.Options{
-		Trials: *trials,
-		Quick:  *quick,
-		Log:    logw,
-		Seed:   *seed,
+		Trials:   *trials,
+		Quick:    *quick,
+		Log:      logw,
+		Seed:     *seed,
+		Parallel: *parallel,
 	}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
@@ -48,7 +70,9 @@ func main() {
 
 	engine := experiments.NewEngine(opts)
 	ids := strings.Split(*run, ",")
+	start := time.Now()
 	tables, err := engine.Run(ids)
+	wall := time.Since(start)
 	for _, t := range tables {
 		fmt.Println(t.Render())
 	}
@@ -57,7 +81,17 @@ func main() {
 		os.Exit(1)
 	}
 	if *jsonOut != "" {
-		data, err := json.MarshalIndent(tables, "", "  ")
+		doc := jsonDoc{
+			Trials:    opts.Trials,
+			Quick:     *quick,
+			Seed:      *seed,
+			Parallel:  *parallel,
+			Workloads: opts.Workloads,
+			Results:   engine.BenchResults(),
+			Tables:    tables,
+			WallNs:    wall.Nanoseconds(),
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "halobench: %v\n", err)
 			os.Exit(1)

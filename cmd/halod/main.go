@@ -37,12 +37,14 @@ func main() {
 	workers := flag.Int("workers", 0, "optimization worker pool size (0 = service default)")
 	queue := flag.Int("queue", 0, "job queue depth (0 = service default)")
 	maxUpload := flag.Int64("max-upload", 0, "max upload size in bytes (0 = service default)")
+	trainWorkers := flag.Int("training-workers", 0, "per-job pool for concurrent training runs (0 = one per CPU)")
 	flag.Parse()
 
 	srv := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		MaxUploadBytes: *maxUpload,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		MaxUploadBytes:  *maxUpload,
+		TrainingWorkers: *trainWorkers,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -63,6 +63,14 @@ func ProfileProgram(p *isa.Program, cfg Config) (*Profile, error) {
 	return core.Profile(p, cfg)
 }
 
+// ProfileProgramN runs `runs` independent training runs (seeds
+// cfg.ProfileSeed, +1, …) concurrently on a bounded worker pool and merges
+// their profiles deterministically. The result is identical at any worker
+// count; workers <= 0 selects one worker per CPU.
+func ProfileProgramN(p *isa.Program, cfg Config, runs, workers int) (*Profile, error) {
+	return core.ProfileN(p, cfg, runs, workers)
+}
+
 // OptimizeFromProfile runs grouping, identification and rewriting over an
 // existing profile.
 func OptimizeFromProfile(p *isa.Program, prof *Profile, cfg Config) (*Optimized, error) {
@@ -119,9 +127,17 @@ func Run(p *isa.Program, pol Policy, seed uint64, machine cache.Config) (RunResu
 	return measure.Run(p, pol, seed, machine)
 }
 
-// MeasureTrials runs several trials (discarding a warm-up) and summarises.
+// MeasureTrials runs several trials (discarding a warm-up) on a worker
+// pool sized to the machine and summarises them. Trial results are
+// gathered by index, so summaries are bit-identical at any pool width.
 func MeasureTrials(p *isa.Program, pol Policy, trials int, baseSeed uint64, machine cache.Config) (Summary, error) {
 	return measure.MeasureTrials(p, pol, trials, baseSeed, machine)
+}
+
+// MeasureTrialsParallel is MeasureTrials with an explicit worker count
+// (<= 0 selects one worker per CPU, 1 forces serial execution).
+func MeasureTrialsParallel(p *isa.Program, pol Policy, trials int, baseSeed uint64, machine cache.Config, workers int) (Summary, error) {
+	return measure.MeasureTrialsParallel(p, pol, trials, baseSeed, machine, workers)
 }
 
 // XeonW2195 returns the evaluation machine's memory-hierarchy model.

@@ -11,7 +11,11 @@
 // produces fewer misses here for exactly the reason it does on hardware.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"halo/internal/vm"
+)
 
 // LineSize is the cache line size in bytes.
 const LineSize = 64
@@ -248,6 +252,19 @@ func (h *Hierarchy) Access(addr uint64, size uint8, write bool) {
 	h.translate(page)
 	if lastPage := (addr + uint64(size) - 1) >> h.cfg.TLB.PageBits; lastPage != page {
 		h.translate(lastPage)
+	}
+}
+
+// ConsumeEvents implements vm.EventSink: the hierarchy drains the VM's
+// batched event stream directly, simulating each load and store in batch
+// order and ignoring the non-access records. This replaces the per-access
+// virtual dispatch of the Hooks-era adapter in internal/measure.
+func (h *Hierarchy) ConsumeEvents(batch []vm.Event) {
+	for i := range batch {
+		ev := &batch[i]
+		if ev.Kind == vm.EvAccess {
+			h.Access(ev.Addr, ev.Size, ev.Write)
+		}
 	}
 }
 

@@ -18,7 +18,9 @@ import (
 	"halo/internal/identify"
 	"halo/internal/isa"
 	"halo/internal/mem"
+	"halo/internal/pool"
 	"halo/internal/profile"
+	"halo/internal/profstore"
 	"halo/internal/rewrite"
 	"halo/internal/vm"
 )
@@ -34,6 +36,10 @@ type Config struct {
 	ProfileSeed uint64
 	// ProfileMaxSteps bounds the training run.
 	ProfileMaxSteps uint64
+	// ProfileBatchSize overrides the VM's event-batch size for the
+	// training run (0 = vm.DefaultBatchSize). Profiles are bit-identical
+	// at any setting; the knob exists for determinism tests and tuning.
+	ProfileBatchSize int
 }
 
 // Optimized carries every artefact of the HALO pipeline for one binary.
@@ -62,13 +68,54 @@ func Profile(p *isa.Program, cfg Config) (*profile.Profile, error) {
 		seed = 7
 	}
 	v := vm.New(p, memory, alloc.NewSizeSeg(osm), prof, vm.Config{
-		Seed:     seed,
-		MaxSteps: cfg.ProfileMaxSteps,
+		Seed:      seed,
+		MaxSteps:  cfg.ProfileMaxSteps,
+		BatchSize: cfg.ProfileBatchSize,
 	})
 	if _, err := v.Run(); err != nil {
 		return nil, fmt.Errorf("core: profiling run: %w", err)
 	}
 	return prof.Finish(), nil
+}
+
+// ProfileN runs `runs` independent training runs — seeds cfg.ProfileSeed,
+// +1, +2, … — on a bounded worker pool (workers <= 0 selects one per CPU)
+// and merges their profiles deterministically. Because the VM's event
+// engine is reentrant (every run owns its memory, allocator and profiler)
+// and profstore's merge is order-independent, the result is bit-identical
+// at any worker count. runs <= 1 degenerates to a single Profile call.
+func ProfileN(p *isa.Program, cfg Config, runs, workers int) (*profile.Profile, error) {
+	if runs <= 1 {
+		return Profile(p, cfg)
+	}
+	baseSeed := cfg.ProfileSeed
+	if baseSeed == 0 {
+		baseSeed = 7
+	}
+	profs := make([]*profile.Profile, runs)
+	err := pool.Map(runs, workers, func(i int) error {
+		c := cfg
+		c.ProfileSeed = baseSeed + uint64(i)
+		pr, err := Profile(p, c)
+		if err != nil {
+			return err
+		}
+		profs[i] = pr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	coverage := cfg.Profile.Coverage
+	if coverage == 0 {
+		coverage = profstore.DefaultCoverage
+	}
+	merged, err := profstore.MergeWithCoverage(coverage, profs...)
+	if err != nil {
+		return nil, fmt.Errorf("core: merging training profiles: %w", err)
+	}
+	merged.Prog = p
+	return merged, nil
 }
 
 // Optimize runs the full HALO pipeline on a binary, profiling it with the

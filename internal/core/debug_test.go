@@ -67,7 +67,9 @@ func TestHALORunLiveInvariants(t *testing.T) {
 		cls := halloc.NewSelectorClassifier(state, opt.BitSelectors)
 		ga := halloc.New(osm, fallback, cls, halloc.Config{})
 		checker := &liveChecker{t: t, live: map[uint64]uint64{}}
-		v := vm.New(opt.Rewrite.Prog, memory, ga, checker, vm.Config{Seed: 99, GroupState: state})
+		// The checker is a per-event observer, attached via the Replay shim.
+		v := vm.New(opt.Rewrite.Prog, memory, ga, vm.NewReplay(opt.Rewrite.Prog, checker),
+			vm.Config{Seed: 99, GroupState: state})
 		if _, err := v.Run(); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -18,7 +18,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"halo/internal/cache"
 	"halo/internal/core"
@@ -26,6 +29,7 @@ import (
 	"halo/internal/hds"
 	"halo/internal/isa"
 	"halo/internal/measure"
+	"halo/internal/pool"
 	"halo/internal/rewrite"
 	"halo/internal/workloads"
 )
@@ -45,6 +49,10 @@ type Options struct {
 	// Seed bases the measurement seeds. Profiling always uses its own
 	// fixed training seed, distinct from measurement.
 	Seed uint64
+	// Parallel bounds workload-level parallelism within each experiment
+	// (0 = one worker per CPU, 1 = serial). Results are identical at any
+	// setting; only wall-clock time changes.
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {
@@ -133,11 +141,17 @@ type artefacts struct {
 
 // Engine caches per-workload artefacts and measurement summaries so the
 // experiments share one profiling run and one trial set per benchmark.
+// Experiments fan their workloads out over a bounded worker pool; the
+// caches are mutex-guarded and every table row is assembled in workload
+// order after the pool drains, so output is identical at any parallelism.
 type Engine struct {
 	opts    Options
 	machine cache.Config
-	arts    map[string]*artefacts
-	sums    map[string]measure.Summary
+
+	mu     sync.Mutex
+	arts   map[string]*artefacts
+	sums   map[string]measure.Summary
+	wallNs map[string]int64 // harness wall-clock per summaryFor key
 }
 
 // NewEngine builds an experiment engine.
@@ -147,6 +161,7 @@ func NewEngine(opts Options) *Engine {
 		machine: cache.XeonW2195(),
 		arts:    map[string]*artefacts{},
 		sums:    map[string]measure.Summary{},
+		wallNs:  map[string]int64{},
 	}
 }
 
@@ -191,7 +206,10 @@ func hallocConfig(w workloads.Workload) halloc.Config {
 // measurement policy for the ref input (§5.1's methodology: profile on
 // test, measure on ref; the builds share call-site addresses).
 func (e *Engine) artefactsFor(w workloads.Workload) (*artefacts, error) {
-	if a, ok := e.arts[w.Name]; ok {
+	e.mu.Lock()
+	a, ok := e.arts[w.Name]
+	e.mu.Unlock()
+	if ok {
 		return a, nil
 	}
 	e.opts.logf("[%s] profiling test input (scale %d)", w.Name, w.TestScale)
@@ -216,7 +234,7 @@ func (e *Engine) artefactsFor(w workloads.Workload) (*artefacts, error) {
 	}
 
 	hc := hallocConfig(w)
-	a := &artefacts{
+	a = &artefacts{
 		w:       w,
 		opt:     opt,
 		hds:     hr,
@@ -231,7 +249,13 @@ func (e *Engine) artefactsFor(w workloads.Workload) (*artefacts, error) {
 		},
 		polRand: measure.Policy{Kind: measure.RandomPools, Pools: 4, Halloc: hc},
 	}
-	e.arts[w.Name] = a
+	e.mu.Lock()
+	if prior, ok := e.arts[w.Name]; ok {
+		a = prior // another worker built it first; keep one canonical copy
+	} else {
+		e.arts[w.Name] = a
+	}
+	e.mu.Unlock()
 	return a, nil
 }
 
@@ -260,19 +284,109 @@ func refHALOPolicy(w workloads.Workload, refProg *isa.Program, opt *core.Optimiz
 	}, nil
 }
 
-// summaryFor measures (with caching) one workload under one policy.
+// trialWorkers picks the inner MeasureTrials pool width: when the sweep
+// itself fans workloads out (Parallel != 1), trials run serially so the
+// two pool levels never multiply into cores² concurrent simulations; a
+// serial sweep gets the full per-CPU trial pool instead. Either way at
+// most one level is parallel.
+func (e *Engine) trialWorkers() int {
+	if e.opts.Parallel == 1 {
+		return 0
+	}
+	return 1
+}
+
+// summaryFor measures (with caching) one workload under one policy, and
+// times one additional serial run so BenchResults can report a per-run
+// ns/op that does not depend on either pool's width.
 func (e *Engine) summaryFor(a *artefacts, label string, pol measure.Policy) (measure.Summary, error) {
 	key := a.w.Name + "/" + label
-	if s, ok := e.sums[key]; ok {
+	e.mu.Lock()
+	s, ok := e.sums[key]
+	e.mu.Unlock()
+	if ok {
 		return s, nil
 	}
 	e.opts.logf("[%s] measuring %s (%d trials)", a.w.Name, label, e.opts.Trials)
-	s, err := measure.MeasureTrials(a.refProg, pol, e.opts.Trials, e.opts.Seed, e.machine)
+	s, err := measure.MeasureTrialsParallel(a.refProg, pol, e.opts.Trials, e.opts.Seed, e.machine, e.trialWorkers())
 	if err != nil {
 		return measure.Summary{}, fmt.Errorf("%s/%s: %w", a.w.Name, label, err)
 	}
-	e.sums[key] = s
+	// ns/op: a single dedicated run (the first measured trial's seed),
+	// timed on this goroutine — per-run cost, not pool throughput.
+	start := time.Now()
+	if _, err := measure.Run(a.refProg, pol, e.opts.Seed+1, e.machine); err != nil {
+		return measure.Summary{}, fmt.Errorf("%s/%s: %w", a.w.Name, label, err)
+	}
+	elapsed := time.Since(start)
+	e.mu.Lock()
+	if prior, ok := e.sums[key]; ok {
+		s = prior
+	} else {
+		e.sums[key] = s
+		e.wallNs[key] = elapsed.Nanoseconds()
+	}
+	e.mu.Unlock()
 	return s, nil
+}
+
+// forEachWorkload fans fn out over the workloads on the engine's bounded
+// worker pool. fn receives the workload's index so rows land in stable
+// slots; callers assemble tables in index order after the pool drains.
+func (e *Engine) forEachWorkload(list []workloads.Workload, fn func(i int, w workloads.Workload) error) error {
+	return pool.Map(len(list), e.opts.Parallel, func(i int) error { return fn(i, list[i]) })
+}
+
+// BenchResult is one machine-readable measurement: a workload under a
+// technique, compared against the jemalloc baseline measured in the same
+// sweep. NsPerOp is the harness wall-clock of one dedicated serial
+// measurement run (timed outside the worker pools, so it tracks the
+// engine's per-run speed over time rather than pool throughput).
+type BenchResult struct {
+	Workload         string  `json:"workload"`
+	Technique        string  `json:"technique"`
+	MissReductionPct float64 `json:"miss_reduction_pct"`
+	SpeedupPct       float64 `json:"speedup_pct"`
+	BaselineSeconds  float64 `json:"baseline_seconds"`
+	Seconds          float64 `json:"seconds"`
+	NsPerOp          int64   `json:"ns_per_op"`
+}
+
+// BenchResults renders every measured workload×technique pair from the
+// engine's summary cache against its jemalloc baseline, sorted by workload
+// then technique. Call after Run; only combinations the executed
+// experiments actually measured appear.
+func (e *Engine) BenchResults() []BenchResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	keys := make([]string, 0, len(e.sums))
+	for k := range e.sums {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []BenchResult
+	for _, k := range keys {
+		slash := strings.IndexByte(k, '/')
+		name, label := k[:slash], k[slash+1:]
+		if label == "jemalloc" {
+			continue
+		}
+		base, ok := e.sums[name+"/jemalloc"]
+		if !ok {
+			continue
+		}
+		s := e.sums[k]
+		out = append(out, BenchResult{
+			Workload:         name,
+			Technique:        label,
+			MissReductionPct: measure.Improvement(base.L1DMiss.Median, s.L1DMiss.Median),
+			SpeedupPct:       measure.Improvement(base.Seconds.Median, s.Seconds.Median),
+			BaselineSeconds:  base.Seconds.Median,
+			Seconds:          s.Seconds.Median,
+			NsPerOp:          e.wallNs[k],
+		})
+	}
+	return out
 }
 
 // Run executes the named experiments ("all" for everything) in order.

@@ -5,6 +5,7 @@ import (
 
 	"halo/internal/core"
 	"halo/internal/measure"
+	"halo/internal/pool"
 	"halo/internal/workloads"
 )
 
@@ -65,58 +66,78 @@ func (e *Engine) Fig12() (*Table, error) {
 	if e.opts.Quick {
 		hi = 11
 	}
-	for p := lo; p <= hi; p++ {
-		dist := uint64(1) << p
+	// Each affinity distance re-profiles and re-measures independently, so
+	// the sweep points fan out over the worker pool; rows are assembled in
+	// distance order afterwards.
+	rows := make([][]string, hi-lo+1)
+	err = pool.Map(len(rows), e.opts.Parallel, func(i int) error {
+		dist := uint64(1) << (lo + i)
 		cfg := pipelineConfig(w)
 		cfg.Profile.AffinityDistance = dist
 		testProg := w.Build(w.TestScale)
 		opt, err := core.Optimize(testProg, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("fig12 A=%d: %w", dist, err)
+			return fmt.Errorf("fig12 A=%d: %w", dist, err)
 		}
 		pol, err := refHALOPolicy(w, refProg, opt)
 		if err != nil {
-			return nil, fmt.Errorf("fig12 A=%d: %w", dist, err)
+			return fmt.Errorf("fig12 A=%d: %w", dist, err)
 		}
-		s, err := measure.MeasureTrials(refProg, pol, e.opts.Trials, e.opts.Seed, e.machine)
+		s, err := measure.MeasureTrialsParallel(refProg, pol, e.opts.Trials, e.opts.Seed, e.machine, e.trialWorkers())
 		if err != nil {
-			return nil, fmt.Errorf("fig12 A=%d: %w", dist, err)
+			return fmt.Errorf("fig12 A=%d: %w", dist, err)
 		}
 		delta := measure.Improvement(base.Seconds.Median, s.Seconds.Median)
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			fmt.Sprintf("%d", dist),
 			fmt.Sprintf("%.4f", s.Seconds.Median),
 			fmt.Sprintf("%.4f", s.Seconds.P25),
 			fmt.Sprintf("%.4f", s.Seconds.P75),
 			fmt.Sprintf("%+.2f%%", delta),
-		})
+		}
 		e.opts.logf("[fig12] A=%-6d median %.4fs (%+.2f%%)", dist, s.Seconds.Median, delta)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
-// mainResults measures baseline, HALO and HDS for every workload.
+// mainResults measures baseline, HALO and HDS for every workload, fanning
+// the workloads out over the engine's worker pool. The result map is
+// written under the index-addressed slice discipline (one slot per
+// workload) before being assembled, so contents never depend on timing.
 func (e *Engine) mainResults() (map[string][3]measure.Summary, []workloads.Workload, error) {
 	list := e.workloadList()
-	out := make(map[string][3]measure.Summary, len(list))
-	for _, w := range list {
+	slots := make([][3]measure.Summary, len(list))
+	err := e.forEachWorkload(list, func(i int, w workloads.Workload) error {
 		a, err := e.artefactsFor(w)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		base, err := e.summaryFor(a, "jemalloc", a.polBase)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		hal, err := e.summaryFor(a, "halo", a.polHALO)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		hd, err := e.summaryFor(a, "hds", a.polHDS)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		out[w.Name] = [3]measure.Summary{base, hal, hd}
+		slots[i] = [3]measure.Summary{base, hal, hd}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string][3]measure.Summary, len(list))
+	for i, w := range list {
+		out[w.Name] = slots[i]
 	}
 	return out, list, nil
 }
@@ -181,26 +202,33 @@ func (e *Engine) Fig15() (*Table, error) {
 		Title:   "Speedup under a random 4-pool allocator (placement sensitivity)",
 		Columns: []string{"benchmark", "speedup", "p25", "p75"},
 	}
-	for _, w := range e.workloadList() {
+	list := e.workloadList()
+	rows := make([][]string, len(list))
+	err := e.forEachWorkload(list, func(i int, w workloads.Workload) error {
 		a, err := e.artefactsFor(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := e.summaryFor(a, "jemalloc", a.polBase)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rnd, err := e.summaryFor(a, "random", a.polRand)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			w.Name,
 			fmt.Sprintf("%+.2f%%", measure.Improvement(base.Seconds.Median, rnd.Seconds.Median)),
 			fmt.Sprintf("%+.2f%%", measure.Improvement(base.Seconds.Median, rnd.Seconds.P75)),
 			fmt.Sprintf("%+.2f%%", measure.Improvement(base.Seconds.Median, rnd.Seconds.P25)),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"mostly-negative values mark benchmarks sensitive to small-object placement (paper Figure 15)")
 	return t, nil
@@ -214,23 +242,30 @@ func (e *Engine) Table1() (*Table, error) {
 		Title:   "Fragmentation of grouped objects at peak memory usage",
 		Columns: []string{"benchmark", "frag (%)", "frag (bytes)", "grouped allocs"},
 	}
-	for _, w := range e.workloadList() {
+	list := e.workloadList()
+	rows := make([][]string, len(list))
+	err := e.forEachWorkload(list, func(i int, w workloads.Workload) error {
 		a, err := e.artefactsFor(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s, err := e.summaryFor(a, "halo", a.polHALO)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m := s.Median
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			w.Name,
 			fmt.Sprintf("%.2f%%", m.FragPct),
 			formatBytes(m.FragBytes),
 			fmt.Sprintf("%d", m.GroupedAllocs),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "measured at the grouped-data resident high-water mark (paper Table 1)")
 	return t, nil
 }
@@ -244,26 +279,33 @@ func (e *Engine) Baseline() (*Table, error) {
 		Title:   "jemalloc-like vs ptmalloc-like: L1D miss reduction",
 		Columns: []string{"benchmark", "ptmalloc L1D misses", "jemalloc L1D misses", "reduction"},
 	}
-	for _, w := range e.workloadList() {
+	list := e.workloadList()
+	rows := make([][]string, len(list))
+	err := e.forEachWorkload(list, func(i int, w workloads.Workload) error {
 		a, err := e.artefactsFor(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		je, err := e.summaryFor(a, "jemalloc", a.polBase)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pt, err := e.summaryFor(a, "ptmalloc", a.polPt)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			w.Name,
 			fmt.Sprintf("%.0f", pt.L1DMiss.Median),
 			fmt.Sprintf("%.0f", je.L1DMiss.Median),
 			fmt.Sprintf("%+.2f%%", measure.Improvement(pt.L1DMiss.Median, je.L1DMiss.Median)),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -276,20 +318,27 @@ func (e *Engine) RomsStreams() (*Table, error) {
 		Title:   "Representation size: affinity graph vs hot data streams",
 		Columns: []string{"benchmark", "graph nodes", "grammar rules", "candidate streams", "hot streams", "trace refs"},
 	}
-	for _, w := range e.workloadList() {
+	list := e.workloadList()
+	rows := make([][]string, len(list))
+	err := e.forEachWorkload(list, func(i int, w workloads.Workload) error {
 		a, err := e.artefactsFor(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			w.Name,
 			fmt.Sprintf("%d", a.opt.Profile.Graph.NumNodes()),
 			fmt.Sprintf("%d", a.hds.Rules),
 			fmt.Sprintf("%d", a.hds.Candidates),
 			fmt.Sprintf("%d", a.hds.Streams),
 			fmt.Sprintf("%d", a.hds.TraceLen),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes,
 		"the paper reports 31 affinity nodes vs >150,000 streams for roms; the ratio, not the absolute count, is the reproduction target")
 	return t, nil

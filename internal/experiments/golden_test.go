@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"halo/internal/cache"
+	"halo/internal/core"
+	"halo/internal/measure"
+	"halo/internal/profstore"
+	"halo/internal/workloads"
+)
+
+// Golden values recorded from the seed (pre-batching) engine: the per-event
+// Hooks-dispatch VM at commit 7935e99, running each workload's test-scale
+// build. The batched event engine must reproduce them bit for bit — that is
+// the determinism contract of the event stream (vm/event.go): batching
+// changes delivery granularity, never content or order.
+type goldenWorkload struct {
+	name string
+
+	// sha256 of profstore.Encode for core.Profile with RecordTrace=true
+	// and the default training seed.
+	profileSHA string
+
+	// measure.Run under the jemalloc-like baseline, seed 1000, XeonW2195.
+	result        int64
+	steps         uint64
+	loads, stores uint64
+	l1dMisses     uint64
+	l1dAccesses   uint64
+	cycles        uint64
+
+	// measure.MeasureTrials(trials=4, baseSeed=1000) quartile medians.
+	trialCyclesMedian float64
+}
+
+var goldens = []goldenWorkload{
+	{
+		name:              "povray",
+		profileSHA:        "1aa6e750d713c99e51c46a33502b639c26ba093d1405669987aeee510ec462a6",
+		result:            56986,
+		steps:             291272,
+		loads:             83333,
+		stores:            25031,
+		l1dMisses:         22809,
+		l1dAccesses:       108364,
+		cycles:            475284,
+		trialCyclesMedian: 464698,
+	},
+	{
+		name:              "omnetpp",
+		profileSHA:        "9ff41b3104a8cedf2aca84bb0cc2f34618dc38ef8e564515a470bc554ba4e2c0",
+		result:            4511129,
+		steps:             4431092,
+		loads:             1513817,
+		stores:            545375,
+		l1dMisses:         586887,
+		l1dAccesses:       2059192,
+		cycles:            9287376,
+		trialCyclesMedian: 9272469.5,
+	},
+}
+
+// TestGoldenProfileImages asserts the batched engine reproduces the seed
+// engine's profile images byte for byte.
+func TestGoldenProfileImages(t *testing.T) {
+	for _, g := range goldens {
+		t.Run(g.name, func(t *testing.T) {
+			w := workloads.MustGet(g.name)
+			p := w.Build(w.TestScale)
+			cfg := core.Config{}
+			cfg.Profile.RecordTrace = true
+			prof, err := core.Profile(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			img, err := profstore.Encode(prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := sha256.Sum256(img)
+			if got := hex.EncodeToString(sum[:]); got != g.profileSHA {
+				t.Errorf("profile image sha256 = %s, want seed engine's %s (len %d)",
+					got, g.profileSHA, len(img))
+			}
+		})
+	}
+}
+
+// TestGoldenRunResults asserts measurement runs match the seed engine's
+// RunResults exactly.
+func TestGoldenRunResults(t *testing.T) {
+	for _, g := range goldens {
+		t.Run(g.name, func(t *testing.T) {
+			w := workloads.MustGet(g.name)
+			p := w.Build(w.TestScale)
+			r, err := measure.Run(p, measure.Policy{Kind: measure.Jemalloc}, 1000, cache.XeonW2195())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Result != g.result || r.Steps != g.steps || r.Loads != g.loads || r.Stores != g.stores {
+				t.Errorf("run = result %d steps %d loads %d stores %d, want %d/%d/%d/%d",
+					r.Result, r.Steps, r.Loads, r.Stores, g.result, g.steps, g.loads, g.stores)
+			}
+			if r.Cache.L1D.Misses != g.l1dMisses || r.Cache.L1D.Accesses != g.l1dAccesses {
+				t.Errorf("L1D = %d misses / %d accesses, want %d/%d",
+					r.Cache.L1D.Misses, r.Cache.L1D.Accesses, g.l1dMisses, g.l1dAccesses)
+			}
+			if r.Cycles != g.cycles {
+				t.Errorf("cycles = %d, want %d", r.Cycles, g.cycles)
+			}
+		})
+	}
+}
+
+// TestGoldenTrialsWorkerInvariance asserts the parallel measurement
+// harness reproduces the seed engine's serial trial summary at every
+// worker-pool width.
+func TestGoldenTrialsWorkerInvariance(t *testing.T) {
+	for _, g := range goldens {
+		t.Run(g.name, func(t *testing.T) {
+			w := workloads.MustGet(g.name)
+			p := w.Build(w.TestScale)
+			for _, workers := range []int{1, 2, 8} {
+				s, err := measure.MeasureTrialsParallel(p, measure.Policy{Kind: measure.Jemalloc},
+					4, 1000, cache.XeonW2195(), workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if s.Cycles.Median != g.trialCyclesMedian {
+					t.Errorf("workers=%d: cycles median = %v, want seed engine's %v",
+						workers, s.Cycles.Median, g.trialCyclesMedian)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenBatchSizeInvariance asserts the determinism contract directly:
+// profile images are identical whether events are delivered one at a time
+// (BatchSize 1, the per-event seed behaviour) or in full batches.
+func TestGoldenBatchSizeInvariance(t *testing.T) {
+	w := workloads.MustGet("povray")
+	p := w.Build(w.TestScale)
+	encodeAt := func(batch int) []byte {
+		cfg := core.Config{ProfileBatchSize: batch}
+		cfg.Profile.RecordTrace = true
+		prof, err := core.Profile(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := profstore.Encode(prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+	want := encodeAt(1)
+	for _, batch := range []int{2, 7, 4096} {
+		got := encodeAt(batch)
+		if string(got) != string(want) {
+			t.Errorf("batch=%d: profile image differs from per-event delivery", batch)
+		}
+	}
+}

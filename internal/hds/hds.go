@@ -25,8 +25,11 @@ type Result struct {
 	SiteGroups map[isa.Addr]int // runtime policy: immediate site -> group
 }
 
-// Analyze runs the pipeline over a profile's data reference trace: grammar
-// inference, hot-stream extraction, co-allocation set construction, and
+// Analyze runs the pipeline over a profile's data reference trace —
+// recorded by the profiler's trace recorder as it drains the VM's batched
+// event stream (profile.Config.RecordTrace), so the trace order is the
+// exact execution order regardless of batch size: grammar inference,
+// hot-stream extraction, co-allocation set construction, and
 // weighted set packing. The returned SiteGroups table is the runtime
 // identification policy (immediate call site of the allocation procedure).
 func Analyze(p *profile.Profile, cfg Config) *Result {

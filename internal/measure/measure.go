@@ -6,7 +6,10 @@
 //
 // Hardware noise does not exist in a simulator, so trials vary the
 // workload's RNG seed instead (input variation), which is what makes the
-// quartile spread meaningful here.
+// quartile spread meaningful here. Trials are seed-independent of each
+// other, so the harness runs them on a bounded worker pool; summaries are
+// assembled from results in trial order and are therefore identical at
+// any worker count.
 package measure
 
 import (
@@ -18,6 +21,7 @@ import (
 	"halo/internal/halloc"
 	"halo/internal/isa"
 	"halo/internal/mem"
+	"halo/internal/pool"
 	"halo/internal/vm"
 )
 
@@ -100,16 +104,6 @@ type RunResult struct {
 	FragBytes      uint64
 }
 
-// cacheHooks adapts the hierarchy to vm.Hooks.
-type cacheHooks struct {
-	vm.NopHooks
-	h *cache.Hierarchy
-}
-
-func (c cacheHooks) OnAccess(addr uint64, size uint8, write bool) {
-	c.h.Access(addr, size, write)
-}
-
 // Run executes the program once under the policy with the given seed.
 func Run(p *isa.Program, policy Policy, seed uint64, machine cache.Config) (RunResult, error) {
 	memory := mem.NewMemory()
@@ -161,8 +155,9 @@ func Run(p *isa.Program, policy Policy, seed uint64, machine cache.Config) (RunR
 		prog = policy.Rewritten
 	}
 
+	// The hierarchy consumes the VM's event stream batch-at-a-time.
 	hier := cache.New(machine)
-	v := vm.New(prog, memory, allocator, cacheHooks{h: hier}, vm.Config{
+	v := vm.New(prog, memory, allocator, hier, vm.Config{
 		Seed:       seed,
 		GroupState: state,
 	})
@@ -201,22 +196,33 @@ type Summary struct {
 
 // MeasureTrials runs trials+1 executions (discarding the first, per the
 // paper's steady-state warm-up) with seeds baseSeed, baseSeed+1, ... and
-// summarises them.
+// summarises them, using one worker per CPU. Each trial builds its own
+// memory, allocator, VM and cache hierarchy, so trials are independent;
+// results are gathered by trial index, making the summary bit-identical
+// at any worker count.
 func MeasureTrials(p *isa.Program, policy Policy, trials int, baseSeed uint64, machine cache.Config) (Summary, error) {
+	return MeasureTrialsParallel(p, policy, trials, baseSeed, machine, 0)
+}
+
+// MeasureTrialsParallel is MeasureTrials with an explicit worker-pool
+// width (<= 0 selects one worker per CPU, 1 forces serial execution).
+func MeasureTrialsParallel(p *isa.Program, policy Policy, trials int, baseSeed uint64, machine cache.Config, workers int) (Summary, error) {
 	if trials < 1 {
 		trials = 1
 	}
-	var results []RunResult
-	for t := 0; t <= trials; t++ {
+	all := make([]RunResult, trials+1)
+	err := pool.Map(trials+1, workers, func(t int) error {
 		r, err := Run(p, policy, baseSeed+uint64(t), machine)
 		if err != nil {
-			return Summary{}, err
+			return err
 		}
-		if t == 0 {
-			continue // discard the first trial
-		}
-		results = append(results, r)
+		all[t] = r
+		return nil
+	})
+	if err != nil {
+		return Summary{}, err
 	}
+	results := all[1:] // discard the warm-up trial
 	var secs, misses, cycles []float64
 	for _, r := range results {
 		secs = append(secs, r.Seconds)

@@ -1,0 +1,70 @@
+// Package pool is the bounded worker pool shared by the measurement
+// harness (internal/measure), the experiment engine (internal/experiments)
+// and the optimization service (internal/service). It exists to make
+// fan-out deterministic by construction: work items are identified by
+// index, results land in caller-provided slots indexed the same way, and
+// every aggregate is computed from those slots in index order after the
+// pool drains. Worker count therefore changes wall-clock time only — never
+// results, and never which error is reported.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the pool width used when a caller passes workers <= 0:
+// one worker per schedulable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Map runs fn(0) … fn(n-1) on at most workers goroutines and returns the
+// lowest-index error (nil if every call succeeded). Every index runs
+// regardless of other indices failing, which is what makes the returned
+// error — like the results the calls write — independent of scheduling.
+// workers <= 0 selects DefaultWorkers; a single worker degenerates to an
+// in-place serial loop.
+func Map(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path. Still runs every index so error selection
+		// matches the parallel path exactly.
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

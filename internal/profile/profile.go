@@ -81,9 +81,9 @@ type Profile struct {
 // Context returns the context record for an id.
 func (p *Profile) Context(id affinity.Ctx) *Context { return p.Contexts[id] }
 
-// Profiler implements vm.Hooks.
+// Profiler implements vm.EventSink: it drains the VM's batched event
+// stream, paying one dynamic dispatch per batch and direct calls within.
 type Profiler struct {
-	vm.NopHooks
 	prog *isa.Program
 	cfg  Config
 
@@ -130,13 +130,32 @@ func (p *Profiler) AllocatedBetween(c affinity.Ctx, lo, hi uint64) bool {
 	return p.contexts.list[c].AllocatedBetween(lo, hi)
 }
 
-// OnCall implements vm.Hooks.
-func (p *Profiler) OnCall(site isa.Addr, callee int, fn *isa.Func) {
-	p.native = append(p.native, nframe{site: site, fn: int32(callee), lib: fn.Lib})
+// ConsumeEvents implements vm.EventSink. Batch order is execution order,
+// so the shadow stack, the object index and the affinity queue observe the
+// exact sequence the per-event engine produced.
+func (p *Profiler) ConsumeEvents(batch []vm.Event) {
+	for i := range batch {
+		ev := &batch[i]
+		switch ev.Kind {
+		case vm.EvAccess:
+			p.access(ev.Addr, ev.Size)
+		case vm.EvCall:
+			p.call(ev.Site, ev.Fn)
+		case vm.EvReturn:
+			p.ret()
+		case vm.EvAlloc:
+			p.alloc(ev.Alloc())
+		}
+	}
 }
 
-// OnReturn implements vm.Hooks.
-func (p *Profiler) OnReturn(callee int, fn *isa.Func) {
+// call pushes a shadow-stack frame for an internal call.
+func (p *Profiler) call(site isa.Addr, callee int32) {
+	p.native = append(p.native, nframe{site: site, fn: callee, lib: p.prog.Funcs[callee].Lib})
+}
+
+// ret pops the shadow stack on an internal return.
+func (p *Profiler) ret() {
 	if n := len(p.native); n > 0 {
 		p.native = p.native[:n-1]
 	}
@@ -172,8 +191,8 @@ func (p *Profiler) currentContext(rawSite isa.Addr) *Context {
 	return p.contexts.intern(reduceChain(chain))
 }
 
-// OnAlloc implements vm.Hooks.
-func (p *Profiler) OnAlloc(ev vm.AllocEvent) {
+// alloc tracks one intercepted memory-management call.
+func (p *Profiler) alloc(ev vm.AllocEvent) {
 	switch ev.Kind {
 	case vm.KindFree:
 		p.objects.remove(ev.Old)
@@ -209,8 +228,9 @@ func (p *Profiler) OnAlloc(ev vm.AllocEvent) {
 	}
 }
 
-// OnAccess implements vm.Hooks.
-func (p *Profiler) OnAccess(addr uint64, size uint8, write bool) {
+// access feeds one load or store through the affinity queue and, when
+// tracing is enabled, the hot-data-streams trace recorder.
+func (p *Profiler) access(addr uint64, size uint8) {
 	o := p.objects.find(addr)
 	if o == nil {
 		return

@@ -7,23 +7,28 @@ import (
 	"reflect"
 	"testing"
 
-	"halo/internal/core"
+	"halo/internal/alloc"
+	"halo/internal/mem"
 	"halo/internal/profile"
+	"halo/internal/vm"
 	"halo/internal/workloads"
 )
 
 // profileWorkload profiles a workload at test scale with the given seed.
+// It drives the profiler directly (core imports this package, so the
+// pipeline facade is off limits here); the equivalent core.Profile path is
+// exercised by profstore_pipeline_test.go in the external test package.
 func profileWorkload(t testing.TB, name string, seed uint64, trace bool) *profile.Profile {
 	t.Helper()
 	w := workloads.MustGet(name)
 	p := w.Build(w.TestScale)
-	cfg := core.Config{ProfileSeed: seed}
-	cfg.Profile.RecordTrace = trace
-	prof, err := core.Profile(p, cfg)
-	if err != nil {
+	pr := profile.New(p, profile.Config{RecordTrace: trace})
+	memory := mem.NewMemory()
+	v := vm.New(p, memory, alloc.NewSizeSeg(mem.NewOS(memory)), pr, vm.Config{Seed: seed})
+	if _, err := v.Run(); err != nil {
 		t.Fatalf("profiling %s: %v", name, err)
 	}
-	return prof
+	return pr.Finish()
 }
 
 func TestRoundTrip(t *testing.T) {
@@ -345,34 +350,5 @@ func TestMergeValidation(t *testing.T) {
 	}
 	if _, err := MergeWithCoverage(0, a); err == nil {
 		t.Fatal("zero coverage did not fail")
-	}
-}
-
-// TestMergedProfileOptimizes drives a merged multi-seed profile through the
-// standard OptimizeFromProfile path and checks the result is deterministic.
-func TestMergedProfileOptimizes(t *testing.T) {
-	w := workloads.MustGet("art")
-	p := w.Build(w.TestScale)
-	a := profileWorkload(t, "art", 3, false)
-	b := profileWorkload(t, "art", 5, false)
-
-	var reports []string
-	for i := 0; i < 2; i++ {
-		m, err := Merge(a, b)
-		if err != nil {
-			t.Fatal(err)
-		}
-		opt, err := core.OptimizeFromProfile(p, m, core.Config{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(opt.Groups) == 0 || len(opt.BitSelectors) == 0 {
-			t.Fatalf("merged profile produced no policy: %d groups, %d selectors",
-				len(opt.Groups), len(opt.BitSelectors))
-		}
-		reports = append(reports, opt.GroupReport())
-	}
-	if reports[0] != reports[1] {
-		t.Fatalf("merged optimization not deterministic:\n%s\nvs\n%s", reports[0], reports[1])
 	}
 }

@@ -22,7 +22,12 @@ import (
 type OptimizeConfig struct {
 	// ProfileSeed drives the training run when the server profiles the
 	// program itself (no profiles named in the request).
-	ProfileSeed      uint64  `json:"profile_seed"`
+	ProfileSeed uint64 `json:"profile_seed"`
+	// TrainingRuns is the number of independent server-side training runs
+	// (seeds ProfileSeed, +1, …) profiled concurrently on the server's
+	// training pool and merged before grouping. 0 or 1 means a single run.
+	// Ignored when the request names uploaded profiles.
+	TrainingRuns     int     `json:"training_runs"`
 	AffinityDistance uint64  `json:"affinity_distance"`
 	MaxObjectSize    uint64  `json:"max_object_size"`
 	Coverage         float64 `json:"coverage"`
@@ -45,8 +50,15 @@ func (c OptimizeConfig) validate() error {
 	if c.MaxGroupMembers < 0 || c.MaxGroups < 0 {
 		return fmt.Errorf("negative max_group_members or max_groups")
 	}
+	if c.TrainingRuns < 0 || c.TrainingRuns > maxTrainingRuns {
+		return fmt.Errorf("training_runs %d out of [0,%d]", c.TrainingRuns, maxTrainingRuns)
+	}
 	return nil
 }
+
+// maxTrainingRuns bounds server-side training fan-out per job, so one
+// request cannot monopolise the daemon.
+const maxTrainingRuns = 64
 
 func (c OptimizeConfig) coreConfig() core.Config {
 	var cfg core.Config
@@ -82,8 +94,15 @@ func (r OptimizeRequest) cacheKey() string {
 	for _, p := range profs {
 		fmt.Fprintf(h, "profile=%s\n", p)
 	}
-	cfg, _ := json.Marshal(r.Config) // fixed field order, no omitempty
-	h.Write(cfg)
+	cfg := r.Config
+	// TrainingRuns is ignored when the request names profiles, and 1 takes
+	// the same single-run path as 0; normalize so equivalent requests
+	// share one artifact instead of spuriously missing the cache.
+	if len(r.Profiles) > 0 || cfg.TrainingRuns == 1 {
+		cfg.TrainingRuns = 0
+	}
+	img, _ := json.Marshal(cfg) // fixed field order, no omitempty
+	h.Write(img)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -306,7 +325,7 @@ func (s *Server) runJob(job *Job) {
 	s.mu.Unlock()
 
 	start := time.Now()
-	artifact, err := buildArtifact(prog, job.req, blobs)
+	artifact, err := buildArtifact(prog, job.req, blobs, s.cfg.TrainingWorkers)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -329,7 +348,7 @@ func (s *Server) runJob(job *Job) {
 // several, group, identify, rewrite, and package the artifacts. It runs
 // outside the server lock; everything it reads is immutable (program
 // entries, profile blobs) and everything it mutates is freshly decoded.
-func buildArtifact(prog *programEntry, req OptimizeRequest, blobs [][]byte) (*Artifact, error) {
+func buildArtifact(prog *programEntry, req OptimizeRequest, blobs [][]byte, trainWorkers int) (*Artifact, error) {
 	if prog == nil {
 		return nil, fmt.Errorf("program disappeared")
 	}
@@ -338,9 +357,19 @@ func buildArtifact(prog *programEntry, req OptimizeRequest, blobs [][]byte) (*Ar
 	var opt *core.Optimized
 	var err error
 	if len(blobs) == 0 {
-		// No profiles: the server runs the training workload itself.
-		opt, err = core.Optimize(prog.Prog, cfg)
-		if err != nil {
+		// No profiles: the server runs the training workload itself —
+		// several seeds concurrently on the shared pool when the request
+		// asks for more than one, merged deterministically before grouping.
+		if runs := req.Config.TrainingRuns; runs > 1 {
+			prof, err := core.ProfileN(prog.Prog, cfg, runs, trainWorkers)
+			if err != nil {
+				return nil, fmt.Errorf("training runs: %w", err)
+			}
+			opt, err = core.OptimizeFromProfile(prog.Prog, prof, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("optimize: %w", err)
+			}
+		} else if opt, err = core.Optimize(prog.Prog, cfg); err != nil {
 			return nil, fmt.Errorf("optimize: %w", err)
 		}
 	} else {

@@ -43,6 +43,7 @@ import (
 	"sync"
 
 	"halo/internal/isa"
+	"halo/internal/pool"
 	"halo/internal/profile"
 	"halo/internal/profstore"
 )
@@ -60,6 +61,13 @@ type Config struct {
 	// oldest settled jobs are evicted (their cached artifacts survive).
 	// Default 4096.
 	JobHistory int
+	// TrainingWorkers bounds the per-job worker pool that runs a request's
+	// concurrent training runs (OptimizeConfig.TrainingRuns). 0 sizes the
+	// pool so Workers jobs training at once stay at roughly one runner per
+	// CPU (GOMAXPROCS / Workers, at least 1) — the two pool levels
+	// multiply, so a per-CPU default here would oversubscribe the machine
+	// by a factor of Workers.
+	TrainingWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +82,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobHistory <= 0 {
 		c.JobHistory = 4096
+	}
+	if c.TrainingWorkers <= 0 {
+		c.TrainingWorkers = pool.DefaultWorkers() / c.Workers
+		if c.TrainingWorkers < 1 {
+			c.TrainingWorkers = 1
+		}
 	}
 	return c
 }

@@ -467,3 +467,82 @@ func TestServiceCacheFlush(t *testing.T) {
 		t.Errorf("jobs done = %d, want 2", s.Stats().JobsDone)
 	}
 }
+
+// TestServiceTrainingRuns exercises the server-side concurrent training
+// path: a request asking for several training runs must produce the same
+// artifact at any training-pool width, must match the equivalent
+// client-side profile-then-merge request, and must key the cache
+// separately from a single-run request.
+func TestServiceTrainingRuns(t *testing.T) {
+	artifactsAt := func(trainWorkers int) (single, multi []byte) {
+		t.Helper()
+		_, c := newTestServer(t, Config{Workers: 2, TrainingWorkers: trainWorkers})
+		progID, _ := c.uploadProgram("art")
+
+		one := c.optimizeWait(OptimizeRequest{
+			Program: progID,
+			Config:  OptimizeConfig{ProfileSeed: 3},
+		})
+		many := c.optimizeWait(OptimizeRequest{
+			Program: progID,
+			Config:  OptimizeConfig{ProfileSeed: 3, TrainingRuns: 3},
+		})
+		if one.Key == many.Key {
+			t.Fatal("training_runs must participate in the cache key")
+		}
+		if many.Cached {
+			t.Fatal("multi-run request cannot hit the single-run cache entry")
+		}
+		_, singleBin := c.get("/v1/jobs/"+one.ID+"/binary", nil)
+		_, multiBin := c.get("/v1/jobs/"+many.ID+"/binary", nil)
+		return singleBin, multiBin
+	}
+
+	serialSingle, serialMulti := artifactsAt(1)
+	parallelSingle, parallelMulti := artifactsAt(8)
+	if !bytes.Equal(serialSingle, parallelSingle) {
+		t.Fatal("single-run artifact depends on training workers")
+	}
+	if !bytes.Equal(serialMulti, parallelMulti) {
+		t.Fatal("multi-run artifact depends on training workers")
+	}
+	if len(serialMulti) == 0 {
+		t.Fatal("multi-run artifact is empty")
+	}
+
+	// The server's multi-run artifact must equal the client-side path:
+	// profile each seed locally, upload, and optimize from the profiles.
+	_, c := newTestServer(t, Config{Workers: 2})
+	progID, p := c.uploadProgram("art")
+	var profIDs []string
+	for seed := uint64(3); seed <= 5; seed++ {
+		profIDs = append(profIDs, c.uploadProfile(p, seed))
+	}
+	st := c.optimizeWait(OptimizeRequest{Program: progID, Profiles: profIDs})
+	_, clientBin := c.get("/v1/jobs/"+st.ID+"/binary", nil)
+	if !bytes.Equal(clientBin, serialMulti) {
+		t.Fatalf("server-side training (%d bytes) differs from client-side merge (%d bytes)",
+			len(serialMulti), len(clientBin))
+	}
+
+	// Cache-key normalization: training_runs is ignored when profiles are
+	// named, and 1 is the single-run path — equivalent requests must share
+	// one artifact instead of spuriously missing the cache.
+	withRuns := c.optimizeWait(OptimizeRequest{
+		Program: progID, Profiles: profIDs,
+		Config: OptimizeConfig{TrainingRuns: 3},
+	})
+	if withRuns.Key != st.Key || !withRuns.Cached {
+		t.Fatalf("profiles+training_runs missed the cache: key %s vs %s, cached %v",
+			withRuns.Key, st.Key, withRuns.Cached)
+	}
+	zero := c.optimizeWait(OptimizeRequest{Program: progID, Config: OptimizeConfig{ProfileSeed: 3}})
+	one := c.optimizeWait(OptimizeRequest{
+		Program: progID,
+		Config:  OptimizeConfig{ProfileSeed: 3, TrainingRuns: 1},
+	})
+	if one.Key != zero.Key || !one.Cached {
+		t.Fatalf("training_runs 1 vs 0 missed the cache: key %s vs %s, cached %v",
+			one.Key, zero.Key, one.Cached)
+	}
+}

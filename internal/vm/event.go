@@ -1,0 +1,156 @@
+// Batched event-stream engine. The VM appends one compact, fixed-size
+// Event record per observable action (access, call, return, memory
+// management) to a ring buffer and hands full batches to a single
+// EventSink, replacing the per-event virtual call of the Hooks interface
+// with one dynamic dispatch per batch. Consumers that care about
+// throughput (the profiler, the cache hierarchy) implement EventSink
+// directly; exotic per-event observers keep working through the Replay
+// compatibility shim.
+//
+// Determinism contract: the event sequence a sink observes is exactly the
+// execution order of the program, independent of the batch size. Batching
+// changes only how many records arrive per ConsumeEvents call, never their
+// order or content, so any deterministic consumer produces bit-identical
+// results under any BatchSize (and under the Replay shim).
+package vm
+
+import "halo/internal/isa"
+
+// EventKind discriminates event records.
+type EventKind uint8
+
+// Event kinds, in the order the seed engine's Hooks methods were declared.
+const (
+	// EvAccess is a program load or store.
+	EvAccess EventKind = iota
+	// EvCall marks control transferring into an internal function.
+	EvCall
+	// EvReturn marks an internal function returning to its caller.
+	EvReturn
+	// EvAlloc is an intercepted memory-management call.
+	EvAlloc
+)
+
+// Event is one fixed-size record of the execution event stream. Field use
+// by kind:
+//
+//	EvAccess: Addr, Size, Write
+//	EvCall:   Site (call instruction), Fn (callee index)
+//	EvReturn: Fn (returning function index)
+//	EvAlloc:  AKind, Addr (resulting pointer), Old (prior pointer for
+//	          realloc/free), Bytes (requested size), Site (call site)
+type Event struct {
+	Kind  EventKind
+	AKind AllocKind
+	Size  uint8
+	Write bool
+	Fn    int32
+	Site  isa.Addr
+	Addr  uint64
+	Old   uint64
+	Bytes uint64
+}
+
+// Alloc converts an EvAlloc record back to the Hooks-era event struct.
+func (e *Event) Alloc() AllocEvent {
+	return AllocEvent{Kind: e.AKind, Ptr: e.Addr, Old: e.Old, Size: e.Bytes, Site: e.Site}
+}
+
+// EventSink consumes batches of events. The batch slice is owned by the VM
+// and reused after the call returns; sinks must not retain it. Batches are
+// delivered in execution order and are never empty.
+type EventSink interface {
+	ConsumeEvents(batch []Event)
+}
+
+// DefaultBatchSize is the event-buffer capacity when Config.BatchSize is
+// zero. Large enough to amortise the dispatch, small enough to stay
+// cache-resident (4096 records × 40 B = 160 KiB).
+const DefaultBatchSize = 4096
+
+// emit appends one event, flushing when the buffer fills. Callers have
+// already checked v.sink != nil.
+func (v *VM) emit(ev Event) {
+	v.events = append(v.events, ev)
+	if len(v.events) == cap(v.events) {
+		v.flushEvents()
+	}
+}
+
+// flushEvents delivers any buffered events to the sink. The VM flushes when
+// the buffer fills and once when Run finishes (on success, trap, or budget
+// exhaustion), so sinks always observe the complete stream.
+func (v *VM) flushEvents() {
+	if v.sink == nil || len(v.events) == 0 {
+		return
+	}
+	v.sink.ConsumeEvents(v.events)
+	v.events = v.events[:0]
+}
+
+// Replay adapts a per-event Hooks observer to the batched engine: it
+// implements EventSink by replaying each record as the corresponding
+// Hooks call. Prog resolves function indices back to *isa.Func for
+// OnCall/OnReturn.
+type Replay struct {
+	Prog  *isa.Program
+	Hooks Hooks
+}
+
+// NewReplay wraps a Hooks observer for use as a VM sink. A nil hook
+// returns a nil sink (observation disabled).
+func NewReplay(p *isa.Program, h Hooks) EventSink {
+	if h == nil {
+		return nil
+	}
+	return Replay{Prog: p, Hooks: h}
+}
+
+// ConsumeEvents implements EventSink.
+func (r Replay) ConsumeEvents(batch []Event) {
+	for i := range batch {
+		ev := &batch[i]
+		switch ev.Kind {
+		case EvAccess:
+			r.Hooks.OnAccess(ev.Addr, ev.Size, ev.Write)
+		case EvCall:
+			r.Hooks.OnCall(ev.Site, int(ev.Fn), r.Prog.Funcs[ev.Fn])
+		case EvReturn:
+			r.Hooks.OnReturn(int(ev.Fn), r.Prog.Funcs[ev.Fn])
+		case EvAlloc:
+			r.Hooks.OnAlloc(ev.Alloc())
+		}
+	}
+}
+
+// MultiSink fans batches out to several sinks in order.
+type MultiSink []EventSink
+
+// ConsumeEvents implements EventSink.
+func (m MultiSink) ConsumeEvents(batch []Event) {
+	if len(m) == 1 {
+		m[0].ConsumeEvents(batch)
+		return
+	}
+	for _, s := range m {
+		s.ConsumeEvents(batch)
+	}
+}
+
+// CombineSinks merges sinks, dropping nils and unwrapping the
+// single-element case so one observer costs one dispatch per batch.
+func CombineSinks(sinks ...EventSink) EventSink {
+	out := make(MultiSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package vm
+
+import (
+	"reflect"
+	"testing"
+
+	"halo/internal/isa"
+	"halo/internal/mem"
+	"halo/internal/prog"
+)
+
+// recordSink captures the raw event stream plus flush boundaries.
+type recordSink struct {
+	events  []Event
+	batches []int
+}
+
+func (r *recordSink) ConsumeEvents(batch []Event) {
+	r.events = append(r.events, batch...)
+	r.batches = append(r.batches, len(batch))
+}
+
+// buildEventProgram makes a program with calls, accesses and allocations.
+func buildEventProgram(t *testing.T) *isa.Program {
+	t.Helper()
+	b := prog.NewBuilder("events")
+	touch := b.Func("touch", 1)
+	v := touch.ConstReg(5)
+	touch.StoreWord(touch.Param(0), 0, v)
+	r := touch.Reg()
+	touch.LoadWord(r, touch.Param(0), 0)
+	touch.Ret(r)
+
+	f := b.Func("main", 0)
+	size := f.ConstReg(32)
+	p := f.Malloc(size)
+	f.LoopN(10, func(prog.Reg) { f.Call("touch", p) })
+	f.Free(p)
+	f.RetConst(0)
+	pr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func streamAt(t *testing.T, p *isa.Program, batchSize int) *recordSink {
+	t.Helper()
+	sink := &recordSink{}
+	m := mem.NewMemory()
+	if _, err := New(p, m, newBump(m), sink, Config{BatchSize: batchSize}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sink
+}
+
+// TestEventStreamBatchInvariance is the engine-level determinism contract:
+// the concatenated stream is identical at every batch size, including
+// per-event delivery (BatchSize 1).
+func TestEventStreamBatchInvariance(t *testing.T) {
+	p := buildEventProgram(t)
+	want := streamAt(t, p, 1)
+	if len(want.events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	for _, size := range []int{2, 3, DefaultBatchSize} {
+		got := streamAt(t, p, size)
+		if !reflect.DeepEqual(got.events, want.events) {
+			t.Fatalf("batch=%d: stream differs (%d vs %d events)", size, len(got.events), len(want.events))
+		}
+	}
+}
+
+// TestEventStreamFlushBounds checks that every delivered batch respects
+// the configured capacity and that nothing is lost at the tail.
+func TestEventStreamFlushBounds(t *testing.T) {
+	p := buildEventProgram(t)
+	sink := streamAt(t, p, 4)
+	for i, n := range sink.batches {
+		if n == 0 || n > 4 {
+			t.Fatalf("batch %d has %d events, want 1..4", i, n)
+		}
+	}
+	total := 0
+	for _, n := range sink.batches {
+		total += n
+	}
+	if total != len(sink.events) {
+		t.Fatalf("batches sum to %d, stream has %d", total, len(sink.events))
+	}
+}
+
+// TestEventStreamFlushedOnTrap ensures a trapping run still delivers every
+// event emitted before the trap.
+func TestEventStreamFlushedOnTrap(t *testing.T) {
+	b := prog.NewBuilder("trap")
+	f := b.Func("main", 0)
+	size := f.ConstReg(8)
+	p := f.Malloc(size)
+	v := f.ConstReg(1)
+	f.StoreWord(p, 0, v)
+	z := f.ConstReg(0)
+	r := f.Reg()
+	f.Div(r, v, z) // traps
+	f.Ret(r)
+	pr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordSink{}
+	m := mem.NewMemory()
+	if _, err := New(pr, m, newBump(m), sink, Config{BatchSize: DefaultBatchSize}).Run(); err == nil {
+		t.Fatal("no trap")
+	}
+	var allocs, stores int
+	for _, ev := range sink.events {
+		switch ev.Kind {
+		case EvAlloc:
+			allocs++
+		case EvAccess:
+			if ev.Write {
+				stores++
+			}
+		}
+	}
+	if allocs != 1 || stores != 1 {
+		t.Fatalf("pre-trap events not flushed: %d allocs, %d stores (stream %d)", allocs, stores, len(sink.events))
+	}
+}
+
+// TestReplayMatchesDirectStream runs the same program once with a direct
+// sink and once with the Replay shim over per-event hooks, asserting the
+// shim reconstructs exactly the Hooks-era call sequence.
+func TestReplayMatchesDirectStream(t *testing.T) {
+	p := buildEventProgram(t)
+	direct := streamAt(t, p, 3)
+
+	var replayed []Event
+	h := &recordHooks{
+		onAccess: func(addr uint64, size uint8, write bool) {
+			replayed = append(replayed, Event{Kind: EvAccess, Addr: addr, Size: size, Write: write})
+		},
+		onCall: func(site isa.Addr, callee int, fn *isa.Func) {
+			replayed = append(replayed, Event{Kind: EvCall, Site: site, Fn: int32(callee)})
+		},
+		onRet: func(callee int, fn *isa.Func) {
+			replayed = append(replayed, Event{Kind: EvReturn, Fn: int32(callee)})
+		},
+		onAlloc: func(ev AllocEvent) {
+			replayed = append(replayed, Event{Kind: EvAlloc, AKind: ev.Kind, Addr: ev.Ptr, Old: ev.Old, Bytes: ev.Size, Site: ev.Site})
+		},
+	}
+	m := mem.NewMemory()
+	if _, err := New(p, m, newBump(m), NewReplay(p, h), Config{BatchSize: 5}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed, direct.events) {
+		t.Fatalf("replayed stream differs (%d vs %d events)", len(replayed), len(direct.events))
+	}
+}
+
+// TestCombineSinks checks nil dropping and single-sink unwrapping.
+func TestCombineSinks(t *testing.T) {
+	if CombineSinks(nil, nil) != nil {
+		t.Fatal("all-nil combine should be nil")
+	}
+	a := &recordSink{}
+	if got := CombineSinks(nil, a); got != EventSink(a) {
+		t.Fatalf("single sink not unwrapped: %T", got)
+	}
+	b := &recordSink{}
+	multi := CombineSinks(a, b)
+	multi.ConsumeEvents([]Event{{Kind: EvAccess, Addr: 1}})
+	if len(a.events) != 1 || len(b.events) != 1 {
+		t.Fatalf("fan-out missed a sink: %d/%d", len(a.events), len(b.events))
+	}
+}
+
+// TestCombineHooks checks the compatibility-shim combiner fast paths.
+func TestCombineHooks(t *testing.T) {
+	if CombineHooks(nil, nil) != nil {
+		t.Fatal("all-nil combine should be nil")
+	}
+	n := 0
+	h := &recordHooks{onAccess: func(uint64, uint8, bool) { n++ }}
+	got := CombineHooks(nil, h)
+	if got != Hooks(h) {
+		t.Fatalf("single hook not unwrapped: %T", got)
+	}
+	both := CombineHooks(h, h)
+	both.OnAccess(1, 8, false)
+	if n != 2 {
+		t.Fatalf("fan-out called %d times, want 2", n)
+	}
+	// The MultiHooks single-element fast path must still dispatch.
+	one := MultiHooks{h}
+	one.OnAccess(1, 8, false)
+	one.OnAlloc(AllocEvent{})
+	one.OnCall(0, 0, nil)
+	one.OnReturn(0, nil)
+	if n != 3 {
+		t.Fatalf("single-element MultiHooks dispatched %d accesses, want 3", n)
+	}
+}
+
+// TestNilSinkRunsBare ensures observation stays fully disabled with a nil
+// sink (no buffer allocated, no flush attempted).
+func TestNilSinkRunsBare(t *testing.T) {
+	p := buildEventProgram(t)
+	m := mem.NewMemory()
+	v := New(p, m, newBump(m), nil, Config{})
+	if v.events != nil {
+		t.Fatal("event buffer allocated without a sink")
+	}
+	if _, err := v.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

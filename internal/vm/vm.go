@@ -1,10 +1,12 @@
 // Package vm interprets isa programs. It is the execution substrate that
 // replaces both the real CPU and Intel Pin in the paper's pipeline: every
-// call, return, load, store and memory-management request can be observed
-// through the Hooks interface, which is how the profiler (internal/profile)
-// and the cache simulator (internal/cache) attach, and the group-state bit
-// vector written by rewritten binaries lives here for the specialised
-// allocator to read.
+// call, return, load, store and memory-management request is appended to a
+// batched event stream (see event.go) that consumers such as the profiler
+// (internal/profile) and the cache simulator (internal/cache) drain one
+// batch — not one virtual call — at a time. Per-event observers remain
+// supported through the Hooks interface via the Replay shim. The
+// group-state bit vector written by rewritten binaries lives here for the
+// specialised allocator to read.
 package vm
 
 import (
@@ -70,8 +72,10 @@ type SiteAware interface {
 	SetAllocSite(site isa.Addr)
 }
 
-// Hooks observes execution. Implementations must be cheap; the VM invokes
-// them on every relevant event. A nil hook disables observation.
+// Hooks observes execution one event at a time. It is the compatibility
+// interface for exotic observers: wrap implementations with NewReplay to
+// attach them to the batched engine. Hot-path consumers should implement
+// EventSink directly instead.
 type Hooks interface {
 	// OnCall fires after control transfers into an internal function.
 	// site is the call instruction's address, callee the target index.
@@ -102,6 +106,10 @@ type Config struct {
 	// specialised allocator's selector classifier, mirroring the real
 	// allocator locating the state vector in process memory (§4.4).
 	GroupState *bits.Vec
+	// BatchSize caps buffered events before a flush to the sink; 0 means
+	// DefaultBatchSize. The observed event sequence is identical at any
+	// batch size (1 degenerates to per-event delivery).
+	BatchSize int
 }
 
 // Defaults for Config.
@@ -117,7 +125,8 @@ type VM struct {
 	mem       *mem.Memory
 	alloc     Allocator
 	siteAware SiteAware
-	hooks     Hooks
+	sink      EventSink
+	events    []Event
 	group     *bits.Vec
 
 	cfg Config
@@ -143,8 +152,9 @@ type frame struct {
 }
 
 // New prepares a VM. The program must be linked and valid; memory and
-// allocator are required, hooks optional.
-func New(p *isa.Program, memory *mem.Memory, alloc Allocator, hooks Hooks, cfg Config) *VM {
+// allocator are required, the sink optional (nil disables observation).
+// Per-event Hooks observers attach via NewReplay.
+func New(p *isa.Program, memory *mem.Memory, alloc Allocator, sink EventSink, cfg Config) *VM {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
@@ -157,6 +167,9 @@ func New(p *isa.Program, memory *mem.Memory, alloc Allocator, hooks Hooks, cfg C
 	if cfg.GroupBits == 0 {
 		cfg.GroupBits = DefaultGroupBits
 	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
 	group := cfg.GroupState
 	if group == nil {
 		group = bits.New(cfg.GroupBits)
@@ -165,10 +178,13 @@ func New(p *isa.Program, memory *mem.Memory, alloc Allocator, hooks Hooks, cfg C
 		prog:  p,
 		mem:   memory,
 		alloc: alloc,
-		hooks: hooks,
+		sink:  sink,
 		group: group,
 		cfg:   cfg,
 		rng:   cfg.Seed,
+	}
+	if sink != nil {
+		v.events = make([]Event, 0, cfg.BatchSize)
 	}
 	if sa, ok := alloc.(SiteAware); ok {
 		v.siteAware = sa
@@ -209,8 +225,10 @@ func (v *VM) rand() uint64 {
 }
 
 // Run executes the program's entry function to completion and returns its
-// result value.
+// result value. Buffered events are flushed on every exit path, so the
+// sink sees the complete stream even when the run traps.
 func (v *VM) Run() (int64, error) {
+	defer v.flushEvents()
 	entry := v.prog.Funcs[v.prog.Entry]
 	v.regs = make([]int64, 0, 4096)
 	v.regs = append(v.regs, make([]int64, entry.NRegs)...)
@@ -313,16 +331,23 @@ func (v *VM) Run() (int64, error) {
 				}
 			case isa.OpLoad:
 				addr := uint64(regs[in.B] + in.Imm)
-				if v.hooks != nil {
-					v.hooks.OnAccess(addr, in.Size, false)
+				if v.sink != nil {
+					// Inlined emit: this is the hottest observation site.
+					v.events = append(v.events, Event{Kind: EvAccess, Addr: addr, Size: in.Size})
+					if len(v.events) == cap(v.events) {
+						v.flushEvents()
+					}
 				}
 				v.loads++
 				regs[in.A] = int64(v.mem.Read(addr, in.Size))
 				f.pc++
 			case isa.OpStore:
 				addr := uint64(regs[in.B] + in.Imm)
-				if v.hooks != nil {
-					v.hooks.OnAccess(addr, in.Size, true)
+				if v.sink != nil {
+					v.events = append(v.events, Event{Kind: EvAccess, Addr: addr, Size: in.Size, Write: true})
+					if len(v.events) == cap(v.events) {
+						v.flushEvents()
+					}
 				}
 				v.stores++
 				v.mem.Write(addr, in.Size, uint64(regs[in.A]))
@@ -340,8 +365,8 @@ func (v *VM) Run() (int64, error) {
 				if f.entry {
 					return val, nil
 				}
-				if v.hooks != nil {
-					v.hooks.OnReturn(f.fn, fn)
+				if v.sink != nil {
+					v.emit(Event{Kind: EvReturn, Fn: int32(f.fn)})
 				}
 				dst, ret, base := f.dst, f.ret, f.base
 				v.frames = v.frames[:len(v.frames)-1]
@@ -392,8 +417,8 @@ func (v *VM) Run() (int64, error) {
 					ret:  f.pc + 1,
 					site: in.Addr,
 				})
-				if v.hooks != nil {
-					v.hooks.OnCall(in.Addr, int(target), callee)
+				if v.sink != nil {
+					v.emit(Event{Kind: EvCall, Site: in.Addr, Fn: int32(target)})
 				}
 				break inner
 			default:
@@ -420,8 +445,8 @@ func (v *VM) callExtern(f *frame, in isa.Inst, regs []int64, ext isa.Extern) (in
 	case isa.ExtMalloc:
 		size := uint64(arg(0))
 		ptr := v.alloc.Malloc(size)
-		if v.hooks != nil {
-			v.hooks.OnAlloc(AllocEvent{Kind: KindMalloc, Ptr: ptr, Size: size, Site: in.Addr})
+		if v.sink != nil {
+			v.emit(Event{Kind: EvAlloc, AKind: KindMalloc, Addr: ptr, Bytes: size, Site: in.Addr})
 		}
 		return int64(ptr), nil
 	case isa.ExtCalloc:
@@ -430,15 +455,15 @@ func (v *VM) callExtern(f *frame, in isa.Inst, regs []int64, ext isa.Extern) (in
 		if ptr != 0 {
 			v.mem.Zero(ptr, n*size)
 		}
-		if v.hooks != nil {
-			v.hooks.OnAlloc(AllocEvent{Kind: KindCalloc, Ptr: ptr, Size: n * size, Site: in.Addr})
+		if v.sink != nil {
+			v.emit(Event{Kind: EvAlloc, AKind: KindCalloc, Addr: ptr, Bytes: n * size, Site: in.Addr})
 		}
 		return int64(ptr), nil
 	case isa.ExtRealloc:
 		old, size := uint64(arg(0)), uint64(arg(1))
 		ptr := v.alloc.Realloc(old, size)
-		if v.hooks != nil {
-			v.hooks.OnAlloc(AllocEvent{Kind: KindRealloc, Ptr: ptr, Old: old, Size: size, Site: in.Addr})
+		if v.sink != nil {
+			v.emit(Event{Kind: EvAlloc, AKind: KindRealloc, Addr: ptr, Old: old, Bytes: size, Site: in.Addr})
 		}
 		return int64(ptr), nil
 	case isa.ExtFree:
@@ -446,8 +471,8 @@ func (v *VM) callExtern(f *frame, in isa.Inst, regs []int64, ext isa.Extern) (in
 		if ptr != 0 {
 			v.alloc.Free(ptr)
 		}
-		if v.hooks != nil {
-			v.hooks.OnAlloc(AllocEvent{Kind: KindFree, Old: ptr, Site: in.Addr})
+		if v.sink != nil {
+			v.emit(Event{Kind: EvAlloc, AKind: KindFree, Old: ptr, Site: in.Addr})
 		}
 		return 0, nil
 	case isa.ExtRand:
@@ -476,11 +501,18 @@ func b2i(b bool) int64 {
 	return 0
 }
 
-// MultiHooks fans events out to several observers in order.
+// MultiHooks fans events out to several observers in order. Every method
+// fast-paths the single-observer case so compatibility-shim users with one
+// hook pay one direct call, not a slice iteration, per event. Prefer
+// CombineHooks, which unwraps that case entirely.
 type MultiHooks []Hooks
 
 // OnCall implements Hooks.
 func (m MultiHooks) OnCall(site isa.Addr, callee int, fn *isa.Func) {
+	if len(m) == 1 {
+		m[0].OnCall(site, callee, fn)
+		return
+	}
 	for _, h := range m {
 		h.OnCall(site, callee, fn)
 	}
@@ -488,6 +520,10 @@ func (m MultiHooks) OnCall(site isa.Addr, callee int, fn *isa.Func) {
 
 // OnReturn implements Hooks.
 func (m MultiHooks) OnReturn(callee int, fn *isa.Func) {
+	if len(m) == 1 {
+		m[0].OnReturn(callee, fn)
+		return
+	}
 	for _, h := range m {
 		h.OnReturn(callee, fn)
 	}
@@ -495,6 +531,10 @@ func (m MultiHooks) OnReturn(callee int, fn *isa.Func) {
 
 // OnAccess implements Hooks.
 func (m MultiHooks) OnAccess(addr uint64, size uint8, write bool) {
+	if len(m) == 1 {
+		m[0].OnAccess(addr, size, write)
+		return
+	}
 	for _, h := range m {
 		h.OnAccess(addr, size, write)
 	}
@@ -502,9 +542,32 @@ func (m MultiHooks) OnAccess(addr uint64, size uint8, write bool) {
 
 // OnAlloc implements Hooks.
 func (m MultiHooks) OnAlloc(ev AllocEvent) {
+	if len(m) == 1 {
+		m[0].OnAlloc(ev)
+		return
+	}
 	for _, h := range m {
 		h.OnAlloc(ev)
 	}
+}
+
+// CombineHooks merges per-event observers, dropping nils and returning the
+// sole observer unwrapped so the single-observer case costs no fan-out at
+// all. Returns nil when every argument is nil.
+func CombineHooks(hooks ...Hooks) Hooks {
+	out := make(MultiHooks, 0, len(hooks))
+	for _, h := range hooks {
+		if h != nil {
+			out = append(out, h)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
 }
 
 // NopHooks is an embeddable no-op Hooks implementation.

@@ -175,7 +175,7 @@ func TestMallocFreeEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := mem.NewMemory()
-	machine := New(pr, m, newBump(m), h, Config{})
+	machine := New(pr, m, newBump(m), NewReplay(pr, h), Config{})
 	res, err := machine.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -248,7 +248,7 @@ func TestCallHooksBalance(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := mem.NewMemory()
-	if _, err := New(p, m, newBump(m), h, Config{}).Run(); err != nil {
+	if _, err := New(p, m, newBump(m), NewReplay(p, h), Config{}).Run(); err != nil {
 		t.Fatal(err)
 	}
 	if depth != 0 {
@@ -406,7 +406,7 @@ func TestAccessHookSeesSizes(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := mem.NewMemory()
-	if _, err := New(pr, m, newBump(m), h, Config{}).Run(); err != nil {
+	if _, err := New(pr, m, newBump(m), NewReplay(pr, h), Config{}).Run(); err != nil {
 		t.Fatal(err)
 	}
 	want := []acc{{4, true}, {2, false}}
