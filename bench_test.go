@@ -14,15 +14,19 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"halo/internal/alloc"
 	"halo/internal/cache"
 	"halo/internal/core"
 	"halo/internal/halloc"
 	"halo/internal/hds"
 	"halo/internal/isa"
 	"halo/internal/measure"
+	"halo/internal/mem"
+	"halo/internal/profile"
 	"halo/internal/profstore"
 	"halo/internal/rewrite"
 	"halo/internal/service"
+	"halo/internal/vm"
 	"halo/internal/workloads"
 )
 
@@ -257,6 +261,60 @@ func BenchmarkProfiling(b *testing.B) {
 		if _, err := core.Profile(p, core.Config{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// eventRecorder captures a profiling run's complete event stream so a
+// benchmark can replay it into consumers without re-interpreting the
+// program on every iteration.
+type eventRecorder struct {
+	events []vm.Event
+}
+
+func (r *eventRecorder) ConsumeEvents(batch []vm.Event) {
+	r.events = append(r.events, batch...)
+}
+
+// recordEventStream executes a workload's test-scale build under the same
+// allocator and seed core.Profile uses and returns the raw event stream.
+func recordEventStream(b *testing.B, name string) (*isa.Program, []vm.Event) {
+	b.Helper()
+	w := workloads.MustGet(name)
+	p := w.Build(w.TestScale)
+	rec := &eventRecorder{}
+	m := mem.NewMemory()
+	v := vm.New(p, m, alloc.NewSizeSeg(mem.NewOS(m)), rec, vm.Config{Seed: 7})
+	if _, err := v.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return p, rec.events
+}
+
+// BenchmarkProfileThroughput measures raw events/sec through the full
+// profiler sink — shadow stack, object index, affinity queue and graph —
+// with the interpreter taken out of the loop. This is the ceiling the
+// profiling data plane puts on every training run and halod job.
+func BenchmarkProfileThroughput(b *testing.B) {
+	for _, name := range []string{"povray", "omnetpp"} {
+		b.Run(name, func(b *testing.B) {
+			p, events := recordEventStream(b, name)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pr := profile.New(p, profile.Config{})
+				for off := 0; off < len(events); off += vm.DefaultBatchSize {
+					end := off + vm.DefaultBatchSize
+					if end > len(events) {
+						end = len(events)
+					}
+					pr.ConsumeEvents(events[off:end])
+				}
+				pr.Finish()
+			}
+			b.StopTimer()
+			perSec := float64(b.N) * float64(len(events)) / b.Elapsed().Seconds()
+			b.ReportMetric(perSec, "events/sec")
+			b.ReportMetric(float64(len(events)), "events/op")
+		})
 	}
 }
 

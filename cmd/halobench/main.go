@@ -12,8 +12,10 @@
 // The -json document carries the rendered tables plus one flat result
 // record per measured workload×technique pair (miss reduction, speedup,
 // simulated seconds, and ns/op — the wall-clock of one serial measurement
-// run, timed outside the worker pools) and the sweep's wall-clock — the
-// format the repository's BENCH_*.json trajectory records.
+// run, timed outside the worker pools), per-workload profiling throughput
+// (events consumed by the training run's profiler and events/sec), and the
+// sweep's wall-clock — the format the repository's BENCH_*.json trajectory
+// records.
 package main
 
 import (
@@ -36,6 +38,7 @@ type jsonDoc struct {
 	Parallel  int                       `json:"parallel"`
 	Workloads []string                  `json:"workloads,omitempty"`
 	Results   []experiments.BenchResult `json:"results"`
+	Profiling []experiments.ProfileStat `json:"profiling"`
 	Tables    []*experiments.Table      `json:"tables"`
 	WallNs    int64                     `json:"wall_ns"`
 }
@@ -88,6 +91,7 @@ func main() {
 			Parallel:  *parallel,
 			Workloads: opts.Workloads,
 			Results:   engine.BenchResults(),
+			Profiling: engine.ProfileStats(),
 			Tables:    tables,
 			WallNs:    wall.Nanoseconds(),
 		}

@@ -158,6 +158,49 @@ func TestQueueWindowInvariantProperty(t *testing.T) {
 	}
 }
 
+func TestQueueCompactionReleasesBurstMemory(t *testing.T) {
+	g := NewGraph()
+	q := NewQueue(4096, g, nil)
+	// Bursty phase: thousands of 1-byte entries keep a ~4096-entry window
+	// live, growing the backing array.
+	for i := uint64(1); i <= 6000; i++ {
+		q.Push(acc(i, Ctx(i%3), 1))
+	}
+	if cap(q.entries) < 4096 {
+		t.Fatalf("burst did not grow the window: cap %d", cap(q.entries))
+	}
+	// Page-sized entries shrink the live window to a couple of entries;
+	// compaction must release the burst's backing array, not just skip
+	// over the dead prefix.
+	for i := uint64(10000); i < 10004; i++ {
+		q.Push(acc(i, Ctx(i%3), 4096))
+	}
+	if c := cap(q.entries); c >= 4096 {
+		t.Fatalf("backing array not shrunk after burst: cap %d, live %d", c, q.Len())
+	}
+	if q.Len() == 0 || q.Len() > 2 {
+		t.Fatalf("live window = %d entries after page-sized accesses", q.Len())
+	}
+}
+
+func TestGraphNoCtxNode(t *testing.T) {
+	// The NoCtx sentinel (-1) is a legal node: the dense layout must keep
+	// it addressable and ordered before every real context.
+	g := NewGraph()
+	g.AddAccess(NoCtx)
+	g.AddEdge(NoCtx, 2, 3)
+	nodes := g.Nodes()
+	if len(nodes) != 2 || nodes[0] != NoCtx || nodes[1] != 2 {
+		t.Fatalf("nodes = %v, want [-1 2]", nodes)
+	}
+	if g.Weight(2, NoCtx) != 3 {
+		t.Fatalf("weight = %d, want 3", g.Weight(2, NoCtx))
+	}
+	if g.Accesses(NoCtx) != 1 || g.TotalAccesses() != 1 {
+		t.Fatalf("accesses = %d/%d, want 1/1", g.Accesses(NoCtx), g.TotalAccesses())
+	}
+}
+
 func TestGraphFilterCoverage(t *testing.T) {
 	g := NewGraph()
 	// Context 0: 90 accesses; context 1: 9; context 2: 1.

@@ -5,6 +5,15 @@
 // into. Nodes are reduced allocation contexts; edge weights count affinitive
 // access pairs, subject to the paper's four constraints (deduplication, no
 // self-affinity, no double counting, co-allocatability).
+//
+// Contexts are densely interned small integers, so the graph is laid out
+// for the profiling fast path: node access counts live in a slice indexed
+// by context, and edge weights in a flat open-addressing table keyed by the
+// packed context pair. Steady-state AddAccess/AddEdge perform no hashing of
+// composite keys, no pointer chasing and no allocation. Every exported view
+// (Nodes, Edges, EdgeWeights, Adjacency, String) remains sorted and
+// deterministic, and Merge remains order-independent, so serialisation and
+// grouping behave exactly as they did over the map-based layout.
 package affinity
 
 import (
@@ -37,47 +46,86 @@ func MakeEdge(a, b Ctx) EdgeKey {
 // IsLoop reports whether the edge is a self-loop.
 func (e EdgeKey) IsLoop() bool { return e.U == e.V }
 
+// pack encodes a normalised edge as one 64-bit table key.
+func (e EdgeKey) pack() uint64 {
+	return uint64(uint32(e.U))<<32 | uint64(uint32(e.V))
+}
+
+// unpackEdge inverts pack.
+func unpackEdge(k uint64) EdgeKey {
+	return EdgeKey{Ctx(int32(k >> 32)), Ctx(int32(k))}
+}
+
 // Graph is the pairwise affinity graph.
 type Graph struct {
-	nodes map[Ctx]uint64     // context -> macro accesses observed
-	edges map[EdgeKey]uint64 // pair -> affinitive access pairs
-	total uint64             // total macro accesses (including filtered)
+	// acc[int(c)+1] is the macro-access count of context c; the +1 keeps
+	// the NoCtx sentinel representable. present distinguishes a node seen
+	// with zero accesses (an edge endpoint) from an absent one.
+	acc     []uint64
+	present []bool
+	nnodes  int
+
+	edges edgeTable
+	total uint64 // total macro accesses (including filtered)
 }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
-	return &Graph{nodes: make(map[Ctx]uint64), edges: make(map[EdgeKey]uint64)}
+	return &Graph{}
+}
+
+// slot grows the node arrays to cover c and returns its index.
+func (g *Graph) slot(c Ctx) int {
+	i := int(c) + 1
+	if i >= len(g.acc) {
+		n := len(g.acc) * 2
+		if n <= i {
+			n = i + 1
+		}
+		acc := make([]uint64, n)
+		copy(acc, g.acc)
+		g.acc = acc
+		present := make([]bool, n)
+		copy(present, g.present)
+		g.present = present
+	}
+	if !g.present[i] {
+		g.present[i] = true
+		g.nnodes++
+	}
+	return i
 }
 
 // AddAccess records one macro access to an object of the given context.
 func (g *Graph) AddAccess(c Ctx) {
-	g.nodes[c]++
+	i := g.slot(c)
+	g.acc[i]++
 	g.total++
 }
 
 // AddEdge increments the affinity weight between two contexts, registering
 // the endpoints as nodes if they have not been seen yet.
 func (g *Graph) AddEdge(a, b Ctx, w uint64) {
-	if _, ok := g.nodes[a]; !ok {
-		g.nodes[a] = 0
-	}
-	if _, ok := g.nodes[b]; !ok {
-		g.nodes[b] = 0
-	}
-	g.edges[MakeEdge(a, b)] += w
+	g.slot(a)
+	g.slot(b)
+	g.edges.add(MakeEdge(a, b).pack(), w)
 }
 
 // AddAccesses records n macro accesses to a context at once. It is the
 // bulk form of AddAccess used when merging or reconstructing graphs.
 func (g *Graph) AddAccesses(c Ctx, n uint64) {
-	g.nodes[c] += n
+	i := g.slot(c)
+	g.acc[i] += n
 	g.total += n
 }
 
 // SetNodeAccesses sets a node's access count without touching the total.
 // Decoders use it to rebuild filtered graphs, whose totals deliberately
 // exceed the sum of their surviving nodes.
-func (g *Graph) SetNodeAccesses(c Ctx, n uint64) { g.nodes[c] = n }
+func (g *Graph) SetNodeAccesses(c Ctx, n uint64) {
+	i := g.slot(c)
+	g.acc[i] = n
+}
 
 // SetTotalAccesses overrides the total macro-access count. Decoders call
 // it after SetNodeAccesses/AddEdge to restore a serialised graph exactly.
@@ -87,47 +135,60 @@ func (g *Graph) SetTotalAccesses(n uint64) { g.total = n }
 // access counts, edge weights and the observed-access total all add; the
 // result is independent of merge order because addition commutes.
 func (g *Graph) Merge(other *Graph, remap func(Ctx) Ctx) {
-	for c, a := range other.nodes {
-		g.nodes[remap(c)] += a // inserts the node even when a == 0
+	for i, ok := range other.present {
+		if !ok {
+			continue
+		}
+		c := remap(Ctx(i - 1))
+		j := g.slot(c) // inserts the node even when acc == 0
+		g.acc[j] += other.acc[i]
 	}
-	for e, w := range other.edges {
+	other.edges.forEach(func(k, w uint64) {
+		e := unpackEdge(k)
 		g.AddEdge(remap(e.U), remap(e.V), w)
-	}
+	})
 	g.total += other.total
 }
 
 // NumNodes reports the node count.
-func (g *Graph) NumNodes() int { return len(g.nodes) }
+func (g *Graph) NumNodes() int { return g.nnodes }
 
 // NumEdges reports the edge count (loops included).
-func (g *Graph) NumEdges() int { return len(g.edges) }
+func (g *Graph) NumEdges() int { return g.edges.n }
 
 // TotalAccesses reports all macro accesses observed, which the grouping
 // threshold is relative to ("graph.accesses" in Figure 6).
 func (g *Graph) TotalAccesses() uint64 { return g.total }
 
 // Accesses returns the access count of a context.
-func (g *Graph) Accesses(c Ctx) uint64 { return g.nodes[c] }
+func (g *Graph) Accesses(c Ctx) uint64 {
+	if i := int(c) + 1; i >= 0 && i < len(g.acc) {
+		return g.acc[i]
+	}
+	return 0
+}
 
 // Weight returns the affinity between two contexts.
-func (g *Graph) Weight(a, b Ctx) uint64 { return g.edges[MakeEdge(a, b)] }
+func (g *Graph) Weight(a, b Ctx) uint64 { return g.edges.get(MakeEdge(a, b).pack()) }
 
-// Nodes returns the contexts in deterministic (ascending) order.
+// Nodes returns the contexts in deterministic (ascending) order. The node
+// array is indexed by context, so a single pass is already sorted.
 func (g *Graph) Nodes() []Ctx {
-	out := make([]Ctx, 0, len(g.nodes))
-	for c := range g.nodes {
-		out = append(out, c)
+	out := make([]Ctx, 0, g.nnodes)
+	for i, ok := range g.present {
+		if ok {
+			out = append(out, Ctx(i-1))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Edges returns all edges in deterministic order.
 func (g *Graph) Edges() []EdgeKey {
-	out := make([]EdgeKey, 0, len(g.edges))
-	for e := range g.edges {
-		out = append(out, e)
-	}
+	out := make([]EdgeKey, 0, g.edges.n)
+	g.edges.forEach(func(k, _ uint64) {
+		out = append(out, unpackEdge(k))
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].U != out[j].U {
 			return out[i].U < out[j].U
@@ -137,12 +198,12 @@ func (g *Graph) Edges() []EdgeKey {
 	return out
 }
 
-// EdgeWeights returns a copy of the weight map.
+// EdgeWeights returns a copy of the edge weights keyed by pair.
 func (g *Graph) EdgeWeights() map[EdgeKey]uint64 {
-	out := make(map[EdgeKey]uint64, len(g.edges))
-	for k, v := range g.edges {
-		out[k] = v
-	}
+	out := make(map[EdgeKey]uint64, g.edges.n)
+	g.edges.forEach(func(k, w uint64) {
+		out[unpackEdge(k)] = w
+	})
 	return out
 }
 
@@ -156,9 +217,11 @@ func (g *Graph) Filter(coverage float64) *Graph {
 		c Ctx
 		a uint64
 	}
-	nodes := make([]na, 0, len(g.nodes))
-	for c, a := range g.nodes {
-		nodes = append(nodes, na{c, a})
+	nodes := make([]na, 0, g.nnodes)
+	for i, ok := range g.present {
+		if ok {
+			nodes = append(nodes, na{Ctx(i - 1), g.acc[i]})
+		}
 	}
 	sort.Slice(nodes, func(i, j int) bool {
 		if nodes[i].a != nodes[j].a {
@@ -166,28 +229,30 @@ func (g *Graph) Filter(coverage float64) *Graph {
 		}
 		return nodes[i].c < nodes[j].c
 	})
-	keep := make(map[Ctx]bool, len(nodes))
-	var acc uint64
+	keep := make([]bool, len(g.present))
+	var accd uint64
 	limit := uint64(coverage * float64(g.total))
 	for _, n := range nodes {
-		if acc >= limit {
+		if accd >= limit {
 			break
 		}
-		keep[n.c] = true
-		acc += n.a
+		keep[int(n.c)+1] = true
+		accd += n.a
 	}
 	out := NewGraph()
 	out.total = g.total
-	for c, a := range g.nodes {
-		if keep[c] {
-			out.nodes[c] = a
+	for i, ok := range g.present {
+		if ok && keep[i] {
+			j := out.slot(Ctx(i - 1))
+			out.acc[j] = g.acc[i]
 		}
 	}
-	for e, w := range g.edges {
-		if keep[e.U] && keep[e.V] {
-			out.edges[e] = w
+	g.edges.forEach(func(k, w uint64) {
+		e := unpackEdge(k)
+		if keep[int(e.U)+1] && keep[int(e.V)+1] {
+			out.edges.add(k, w)
 		}
-	}
+	})
 	return out
 }
 
@@ -195,28 +260,32 @@ func (g *Graph) Filter(coverage float64) *Graph {
 func (g *Graph) Prune(minWeight uint64) *Graph {
 	out := NewGraph()
 	out.total = g.total
-	for c, a := range g.nodes {
-		out.nodes[c] = a
-	}
-	for e, w := range g.edges {
-		if w >= minWeight {
-			out.edges[e] = w
+	for i, ok := range g.present {
+		if ok {
+			j := out.slot(Ctx(i - 1))
+			out.acc[j] = g.acc[i]
 		}
 	}
+	g.edges.forEach(func(k, w uint64) {
+		if w >= minWeight {
+			out.edges.add(k, w)
+		}
+	})
 	return out
 }
 
 // Adjacency returns, for each node, its neighbours (loops excluded) in
 // deterministic order.
 func (g *Graph) Adjacency() map[Ctx][]Ctx {
-	adj := make(map[Ctx][]Ctx, len(g.nodes))
-	for e := range g.edges {
+	adj := make(map[Ctx][]Ctx, g.nnodes)
+	g.edges.forEach(func(k, _ uint64) {
+		e := unpackEdge(k)
 		if e.IsLoop() {
-			continue
+			return
 		}
 		adj[e.U] = append(adj[e.U], e.V)
 		adj[e.V] = append(adj[e.V], e.U)
-	}
+	})
 	for c := range adj {
 		ns := adj[c]
 		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
@@ -228,9 +297,104 @@ func (g *Graph) Adjacency() map[Ctx][]Ctx {
 // String renders a compact summary.
 func (g *Graph) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "affinity graph: %d nodes, %d edges, %d accesses\n", len(g.nodes), len(g.edges), g.total)
+	fmt.Fprintf(&b, "affinity graph: %d nodes, %d edges, %d accesses\n", g.nnodes, g.edges.n, g.total)
 	for _, e := range g.Edges() {
-		fmt.Fprintf(&b, "  (%d,%d) w=%d\n", e.U, e.V, g.edges[e])
+		fmt.Fprintf(&b, "  (%d,%d) w=%d\n", e.U, e.V, g.Weight(e.U, e.V))
 	}
 	return b.String()
+}
+
+// edgeTable is a flat open-addressing hash table from packed edge keys to
+// weights: power-of-two capacity, linear probing, no deletion (derived
+// graphs are rebuilt, never edited in place). All 2^64 key values are
+// legal, so occupancy is tracked explicitly rather than via a sentinel.
+type edgeTable struct {
+	keys []uint64
+	vals []uint64
+	occ  []bool
+	n    int
+}
+
+const edgeTableMinCap = 16
+
+// mix finalises a packed key into a table hash (Murmur3 finaliser).
+func mix(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// add increments the weight stored under k, inserting it if absent.
+func (t *edgeTable) add(k, w uint64) {
+	if t.n*4 >= len(t.keys)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := mix(k) & mask
+	for t.occ[i] {
+		if t.keys[i] == k {
+			t.vals[i] += w
+			return
+		}
+		i = (i + 1) & mask
+	}
+	t.occ[i] = true
+	t.keys[i] = k
+	t.vals[i] = w
+	t.n++
+}
+
+// get returns the weight stored under k, or zero.
+func (t *edgeTable) get(k uint64) uint64 {
+	if t.n == 0 {
+		return 0
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := mix(k) & mask
+	for t.occ[i] {
+		if t.keys[i] == k {
+			return t.vals[i]
+		}
+		i = (i + 1) & mask
+	}
+	return 0
+}
+
+// forEach visits every stored edge in unspecified order; callers that
+// expose results sort them (Edges) or are order-insensitive (Merge,
+// Filter, Prune, EdgeWeights, Adjacency).
+func (t *edgeTable) forEach(fn func(k, w uint64)) {
+	for i, ok := range t.occ {
+		if ok {
+			fn(t.keys[i], t.vals[i])
+		}
+	}
+}
+
+// grow doubles the table and rehashes every entry.
+func (t *edgeTable) grow() {
+	newCap := len(t.keys) * 2
+	if newCap < edgeTableMinCap {
+		newCap = edgeTableMinCap
+	}
+	keys := make([]uint64, newCap)
+	vals := make([]uint64, newCap)
+	occ := make([]bool, newCap)
+	mask := uint64(newCap - 1)
+	for i, ok := range t.occ {
+		if !ok {
+			continue
+		}
+		j := mix(t.keys[i]) & mask
+		for occ[j] {
+			j = (j + 1) & mask
+		}
+		occ[j] = true
+		keys[j] = t.keys[i]
+		vals[j] = t.vals[i]
+	}
+	t.keys, t.vals, t.occ = keys, vals, occ
 }

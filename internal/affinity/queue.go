@@ -15,6 +15,12 @@ type Interference interface {
 	AllocatedBetween(c Ctx, lo, hi uint64) bool
 }
 
+// maxDenseObj bounds the dense per-object dedup array. Profiler object
+// identities are allocation serials, issued contiguously from 1, so real
+// runs stay far below it; synthetic ids beyond the bound fall back to a
+// per-traversal map rather than forcing a giant allocation.
+const maxDenseObj = 1 << 26
+
 // Queue is the affinity queue of §4.1 (Figure 5): a window over the most
 // recent heap accesses, implicitly sized by the affinity distance A. Two
 // entries are affinitive when the sizes of the entries strictly between
@@ -28,7 +34,20 @@ type Queue struct {
 	head    int      // index of the oldest live entry
 	bytes   uint64   // total size of live entries
 
-	seen map[uint64]bool // per-traversal double-counting suppression
+	// Double-counting suppression is generation-stamped: each traversal
+	// bumps gen, and an object is "seen" when its stamp matches. This
+	// replaces a per-access map clear with one integer increment, and the
+	// dense array keeps marking to a single indexed store.
+	//
+	// seenGen grows with the highest serial marked — 4 bytes per
+	// allocation issued, the same order as the profiler's own retained
+	// per-allocation logs — and is deliberately never shrunk: serials
+	// only increase, so a smaller array would be reallocated on the next
+	// traversal, and a window-bounded set would push long-lived hot
+	// objects (old serials, touched every traversal) onto the slow map.
+	gen     uint32
+	seenGen []uint32          // object serial -> generation last seen
+	seenBig map[uint64]uint32 // overflow for ids >= maxDenseObj
 
 	// Pairs counts affinitive pairs recorded, for diagnostics.
 	Pairs uint64
@@ -41,13 +60,56 @@ func NewQueue(dist uint64, graph *Graph, inter Interference) *Queue {
 		dist:  dist,
 		graph: graph,
 		inter: inter,
-		seen:  make(map[uint64]bool, 64),
 	}
+}
+
+// beginTraversal starts a new seen-generation, invalidating every stamp
+// from prior traversals in O(1). The uint32 generation wraps after 2^32-1
+// traversals; on wrap every stale stamp is zeroed so no old stamp can
+// alias the restarted counter.
+func (q *Queue) beginTraversal() {
+	q.gen++
+	if q.gen == 0 {
+		clear(q.seenGen)
+		clear(q.seenBig)
+		q.gen = 1
+	}
+}
+
+// markSeen stamps an object as counted in the current traversal.
+func (q *Queue) markSeen(obj uint64) {
+	if obj < maxDenseObj {
+		if int(obj) >= len(q.seenGen) {
+			n := len(q.seenGen) * 2
+			if n <= int(obj) {
+				n = int(obj) + 1
+			}
+			grown := make([]uint32, n)
+			copy(grown, q.seenGen)
+			q.seenGen = grown
+		}
+		q.seenGen[obj] = q.gen
+		return
+	}
+	if q.seenBig == nil {
+		q.seenBig = make(map[uint64]uint32)
+	}
+	q.seenBig[obj] = q.gen
+}
+
+// seen reports whether the object was already counted in this traversal.
+func (q *Queue) seen(obj uint64) bool {
+	if obj < maxDenseObj {
+		return int(obj) < len(q.seenGen) && q.seenGen[obj] == q.gen
+	}
+	return q.seenBig[obj] == q.gen
 }
 
 // Push observes one machine-level access. Consecutive accesses to a single
 // object are part of the same macro-level access and do not re-trigger
-// traversal (the deduplication constraint).
+// traversal (the deduplication constraint). Steady-state pushes allocate
+// nothing: the entry window, the dedup stamps and the graph all reuse
+// their backing arrays.
 func (q *Queue) Push(a Access) {
 	if n := len(q.entries); n > q.head && q.entries[n-1].Obj == a.Obj {
 		return
@@ -56,7 +118,7 @@ func (q *Queue) Push(a Access) {
 
 	// Traverse from newest to oldest. `between` accumulates the sizes of
 	// the entries strictly between the candidate and the new access.
-	clear(q.seen)
+	q.beginTraversal()
 	var between uint64
 	for i := len(q.entries) - 1; i >= q.head && between < q.dist; i-- {
 		cand := q.entries[i]
@@ -64,7 +126,7 @@ func (q *Queue) Push(a Access) {
 			q.graph.AddEdge(a.Ctx, cand.Ctx, 1)
 			q.Pairs++
 		}
-		q.seen[cand.Obj] = true
+		q.markSeen(cand.Obj)
 		between += uint64(cand.Size)
 	}
 
@@ -76,11 +138,22 @@ func (q *Queue) Push(a Access) {
 		q.bytes -= uint64(q.entries[q.head].Size)
 		q.head++
 	}
-	// Compact occasionally so the backing array does not grow unboundedly.
-	if q.head > 1024 && q.head*2 > len(q.entries) {
-		q.entries = append(q.entries[:0:0], q.entries[q.head:]...)
-		q.head = 0
+	q.compact()
+}
+
+// compact bounds the backing array. Two triggers: the dead prefix
+// dominates the slice (the original growth bound), or a bursty phase left
+// capacity far beyond the live window — the second re-allocates at the
+// window size so the burst's memory is actually released.
+func (q *Queue) compact() {
+	live := len(q.entries) - q.head
+	deadPrefix := q.head > 1024 && q.head > live
+	oversized := q.head > 0 && cap(q.entries) >= 4096 && live*4 < cap(q.entries)
+	if !deadPrefix && !oversized {
+		return
 	}
+	q.entries = append(q.entries[:0:0], q.entries[q.head:]...)
+	q.head = 0
 }
 
 // affinitive applies the paper's constraints to a candidate pair (u = the
@@ -91,7 +164,7 @@ func (q *Queue) affinitive(u, v Access) bool {
 		return false
 	}
 	// No double counting: each unique object at most once per traversal.
-	if q.seen[v.Obj] {
+	if q.seen(v.Obj) {
 		return false
 	}
 	// Co-allocatability: no allocation made chronologically between u and

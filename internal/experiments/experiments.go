@@ -131,6 +131,9 @@ type artefacts struct {
 	opt *core.Optimized
 	hds *hds.Result
 
+	profEvents uint64 // VM events the training run's profiler consumed
+	profWallNs int64  // wall-clock of the training run
+
 	refProg *isa.Program
 	polBase measure.Policy
 	polPt   measure.Policy
@@ -215,7 +218,13 @@ func (e *Engine) artefactsFor(w workloads.Workload) (*artefacts, error) {
 	e.opts.logf("[%s] profiling test input (scale %d)", w.Name, w.TestScale)
 	cfg := pipelineConfig(w)
 	testProg := w.Build(w.TestScale)
-	opt, err := core.Optimize(testProg, cfg)
+	profStart := time.Now()
+	prof, err := core.Profile(testProg, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	profWall := time.Since(profStart)
+	opt, err := core.OptimizeFromProfile(testProg, prof, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
@@ -235,13 +244,15 @@ func (e *Engine) artefactsFor(w workloads.Workload) (*artefacts, error) {
 
 	hc := hallocConfig(w)
 	a = &artefacts{
-		w:       w,
-		opt:     opt,
-		hds:     hr,
-		refProg: refProg,
-		polBase: measure.Policy{Kind: measure.Jemalloc},
-		polPt:   measure.Policy{Kind: measure.Ptmalloc},
-		polHALO: polHALO,
+		w:          w,
+		opt:        opt,
+		hds:        hr,
+		profEvents: prof.Events,
+		profWallNs: profWall.Nanoseconds(),
+		refProg:    refProg,
+		polBase:    measure.Policy{Kind: measure.Jemalloc},
+		polPt:      measure.Policy{Kind: measure.Ptmalloc},
+		polHALO:    polHALO,
 		polHDS: measure.Policy{
 			Kind:       measure.HDS,
 			SiteGroups: hr.SiteGroups,
@@ -386,6 +397,37 @@ func (e *Engine) BenchResults() []BenchResult {
 			NsPerOp:          e.wallNs[k],
 		})
 	}
+	return out
+}
+
+// ProfileStat is one workload's profiling throughput: how many VM events
+// the training run's profiler consumed and the wall-clock it took, the
+// events/sec trajectory the data-plane work is tracked by.
+type ProfileStat struct {
+	Workload     string  `json:"workload"`
+	Events       uint64  `json:"events"`
+	WallNs       int64   `json:"wall_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// ProfileStats reports profiling throughput for every workload the
+// executed experiments profiled, sorted by workload. Call after Run.
+func (e *Engine) ProfileStats() []ProfileStat {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]ProfileStat, 0, len(e.arts))
+	for _, a := range e.arts {
+		s := ProfileStat{
+			Workload: a.w.Name,
+			Events:   a.profEvents,
+			WallNs:   a.profWallNs,
+		}
+		if a.profWallNs > 0 {
+			s.EventsPerSec = float64(a.profEvents) / (float64(a.profWallNs) / 1e9)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Workload < out[j].Workload })
 	return out
 }
 

@@ -83,41 +83,66 @@ func Score(g *affinity.Graph, nodes []affinity.Ctx) float64 {
 // MergeBenefit computes m(A, {stranger}) per Figure 8: positive only when
 // the union scores higher than both parts, up to the tolerance slack.
 func MergeBenefit(g *affinity.Graph, group []affinity.Ctx, stranger affinity.Ctx, tol float64) float64 {
-	sa := Score(g, group)
-	sb := Score(g, []affinity.Ctx{stranger})
-	union := append(append([]affinity.Ctx(nil), group...), stranger)
+	return mergeBenefit(g, group, Score(g, group), stranger, tol, nil)
+}
+
+// mergeBenefit is MergeBenefit with the group's own score precomputed
+// (it is invariant across a candidate scan) and caller-owned scratch for
+// the union slice, so the grouping loop allocates and rescores nothing
+// per candidate.
+func mergeBenefit(g *affinity.Graph, group []affinity.Ctx, groupScore float64, stranger affinity.Ctx, tol float64, scratch []affinity.Ctx) float64 {
+	single := [1]affinity.Ctx{stranger}
+	sb := Score(g, single[:])
+	union := append(append(scratch[:0], group...), stranger)
 	sc := Score(g, union)
-	max := sa
+	max := groupScore
 	if sb > max {
 		max = sb
 	}
 	return sc - (1-tol)*max
 }
 
-// Form partitions the graph's contexts into groups per Figure 6.
+// Form partitions the graph's contexts into groups per Figure 6. The
+// candidate set is kept as the graph's sorted node list plus a liveness
+// mask, and the sorted edge list is computed once, so each round scans
+// dense arrays instead of re-sorting maps; the visiting order — and thus
+// the formed groups — is exactly the map-based implementation's.
 func Form(g *affinity.Graph, p Params) []Group {
 	p = p.withDefaults()
 	g = g.Prune(p.MinWeight)
 
-	avail := make(map[affinity.Ctx]bool, g.NumNodes())
-	for _, c := range g.Nodes() {
-		avail[c] = true
+	nodes := g.Nodes() // ascending, the candidate visiting order
+	edges := g.Edges() // ascending, the seed visiting order
+	index := make(map[affinity.Ctx]int, len(nodes))
+	for i, c := range nodes {
+		index[c] = i
 	}
+	alive := make([]bool, len(nodes))
+	for i := range alive {
+		alive[i] = true
+	}
+	navail := len(nodes)
+	scratch := make([]affinity.Ctx, 0, p.MaxGroupMembers+1)
 
 	var groups []Group
-	for len(avail) > 0 && len(groups) < p.MaxGroups {
-		seed, ok := strongestSeed(g, avail)
+	for navail > 0 && len(groups) < p.MaxGroups {
+		seed, ok := strongestSeed(g, edges, index, alive)
 		if !ok {
 			break // no edges remain among available nodes
 		}
 		members := []affinity.Ctx{seed}
-		delete(avail, seed)
+		alive[index[seed]] = false
+		navail--
 
 		// Grow the group around the seed.
 		for len(members) < p.MaxGroupMembers {
+			memberScore := Score(g, members)
 			best, bestScore := affinity.NoCtx, 0.0
-			for _, cand := range sortedKeys(avail) {
-				if b := MergeBenefit(g, members, cand, p.MergeTol); b > bestScore {
+			for i, cand := range nodes {
+				if !alive[i] {
+					continue
+				}
+				if b := mergeBenefit(g, members, memberScore, cand, p.MergeTol, scratch); b > bestScore {
 					bestScore, best = b, cand
 				}
 			}
@@ -125,7 +150,8 @@ func Form(g *affinity.Graph, p Params) []Group {
 				break
 			}
 			members = append(members, best)
-			delete(avail, best)
+			alive[index[best]] = false
+			navail--
 		}
 
 		weight := inducedWeight(g, members)
@@ -148,15 +174,17 @@ func Form(g *affinity.Graph, p Params) []Group {
 
 // strongestSeed finds the strongest edge whose endpoints are both
 // available and returns its hotter endpoint (Figure 6: "form a group
-// around the hottest node in the strongest available edge").
-func strongestSeed(g *affinity.Graph, avail map[affinity.Ctx]bool) (affinity.Ctx, bool) {
+// around the hottest node in the strongest available edge"). edges is the
+// graph's sorted edge list; ties keep the first edge in that order, as
+// the map-based implementation did.
+func strongestSeed(g *affinity.Graph, edges []affinity.EdgeKey, index map[affinity.Ctx]int, alive []bool) (affinity.Ctx, bool) {
 	var (
 		bestW    uint64
 		bestEdge affinity.EdgeKey
 		found    bool
 	)
-	for _, e := range g.Edges() {
-		if !avail[e.U] || !avail[e.V] {
+	for _, e := range edges {
+		if !alive[index[e.U]] || !alive[index[e.V]] {
 			continue
 		}
 		w := g.Weight(e.U, e.V)
@@ -185,15 +213,6 @@ func inducedWeight(g *affinity.Graph, members []affinity.Ctx) uint64 {
 		}
 	}
 	return sum
-}
-
-func sortedKeys(m map[affinity.Ctx]bool) []affinity.Ctx {
-	out := make([]affinity.Ctx, 0, len(m))
-	for c := range m {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 // Assign writes group memberships back into a context table (any slice

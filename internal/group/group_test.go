@@ -128,13 +128,13 @@ func TestFormSeedsHottestEndpoint(t *testing.T) {
 		map[affinity.Ctx]uint64{0: 10, 1: 500},
 		map[[2]affinity.Ctx]uint64{{0, 1}: 100},
 	)
-	avail := map[affinity.Ctx]bool{0: true, 1: true}
-	seed, ok := strongestSeed(g, avail)
+	index := map[affinity.Ctx]int{0: 0, 1: 1}
+	seed, ok := strongestSeed(g, g.Edges(), index, []bool{true, true})
 	if !ok || seed != 1 {
 		t.Fatalf("seed = %v (%v), want the hotter endpoint 1", seed, ok)
 	}
 	// With only the colder endpoint available, the edge no longer counts.
-	if _, ok := strongestSeed(g, map[affinity.Ctx]bool{0: true}); ok {
+	if _, ok := strongestSeed(g, g.Edges(), index, []bool{true, false}); ok {
 		t.Fatal("edge with unavailable endpoint used as seed")
 	}
 }

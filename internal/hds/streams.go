@@ -40,11 +40,13 @@ func (c StreamConfig) withDefaults() StreamConfig {
 
 // ruleFreq computes how many times each rule's expansion occurs in the full
 // input: the start rule occurs once, and every reference inside a rule
-// occurring f times contributes f to the referenced rule.
-func ruleFreq(g *Grammar) map[int]int {
+// occurring f times contributes f to the referenced rule. Rule numbers are
+// assigned densely (deleted numbers are simply never revisited), so the
+// counts live in slices indexed by rule number rather than maps.
+func ruleFreq(g *Grammar) []int {
 	// Topological order: parents before children.
-	order := make([]*Rule, 0, len(g.Rules()))
-	state := make(map[int]int, len(g.Rules())) // 0 unvisited, 1 visiting, 2 done
+	order := make([]*Rule, 0, g.NumRules())
+	state := make([]uint8, g.nextNum) // 0 unvisited, 1 visiting, 2 done
 	var dfs func(r *Rule)
 	dfs = func(r *Rule) {
 		state[r.Number] = 1
@@ -57,7 +59,7 @@ func ruleFreq(g *Grammar) map[int]int {
 		order = append(order, r) // post-order: children first
 	}
 	dfs(g.Start())
-	freq := make(map[int]int, len(order))
+	freq := make([]int, g.nextNum)
 	freq[g.Start().Number] = 1
 	// Walk parents before children: reverse post-order.
 	for i := len(order) - 1; i >= 0; i-- {
@@ -75,12 +77,16 @@ func ruleFreq(g *Grammar) map[int]int {
 	return freq
 }
 
-// ruleLens computes each rule's terminal expansion length.
-func ruleLens(g *Grammar) map[int]int {
-	lens := make(map[int]int, len(g.Rules()))
+// ruleLens computes each rule's terminal expansion length, indexed by rule
+// number (-1 marks numbers of deleted rules, never queried).
+func ruleLens(g *Grammar) []int {
+	lens := make([]int, g.nextNum)
+	for i := range lens {
+		lens[i] = -1
+	}
 	var calc func(r *Rule) int
 	calc = func(r *Rule) int {
-		if l, ok := lens[r.Number]; ok {
+		if l := lens[r.Number]; l >= 0 {
 			return l
 		}
 		lens[r.Number] = 0 // cycle guard; grammars are acyclic

@@ -3,7 +3,6 @@ package profile
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 	"strings"
 
 	"halo/internal/affinity"
@@ -74,10 +73,21 @@ func (c *Context) SitePos(site isa.Addr) int {
 }
 
 // AllocatedBetween reports whether this context allocated strictly between
-// serials lo and hi.
+// serials lo and hi. It runs once per candidate pair in the affinity
+// queue's traversal, so the binary search is hand-rolled: sort.Search's
+// closure indirection costs more than the search itself at this call rate.
 func (c *Context) AllocatedBetween(lo, hi uint64) bool {
-	i := sort.Search(len(c.serials), func(i int) bool { return c.serials[i] > lo })
-	return i < len(c.serials) && c.serials[i] < hi
+	s := c.serials
+	i, j := 0, len(s)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if s[h] <= lo {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	return i < len(s) && s[i] < hi
 }
 
 // Describe renders the chain with function names for reports (Figure 9).
@@ -107,12 +117,25 @@ func (c *Context) Describe(p *isa.Program) string {
 // the retained occurrences. This avoids overfitting on recursion without
 // imposing fixed size limits (§4.1).
 func reduceChain(raw []ChainEntry) []ChainEntry {
-	seen := make(map[ChainEntry]bool, len(raw))
-	out := make([]ChainEntry, 0, len(raw))
+	return reduceChainInto(make([]ChainEntry, 0, len(raw)), raw)
+}
+
+// reduceChainInto is reduceChain appending into caller-owned scratch, the
+// allocation-free form the profiler uses on its hot allocation path.
+// Chains are call stacks — short — so membership is a linear scan rather
+// than a map built per call.
+func reduceChainInto(out []ChainEntry, raw []ChainEntry) []ChainEntry {
 	for i := len(raw) - 1; i >= 0; i-- {
-		if !seen[raw[i]] {
-			seen[raw[i]] = true
-			out = append(out, raw[i])
+		e := raw[i]
+		dup := false
+		for _, kept := range out {
+			if kept == e {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, e)
 		}
 	}
 	// Reverse into bottom-to-top order.
@@ -122,37 +145,45 @@ func reduceChain(raw []ChainEntry) []ChainEntry {
 	return out
 }
 
-// chainKey serialises a chain for interning.
-func chainKey(chain []ChainEntry) string {
-	buf := make([]byte, 0, len(chain)*8)
+// appendChainKey serialises a chain for interning into buf.
+func appendChainKey(buf []byte, chain []ChainEntry) []byte {
 	var tmp [8]byte
 	for _, e := range chain {
 		binary.LittleEndian.PutUint32(tmp[0:4], uint32(e.Fn))
 		binary.LittleEndian.PutUint32(tmp[4:8], uint32(e.Site))
 		buf = append(buf, tmp[:]...)
 	}
-	return string(buf)
+	return buf
+}
+
+// chainKey serialises a chain for interning.
+func chainKey(chain []ChainEntry) string {
+	return string(appendChainKey(make([]byte, 0, len(chain)*8), chain))
 }
 
 // contextTable interns reduced chains.
 type contextTable struct {
-	byKey map[string]affinity.Ctx
-	list  []*Context
+	byKey  map[string]affinity.Ctx
+	list   []*Context
+	keyBuf []byte // scratch; lets table hits skip the key allocation
 }
 
 func newContextTable() *contextTable {
 	return &contextTable{byKey: make(map[string]affinity.Ctx)}
 }
 
-// intern returns the context for a reduced chain, creating it on first use.
+// intern returns the context for a reduced chain, creating it on first
+// use. A chain already in the table allocates nothing: the key is built in
+// the table's scratch buffer and the map lookup converts it without a
+// copy.
 func (t *contextTable) intern(chain []ChainEntry) *Context {
-	key := chainKey(chain)
-	if id, ok := t.byKey[key]; ok {
+	t.keyBuf = appendChainKey(t.keyBuf[:0], chain)
+	if id, ok := t.byKey[string(t.keyBuf)]; ok {
 		return t.list[id]
 	}
 	id := affinity.Ctx(len(t.list))
 	c := &Context{ID: id, Chain: append([]ChainEntry(nil), chain...), Group: -1}
-	t.byKey[key] = id
+	t.byKey[string(t.keyBuf)] = id
 	t.list = append(t.list, c)
 	return c
 }

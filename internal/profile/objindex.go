@@ -11,128 +11,226 @@ type object struct {
 	rawSite uint32       // immediate malloc call site (for the HDS trace)
 }
 
-// objIndex is a treap over live objects keyed by base address, supporting
-// the containment query the access instrumentation needs: "which live
-// object, if any, owns this address?". Objects never overlap, so the
-// greatest base <= addr decides.
+// objIndex answers the containment query the access instrumentation needs
+// — "which live object, if any, owns this address?" — by shadowing the
+// heap, the way Pin-style instrumentation tools shadow process memory:
+// every 8-byte granule of address space maps to the slot of the live
+// object covering it, so the access fast path is two array loads and a
+// bounds check instead of a tree descent.
+//
+// Granule shadows live in lazily-allocated fixed-size chunks reached
+// through a dense directory based at the lowest address ever seen, so
+// memory tracks the span the allocator actually uses, not the 64-bit
+// address space. Objects live in a slot slab recycled through a free
+// list; steady-state insert/remove/find allocate nothing.
+//
+// The 8-byte granule matches the minimum spacing of the simulation's
+// allocators (the smallest size class is 8 and runs are page-aligned), so
+// in profiling runs each granule is covered by at most one live object.
+// The structure stays correct for arbitrary geometries: granules shared
+// by several objects are demoted to an overflow list keyed by granule.
 type objIndex struct {
-	root *onode
-	rng  uint64
-	size int
+	objs []object // slot slab; slot i live iff objs[i].size != 0
+	free []int32  // recycled slots
+	size int      // live object count
+
+	// Shadow directory: granule g lives at
+	// chunks[g>>chunkShift - baseChunk][g&chunkMask].
+	chunks    [][]int32
+	baseChunk int
+	overflow  map[uint64][]int32 // granule -> slots, when shared
 }
 
-type onode struct {
-	obj         *object
-	prio        uint64
-	left, right *onode
+const (
+	granuleShift = 3  // 8-byte granules
+	chunkShift   = 16 // granules per chunk: 64K -> 512 KiB of address space
+	chunkMask    = 1<<chunkShift - 1
+
+	slotEmpty    int32 = -1 // granule covers no live object
+	slotOverflow int32 = -2 // granule shared; consult overflow
+)
+
+func newObjIndex() *objIndex { return &objIndex{} }
+
+// chunkFor returns the shadow chunk containing granule g, materialising it
+// (and extending the directory) when create is set.
+func (t *objIndex) chunkFor(g uint64, create bool) []int32 {
+	ci := int(g >> chunkShift)
+	if len(t.chunks) == 0 {
+		if !create {
+			return nil
+		}
+		t.baseChunk = ci
+		t.chunks = [][]int32{nil}
+	}
+	rel := ci - t.baseChunk
+	if rel < 0 {
+		if !create {
+			return nil
+		}
+		grown := make([][]int32, len(t.chunks)-rel)
+		copy(grown[-rel:], t.chunks)
+		t.chunks = grown
+		t.baseChunk = ci
+		rel = 0
+	}
+	if rel >= len(t.chunks) {
+		if !create {
+			return nil
+		}
+		for rel >= len(t.chunks) {
+			t.chunks = append(t.chunks, nil)
+		}
+	}
+	c := t.chunks[rel]
+	if c == nil && create {
+		c = make([]int32, 1<<chunkShift)
+		for i := range c {
+			c[i] = slotEmpty
+		}
+		t.chunks[rel] = c
+	}
+	return c
 }
 
-func newObjIndex() *objIndex { return &objIndex{rng: 0x9E3779B97F4A7C15} }
-
-func (t *objIndex) rand() uint64 {
-	x := t.rng
-	x ^= x >> 12
-	x ^= x << 25
-	x ^= x >> 27
-	t.rng = x
-	return x * 0x2545F4914F6CDD1D
+// granules returns the granule span [lo, hi] covered by an object.
+func granules(base, size uint64) (lo, hi uint64) {
+	if size == 0 {
+		size = 1
+	}
+	return base >> granuleShift, (base + size - 1) >> granuleShift
 }
 
 // insert adds an object. Inserting an object whose base is already present
 // replaces the previous entry (a fresh allocation reusing an address).
-func (t *objIndex) insert(o *object) {
+func (t *objIndex) insert(o object) {
 	t.remove(o.base)
-	t.root = t.insertNode(t.root, &onode{obj: o, prio: t.rand()})
+	var slot int32
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.objs[slot] = o
+	} else {
+		slot = int32(len(t.objs))
+		t.objs = append(t.objs, o)
+	}
+	lo, hi := granules(o.base, o.size)
+	for g := lo; g <= hi; g++ {
+		c := t.chunkFor(g, true)
+		switch prev := c[g&chunkMask]; prev {
+		case slotEmpty:
+			c[g&chunkMask] = slot
+		case slotOverflow:
+			t.overflow[g] = append(t.overflow[g], slot)
+		default:
+			// A neighbour already covers this granule (sub-granule
+			// packing); demote the granule to the overflow list.
+			if t.overflow == nil {
+				t.overflow = make(map[uint64][]int32)
+			}
+			t.overflow[g] = append(t.overflow[g], prev, slot)
+			c[g&chunkMask] = slotOverflow
+		}
+	}
 	t.size++
 }
 
-func (t *objIndex) insertNode(n, ins *onode) *onode {
-	if n == nil {
-		return ins
+// slotAt returns the slot of the live object based exactly at addr, or -1.
+func (t *objIndex) slotAt(addr uint64) int32 {
+	c := t.chunkFor(addr>>granuleShift, false)
+	if c == nil {
+		return -1
 	}
-	if ins.prio > n.prio {
-		l, r := t.split(n, ins.obj.base)
-		ins.left, ins.right = l, r
-		return ins
+	switch s := c[(addr>>granuleShift)&chunkMask]; s {
+	case slotEmpty:
+		return -1
+	case slotOverflow:
+		for _, s := range t.overflow[addr>>granuleShift] {
+			if t.objs[s].base == addr {
+				return s
+			}
+		}
+		return -1
+	default:
+		if t.objs[s].base == addr {
+			return s
+		}
+		// The granule's owner starts earlier; an object based at addr
+		// would have demoted the granule to overflow, so none exists.
+		return -1
 	}
-	if ins.obj.base < n.obj.base {
-		n.left = t.insertNode(n.left, ins)
-	} else {
-		n.right = t.insertNode(n.right, ins)
-	}
-	return n
-}
-
-// split partitions by base: left < key, right >= key.
-func (t *objIndex) split(n *onode, key uint64) (l, r *onode) {
-	if n == nil {
-		return nil, nil
-	}
-	if n.obj.base < key {
-		n.right, r = t.split(n.right, key)
-		return n, r
-	}
-	l, n.left = t.split(n.left, key)
-	return l, n
 }
 
 // remove deletes the object based exactly at addr, returning it if present.
+// The returned pointer aliases the slot slab and is only valid until the
+// next insert.
 func (t *objIndex) remove(addr uint64) *object {
-	var removed *object
-	t.root = t.removeNode(t.root, addr, &removed)
-	if removed != nil {
-		t.size--
-	}
-	return removed
-}
-
-func (t *objIndex) removeNode(n *onode, addr uint64, out **object) *onode {
-	if n == nil {
+	slot := t.slotAt(addr)
+	if slot < 0 {
 		return nil
 	}
-	switch {
-	case addr < n.obj.base:
-		n.left = t.removeNode(n.left, addr, out)
-	case addr > n.obj.base:
-		n.right = t.removeNode(n.right, addr, out)
-	default:
-		*out = n.obj
-		return t.merge(n.left, n.right)
-	}
-	return n
-}
-
-func (t *objIndex) merge(l, r *onode) *onode {
-	switch {
-	case l == nil:
-		return r
-	case r == nil:
-		return l
-	case l.prio > r.prio:
-		l.right = t.merge(l.right, r)
-		return l
-	default:
-		r.left = t.merge(l, r.left)
-		return r
-	}
-}
-
-// find returns the live object containing addr, or nil.
-func (t *objIndex) find(addr uint64) *object {
-	n := t.root
-	var best *object
-	for n != nil {
-		if n.obj.base <= addr {
-			best = n.obj
-			n = n.right
-		} else {
-			n = n.left
+	o := &t.objs[slot]
+	lo, hi := granules(o.base, o.size)
+	for g := lo; g <= hi; g++ {
+		c := t.chunkFor(g, false)
+		switch s := c[g&chunkMask]; s {
+		case slot:
+			c[g&chunkMask] = slotEmpty
+		case slotOverflow:
+			left := t.overflow[g][:0]
+			for _, s := range t.overflow[g] {
+				if s != slot {
+					left = append(left, s)
+				}
+			}
+			switch len(left) {
+			case 1:
+				c[g&chunkMask] = left[0]
+				delete(t.overflow, g)
+			case 0:
+				c[g&chunkMask] = slotEmpty
+				delete(t.overflow, g)
+			default:
+				t.overflow[g] = left
+			}
 		}
 	}
-	if best != nil && addr < best.base+best.size {
-		return best
+	o.size = 0 // mark the slot dead; o.base etc. stay readable
+	t.free = append(t.free, slot)
+	t.size--
+	return o
+}
+
+// find returns the live object containing addr, or nil. The returned
+// pointer aliases the slot slab and is only valid until the next insert.
+func (t *objIndex) find(addr uint64) *object {
+	g := addr >> granuleShift
+	ci := int(g>>chunkShift) - t.baseChunk
+	if ci < 0 || ci >= len(t.chunks) {
+		return nil
 	}
-	return nil
+	c := t.chunks[ci]
+	if c == nil {
+		return nil
+	}
+	switch s := c[g&chunkMask]; s {
+	case slotEmpty:
+		return nil
+	case slotOverflow:
+		for _, s := range t.overflow[g] {
+			o := &t.objs[s]
+			if o.base <= addr && addr-o.base < o.size {
+				return o
+			}
+		}
+		return nil
+	default:
+		o := &t.objs[s]
+		if o.base <= addr && addr-o.base < o.size {
+			return o
+		}
+		return nil
+	}
 }
 
 // len reports the live object count.

@@ -19,6 +19,7 @@ package profile
 
 import (
 	"fmt"
+	"sort"
 
 	"halo/internal/affinity"
 	"halo/internal/isa"
@@ -76,6 +77,11 @@ type Profile struct {
 	TrackedAllocs uint64
 	TotalAccesses uint64 // macro accesses to tracked objects
 	PeakLive      int    // peak live tracked objects
+
+	// Events counts VM event records the profiler consumed; with the
+	// run's wall-clock it yields profiling throughput (events/sec). It is
+	// diagnostic only and is not serialised by profstore.
+	Events uint64
 }
 
 // Context returns the context record for an id.
@@ -83,6 +89,9 @@ func (p *Profile) Context(id affinity.Ctx) *Context { return p.Contexts[id] }
 
 // Profiler implements vm.EventSink: it drains the VM's batched event
 // stream, paying one dynamic dispatch per batch and direct calls within.
+// Per-event work is allocation-free in steady state: the shadow stack, the
+// chain scratch buffers, the object index, the affinity queue and the
+// graph all reuse their backing arrays.
 type Profiler struct {
 	prog *isa.Program
 	cfg  Config
@@ -90,12 +99,24 @@ type Profiler struct {
 	// native mirrors the true call stack: one frame per internal call.
 	native []nframe
 
+	// chainBuf and redBuf are scratch space for currentContext, reused
+	// across allocations so building a reduced chain allocates only when
+	// the chain is new to the intern table.
+	chainBuf []ChainEntry
+	redBuf   []ChainEntry
+
 	contexts *contextTable
 	objects  *objIndex
 	queue    *affinity.Queue
 	graph    *affinity.Graph
 
+	// serialCtx records the context of every allocation serial (index 0
+	// unused): the global allocation log the co-allocatability check
+	// scans when the serial range is short.
+	serialCtx []affinity.Ctx
+
 	serial   uint64
+	events   uint64
 	trace    []Ref
 	traceLen int
 
@@ -114,19 +135,36 @@ type nframe struct {
 func New(p *isa.Program, cfg Config) *Profiler {
 	cfg = cfg.withDefaults()
 	pr := &Profiler{
-		prog:     p,
-		cfg:      cfg,
-		contexts: newContextTable(),
-		objects:  newObjIndex(),
-		graph:    affinity.NewGraph(),
+		prog:      p,
+		cfg:       cfg,
+		contexts:  newContextTable(),
+		objects:   newObjIndex(),
+		graph:     affinity.NewGraph(),
+		serialCtx: make([]affinity.Ctx, 1, 1024),
 	}
 	pr.queue = affinity.NewQueue(cfg.AffinityDistance, pr.graph, pr)
 	return pr
 }
 
-// AllocatedBetween implements affinity.Interference over the per-context
-// allocation logs.
+// coallocScanWindow is the serial-range length up to which the
+// co-allocatability check scans the global allocation log directly; wider
+// ranges binary-search the context's own serial log instead. Both answer
+// the same membership question, so the cutover is invisible.
+const coallocScanWindow = 64
+
+// AllocatedBetween implements affinity.Interference. Queue traversals ask
+// it about chronologically close pairs most of the time, so short ranges
+// scan the dense serial-to-context log; wide ranges fall back to binary
+// search over the per-context allocation log.
 func (p *Profiler) AllocatedBetween(c affinity.Ctx, lo, hi uint64) bool {
+	if hi-lo <= coallocScanWindow {
+		for s := lo + 1; s < hi; s++ {
+			if p.serialCtx[s] == c {
+				return true
+			}
+		}
+		return false
+	}
 	return p.contexts.list[c].AllocatedBetween(lo, hi)
 }
 
@@ -134,6 +172,7 @@ func (p *Profiler) AllocatedBetween(c affinity.Ctx, lo, hi uint64) bool {
 // so the shadow stack, the object index and the affinity queue observe the
 // exact sequence the per-event engine produced.
 func (p *Profiler) ConsumeEvents(batch []vm.Event) {
+	p.events += uint64(len(batch))
 	for i := range batch {
 		ev := &batch[i]
 		switch ev.Kind {
@@ -168,9 +207,11 @@ func (p *Profiler) siteInMain(site isa.Addr) bool {
 }
 
 // currentContext builds the reduced allocation context for an allocation
-// whose immediate (possibly library-resident) call site is rawSite.
+// whose immediate (possibly library-resident) call site is rawSite. The
+// raw and reduced chains are assembled in scratch buffers owned by the
+// profiler, so a context already in the intern table costs no allocation.
 func (p *Profiler) currentContext(rawSite isa.Addr) *Context {
-	chain := make([]ChainEntry, 0, len(p.native)+1)
+	chain := p.chainBuf[:0]
 	lastMain := isa.NoAddr
 	for _, f := range p.native {
 		if p.siteInMain(f.site) {
@@ -188,7 +229,9 @@ func (p *Profiler) currentContext(rawSite isa.Addr) *Context {
 		alloSite = lastMain
 	}
 	chain = append(chain, ChainEntry{Fn: AllocFn, Site: alloSite})
-	return p.contexts.intern(reduceChain(chain))
+	p.chainBuf = chain
+	p.redBuf = reduceChainInto(p.redBuf[:0], chain)
+	return p.contexts.intern(p.redBuf)
 }
 
 // alloc tracks one intercepted memory-management call.
@@ -208,6 +251,7 @@ func (p *Profiler) alloc(ev vm.AllocEvent) {
 	p.serial++
 	ctx.Allocs++
 	ctx.serials = append(ctx.serials, p.serial)
+	p.serialCtx = append(p.serialCtx, ctx.ID)
 	if ev.Size > p.cfg.MaxObjectSize {
 		return // not a grouping candidate; leave untracked
 	}
@@ -216,7 +260,7 @@ func (p *Profiler) alloc(ev vm.AllocEvent) {
 	if size == 0 {
 		size = 1
 	}
-	p.objects.insert(&object{
+	p.objects.insert(object{
 		base:    ev.Ptr,
 		size:    size,
 		serial:  p.serial,
@@ -265,6 +309,7 @@ func (p *Profiler) Finish() *Profile {
 		TrackedAllocs: p.trackedAllocs,
 		TotalAccesses: p.graph.TotalAccesses(),
 		PeakLive:      p.peakLive,
+		Events:        p.events,
 	}
 }
 
@@ -280,13 +325,12 @@ func (p *Profile) DescribeTop(n int) string {
 	for _, c := range nodes {
 		list = append(list, na{c, p.Graph.Accesses(c)})
 	}
-	for i := 0; i < len(list); i++ {
-		for j := i + 1; j < len(list); j++ {
-			if list[j].a > list[i].a {
-				list[i], list[j] = list[j], list[i]
-			}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].a != list[j].a {
+			return list[i].a > list[j].a
 		}
-	}
+		return list[i].c < list[j].c
+	})
 	if n > len(list) {
 		n = len(list)
 	}

@@ -280,7 +280,7 @@ func TestReduceChainProperty(t *testing.T) {
 func TestObjIndexProperty(t *testing.T) {
 	f := func(ops []uint16) bool {
 		idx := newObjIndex()
-		live := map[uint64]*object{}
+		live := map[uint64]uint64{} // base -> serial
 		for i, op := range ops {
 			base := uint64(op%512)*16 + 16
 			if _, ok := live[base]; ok && op%3 == 0 {
@@ -288,15 +288,14 @@ func TestObjIndexProperty(t *testing.T) {
 				delete(live, base)
 				continue
 			}
-			o := &object{base: base, size: 16, serial: uint64(i)}
-			idx.insert(o)
-			live[base] = o
+			idx.insert(object{base: base, size: 16, serial: uint64(i)})
+			live[base] = uint64(i)
 		}
 		if idx.len() != len(live) {
 			return false
 		}
-		for base, o := range live {
-			if got := idx.find(base + 7); got == nil || got.serial != o.serial {
+		for base, serial := range live {
+			if got := idx.find(base + 7); got == nil || got.serial != serial {
 				return false
 			}
 		}
@@ -305,6 +304,47 @@ func TestObjIndexProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestObjIndexSubGranulePacking pins the overflow path: objects packed
+// tighter than the 8-byte shadow granule (impossible under the built-in
+// allocators, but the index must stay exact for any geometry).
+func TestObjIndexSubGranulePacking(t *testing.T) {
+	idx := newObjIndex()
+	// Three 2-byte objects inside one granule, plus one straddling the
+	// granule boundary.
+	for i := 0; i < 3; i++ {
+		idx.insert(object{base: 64 + uint64(i)*2, size: 2, serial: uint64(i + 1)})
+	}
+	idx.insert(object{base: 70, size: 4, serial: 5}) // spans granules 8 and 9
+	for i := 0; i < 3; i++ {
+		base := 64 + uint64(i)*2
+		for off := uint64(0); off < 2; off++ {
+			got := idx.find(base + off)
+			if got == nil || got.serial != uint64(i+1) {
+				t.Fatalf("find(%d) = %v, want serial %d", base+off, got, i+1)
+			}
+		}
+	}
+	if got := idx.find(72); got == nil || got.serial != 5 {
+		t.Fatalf("straddling object not found at 72: %v", got)
+	}
+	if idx.len() != 4 {
+		t.Fatalf("len = %d, want 4", idx.len())
+	}
+	// Remove the middle object; its neighbours must survive intact.
+	if o := idx.remove(66); o == nil || o.serial != 2 {
+		t.Fatalf("remove(66) = %v, want serial 2", o)
+	}
+	if got := idx.find(66); got != nil {
+		t.Fatalf("removed object still found: %v", got)
+	}
+	if got := idx.find(65); got == nil || got.serial != 1 {
+		t.Fatalf("neighbour lost after overflow removal: %v", got)
+	}
+	if got := idx.find(71); got == nil || got.serial != 5 {
+		t.Fatalf("straddler lost after overflow removal: %v", got)
 	}
 }
 
