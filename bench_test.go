@@ -318,6 +318,47 @@ func BenchmarkProfileThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSynthesis measures the layout-synthesis stage — grouping,
+// selector identification, selector lowering and the hot-data-streams
+// policy — over a prerecorded profile, with profiling taken out of the
+// loop. This is the wall-clock a `halo opt -profile` / halod job pays on
+// top of profile decoding, and the number the halobench -json "synthesis"
+// section tracks per workload.
+func BenchmarkSynthesis(b *testing.B) {
+	for _, name := range []string{"povray", "omnetpp"} {
+		b.Run(name, func(b *testing.B) {
+			w := workloads.MustGet(name)
+			p := w.Build(w.TestScale)
+			cfg := core.Config{}
+			cfg.Profile.RecordTrace = true
+			if w.MaxGroups > 0 {
+				cfg.Group.MaxGroups = w.MaxGroups
+				cfg.HDS.MaxGroups = w.MaxGroups
+			}
+			prof, err := core.Profile(p, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var groups, selectors int
+			for i := 0; i < b.N; i++ {
+				opt, err := core.OptimizeFromProfile(p, prof, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hr, err := core.AnalyzeHDS(prof, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				groups, selectors = len(opt.Groups), len(opt.Selectors.Selectors)
+				_ = hr
+			}
+			b.ReportMetric(float64(groups), "groups")
+			b.ReportMetric(float64(selectors), "selectors")
+		})
+	}
+}
+
 // BenchmarkMeasureTrials measures the parallel trial harness end to end:
 // warm-up plus four measured trials of the baseline policy, fanned out
 // over the worker pool (ns/op here is the number the halobench -json

@@ -13,8 +13,10 @@
 // record per measured workload×technique pair (miss reduction, speedup,
 // simulated seconds, and ns/op — the wall-clock of one serial measurement
 // run, timed outside the worker pools), per-workload profiling throughput
-// (events consumed by the training run's profiler and events/sec), and the
-// sweep's wall-clock — the format the repository's BENCH_*.json trajectory
+// (events consumed by the training run's profiler and events/sec), a
+// per-workload "synthesis" section (the wall-clock of turning the training
+// profile into groups, selectors and the HDS policy), and the sweep's
+// wall-clock — the format the repository's BENCH_*.json trajectory
 // records.
 package main
 
@@ -39,6 +41,7 @@ type jsonDoc struct {
 	Workloads []string                  `json:"workloads,omitempty"`
 	Results   []experiments.BenchResult `json:"results"`
 	Profiling []experiments.ProfileStat `json:"profiling"`
+	Synthesis []experiments.SynthStat   `json:"synthesis"`
 	Tables    []*experiments.Table      `json:"tables"`
 	WallNs    int64                     `json:"wall_ns"`
 }
@@ -92,6 +95,7 @@ func main() {
 			Workloads: opts.Workloads,
 			Results:   engine.BenchResults(),
 			Profiling: engine.ProfileStats(),
+			Synthesis: engine.SynthesisStats(),
 			Tables:    tables,
 			WallNs:    wall.Nanoseconds(),
 		}

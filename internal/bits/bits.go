@@ -6,6 +6,7 @@ package bits
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"strings"
 )
 
@@ -67,6 +68,66 @@ func (v *Vec) Reset() {
 	for i := range v.words {
 		v.words[i] = 0
 	}
+}
+
+// SetAll sets every bit in [0, Len()). Bits beyond Len() in the final word
+// stay clear so Count and AndCount never see ghosts.
+func (v *Vec) SetAll() {
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	if tail := uint(v.n) & 63; tail != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] = (1 << tail) - 1
+	}
+}
+
+// CopyFrom overwrites v with o. The vectors must have equal capacity.
+func (v *Vec) CopyFrom(o *Vec) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bits: CopyFrom length mismatch %d != %d", v.n, o.n))
+	}
+	copy(v.words, o.words)
+}
+
+// Clone returns an independent copy of v.
+func (v *Vec) Clone() *Vec {
+	c := New(v.n)
+	copy(c.words, v.words)
+	return c
+}
+
+// And intersects v with o in place. The vectors must have equal capacity.
+func (v *Vec) And(o *Vec) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bits: And length mismatch %d != %d", v.n, o.n))
+	}
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+	}
+}
+
+// Count returns the number of set bits.
+func (v *Vec) Count() int {
+	n := 0
+	for _, w := range v.words {
+		n += mathbits.OnesCount64(w)
+	}
+	return n
+}
+
+// AndCount returns the population count of the intersection of v and o
+// without materialising it — the word-parallel conflict-counting primitive
+// of the selector-identification stage. The vectors must have equal
+// capacity.
+func (v *Vec) AndCount(o *Vec) int {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bits: AndCount length mismatch %d != %d", v.n, o.n))
+	}
+	n := 0
+	for i, w := range v.words {
+		n += mathbits.OnesCount64(w & o.words[i])
+	}
+	return n
 }
 
 // Any reports whether any bit is set.

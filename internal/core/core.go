@@ -40,6 +40,12 @@ type Config struct {
 	// training run (0 = vm.DefaultBatchSize). Profiles are bit-identical
 	// at any setting; the knob exists for determinism tests and tuning.
 	ProfileBatchSize int
+
+	// SynthesisWorkers bounds the worker pool the layout-synthesis stages
+	// (grouping, selector identification, co-allocation set construction)
+	// fan out over. 0 selects one worker per CPU, 1 forces serial
+	// execution. Synthesis output is bit-identical at any setting.
+	SynthesisWorkers int
 }
 
 // Optimized carries every artefact of the HALO pipeline for one binary.
@@ -131,7 +137,11 @@ func Optimize(p *isa.Program, cfg Config) (*Optimized, error) {
 // OptimizeFromProfile runs grouping, identification and rewriting over an
 // existing profile (so one profiling run can feed several configurations).
 func OptimizeFromProfile(p *isa.Program, prof *profile.Profile, cfg Config) (*Optimized, error) {
-	groups := group.Form(prof.Graph, cfg.Group)
+	gp := cfg.Group
+	if gp.Workers == 0 {
+		gp.Workers = cfg.SynthesisWorkers
+	}
+	groups := group.Form(prof.Graph, gp)
 
 	// Record group membership on the contexts for identification.
 	for _, c := range prof.Contexts {
@@ -143,7 +153,7 @@ func OptimizeFromProfile(p *isa.Program, prof *profile.Profile, cfg Config) (*Op
 		}
 	}
 
-	sel := identify.Build(groups, prof.Contexts)
+	sel := identify.BuildParallel(groups, prof.Contexts, cfg.SynthesisWorkers)
 
 	rw, err := rewrite.Instrument(p, sel.Sites)
 	if err != nil {
@@ -176,7 +186,11 @@ func AnalyzeHDS(prof *profile.Profile, cfg Config) (*hds.Result, error) {
 	if len(prof.Trace) == 0 {
 		return nil, fmt.Errorf("core: profile has no reference trace; enable Profile.RecordTrace")
 	}
-	return hds.Analyze(prof, cfg.HDS), nil
+	hc := cfg.HDS
+	if hc.Workers == 0 {
+		hc.Workers = cfg.SynthesisWorkers
+	}
+	return hds.Analyze(prof, hc), nil
 }
 
 // GroupReport renders the formed groups with context chains, reproducing

@@ -133,6 +133,8 @@ type artefacts struct {
 
 	profEvents uint64 // VM events the training run's profiler consumed
 	profWallNs int64  // wall-clock of the training run
+	synthOptNs int64  // wall-clock of OptimizeFromProfile (group+identify+rewrite)
+	synthHDSNs int64  // wall-clock of the hot-data-streams analysis
 
 	refProg *isa.Program
 	polBase measure.Policy
@@ -217,6 +219,9 @@ func (e *Engine) artefactsFor(w workloads.Workload) (*artefacts, error) {
 	}
 	e.opts.logf("[%s] profiling test input (scale %d)", w.Name, w.TestScale)
 	cfg := pipelineConfig(w)
+	// Same one-level-parallel discipline as the trial pools: when the
+	// sweep fans workloads out, synthesis runs serially inside each.
+	cfg.SynthesisWorkers = e.trialWorkers()
 	testProg := w.Build(w.TestScale)
 	profStart := time.Now()
 	prof, err := core.Profile(testProg, cfg)
@@ -224,14 +229,18 @@ func (e *Engine) artefactsFor(w workloads.Workload) (*artefacts, error) {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
 	profWall := time.Since(profStart)
+	optStart := time.Now()
 	opt, err := core.OptimizeFromProfile(testProg, prof, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
+	optWall := time.Since(optStart)
+	hdsStart := time.Now()
 	hr, err := core.AnalyzeHDS(opt.Profile, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s hds: %w", w.Name, err)
 	}
+	hdsWall := time.Since(hdsStart)
 	e.opts.logf("[%s] %d graph nodes, %d groups, %d sites; hds: %d rules, %d hot streams, %d sets",
 		w.Name, opt.Profile.Graph.NumNodes(), len(opt.Groups), len(opt.Selectors.Sites),
 		hr.Rules, hr.Streams, len(hr.Sets))
@@ -249,6 +258,8 @@ func (e *Engine) artefactsFor(w workloads.Workload) (*artefacts, error) {
 		hds:        hr,
 		profEvents: prof.Events,
 		profWallNs: profWall.Nanoseconds(),
+		synthOptNs: optWall.Nanoseconds(),
+		synthHDSNs: hdsWall.Nanoseconds(),
 		refProg:    refProg,
 		polBase:    measure.Policy{Kind: measure.Jemalloc},
 		polPt:      measure.Policy{Kind: measure.Ptmalloc},
@@ -426,6 +437,44 @@ func (e *Engine) ProfileStats() []ProfileStat {
 			s.EventsPerSec = float64(a.profEvents) / (float64(a.profWallNs) / 1e9)
 		}
 		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Workload < out[j].Workload })
+	return out
+}
+
+// SynthStat is one workload's layout-synthesis cost: the wall-clock of
+// turning its training profile into groups, selectors and the HDS
+// co-allocation policy. This is the per-job cost a halod worker pays on
+// top of profiling (or profile decoding), and the trajectory the dense
+// parallel synthesis pipeline is tracked by.
+type SynthStat struct {
+	Workload   string `json:"workload"`
+	Groups     int    `json:"groups"`
+	Selectors  int    `json:"selectors"`
+	Sites      int    `json:"sites"`
+	HDSSets    int    `json:"hds_sets"`
+	OptimizeNs int64  `json:"optimize_ns"` // group + identify + rewrite + lower
+	HDSNs      int64  `json:"hds_ns"`      // grammar + streams + set packing
+	WallNs     int64  `json:"wall_ns"`     // sum: the full synthesis stage
+}
+
+// SynthesisStats reports synthesis cost for every workload the executed
+// experiments derived artefacts for, sorted by workload. Call after Run.
+func (e *Engine) SynthesisStats() []SynthStat {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SynthStat, 0, len(e.arts))
+	for _, a := range e.arts {
+		out = append(out, SynthStat{
+			Workload:   a.w.Name,
+			Groups:     len(a.opt.Groups),
+			Selectors:  len(a.opt.Selectors.Selectors),
+			Sites:      len(a.opt.Selectors.Sites),
+			HDSSets:    len(a.hds.Sets),
+			OptimizeNs: a.synthOptNs,
+			HDSNs:      a.synthHDSNs,
+			WallNs:     a.synthOptNs + a.synthHDSNs,
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Workload < out[j].Workload })
 	return out

@@ -13,82 +13,66 @@ import (
 // subgraphs algorithm, built on Stoer–Wagner minimum cuts). The ablation
 // experiment contrasts the groups they produce with Figure 6's output
 // using the Figure 7 score and the co-allocation weight they capture.
+//
+// Community state is kept in dense index-addressed arrays (an alive mask,
+// a strength vector and a flat inter-community weight matrix) — the same
+// layout group.go uses for Figure 6 — so each merge round scans rows
+// instead of sorting nested maps.
 
 // ModularityCluster greedily merges communities while the weighted
 // modularity gain is positive (CNM-style agglomeration).
 func ModularityCluster(g *affinity.Graph) [][]affinity.Ctx {
 	nodes := g.Nodes()
-	if len(nodes) == 0 {
+	n := len(nodes)
+	if n == 0 {
 		return nil
 	}
-	// Community state: each node starts alone.
-	comm := make(map[affinity.Ctx]int, len(nodes))
-	members := make(map[int][]affinity.Ctx, len(nodes))
+	idx := make(map[affinity.Ctx]int, n)
 	for i, c := range nodes {
-		comm[c] = i
-		members[i] = []affinity.Ctx{c}
+		idx[c] = i
 	}
-	// Total edge weight (loops count once), node strengths.
+	// Community state: each node starts alone. Communities are indexed by
+	// their founding node's position, with an alive mask tracking merges.
+	members := make([][]affinity.Ctx, n)
+	alive := make([]bool, n)
+	for i, c := range nodes {
+		members[i] = []affinity.Ctx{c}
+		alive[i] = true
+	}
+	// Total edge weight (loops count once), community strengths, and the
+	// flat inter-community weight matrix (loops excluded).
 	var m float64
-	strength := make(map[affinity.Ctx]float64, len(nodes))
+	strength := make([]float64, n)
+	between := make([]float64, n*n)
 	for _, e := range g.Edges() {
 		w := float64(g.Weight(e.U, e.V))
 		m += w
-		strength[e.U] += w
+		a, b := idx[e.U], idx[e.V]
+		strength[a] += w
 		if !e.IsLoop() {
-			strength[e.V] += w
+			strength[b] += w
+			between[a*n+b] += w
+			between[b*n+a] += w
 		}
 	}
 	if m == 0 {
 		return singletonClusters(nodes)
 	}
 
-	commStrength := make(map[int]float64, len(nodes))
-	for c, s := range strength {
-		commStrength[comm[c]] = s
-	}
-	// between[i][j]: inter-community weight.
-	between := make(map[int]map[int]float64)
-	addBetween := func(a, b int, w float64) {
-		if a == b {
-			return
-		}
-		if between[a] == nil {
-			between[a] = make(map[int]float64)
-		}
-		if between[b] == nil {
-			between[b] = make(map[int]float64)
-		}
-		between[a][b] += w
-		between[b][a] += w
-	}
-	for _, e := range g.Edges() {
-		if !e.IsLoop() {
-			addBetween(comm[e.U], comm[e.V], float64(g.Weight(e.U, e.V)))
-		}
-	}
-
 	for {
 		bestGain := 0.0
 		bestA, bestB := -1, -1
-		// Deterministic iteration order.
-		cids := make([]int, 0, len(between))
-		for a := range between {
-			cids = append(cids, a)
-		}
-		sort.Ints(cids)
-		for _, a := range cids {
-			nids := make([]int, 0, len(between[a]))
-			for b := range between[a] {
-				nids = append(nids, b)
+		for a := 0; a < n; a++ {
+			if !alive[a] {
+				continue
 			}
-			sort.Ints(nids)
-			for _, b := range nids {
-				if b <= a {
+			row := between[a*n : a*n+n]
+			for b := a + 1; b < n; b++ {
+				if !alive[b] || row[b] == 0 {
 					continue
 				}
 				// ΔQ for merging a and b under weighted modularity.
-				gain := between[a][b]/m - commStrength[a]*commStrength[b]/(2*m*m)
+				gain := row[b]/m - strength[a]*strength[b]/(2*m*m)
 				if gain > bestGain {
 					bestGain, bestA, bestB = gain, a, b
 				}
@@ -97,31 +81,31 @@ func ModularityCluster(g *affinity.Graph) [][]affinity.Ctx {
 		if bestA < 0 {
 			break
 		}
-		// Merge bestB into bestA.
+		// Merge bestB into bestA: fold its members, strength and row.
 		members[bestA] = append(members[bestA], members[bestB]...)
-		delete(members, bestB)
-		commStrength[bestA] += commStrength[bestB]
-		delete(commStrength, bestB)
-		for n, w := range between[bestB] {
-			if n == bestA {
+		members[bestB] = nil
+		strength[bestA] += strength[bestB]
+		alive[bestB] = false
+		for c := 0; c < n; c++ {
+			if c == bestA || !alive[c] {
 				continue
 			}
-			delete(between[n], bestB)
-			addBetween(bestA, n, w)
+			if w := between[bestB*n+c]; w != 0 {
+				between[bestA*n+c] += w
+				between[c*n+bestA] = between[bestA*n+c]
+			}
 		}
-		delete(between[bestA], bestB)
-		delete(between, bestB)
+		between[bestA*n+bestB] = 0
+		between[bestB*n+bestA] = 0
 	}
 
-	out := make([][]affinity.Ctx, 0, len(members))
-	keys := make([]int, 0, len(members))
-	for k := range members {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	for _, k := range keys {
-		ms := members[k]
-		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	var out [][]affinity.Ctx
+	for i := 0; i < n; i++ {
+		if !alive[i] {
+			continue
+		}
+		ms := members[i]
+		sort.Slice(ms, func(a, b int) bool { return ms[a] < ms[b] })
 		out = append(out, ms)
 	}
 	return out
@@ -252,10 +236,16 @@ func stoerWagner(g *affinity.Graph, nodes []affinity.Ctx) (float64, []affinity.C
 	best := math.Inf(1)
 	var bestSide []int
 
+	// Phase scratch, reset per maximum-adjacency ordering.
+	inA := make([]bool, n)
+	weights := make([]float64, n)
+
 	for len(active) > 1 {
 		// Maximum adjacency ordering.
-		inA := make(map[int]bool, len(active))
-		weights := make(map[int]float64, len(active))
+		for _, v := range active {
+			inA[v] = false
+			weights[v] = 0
+		}
 		order := make([]int, 0, len(active))
 		for len(order) < len(active) {
 			sel, selW := -1, -1.0

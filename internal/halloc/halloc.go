@@ -149,11 +149,21 @@ func (a *GroupAlloc) Name() string { return "halo-group" }
 // the stack.
 func (a *GroupAlloc) SetAllocSite(site isa.Addr) { a.curSite = site }
 
+// groupable reports whether a request may be served from a group chunk:
+// within the configured grouped-size limit, and small enough to fit a
+// chunk's payload area. The second clamp matters when ChunkSize is
+// configured below MaxGroupedSize + header (the 128 KiB omnetpp artifact
+// config): without it, groupMalloc would bump past the chunk end into the
+// neighbouring chunk.
+func (a *GroupAlloc) groupable(size uint64) bool {
+	return size > 0 && size <= a.cfg.MaxGroupedSize && size+chunkHeader <= a.cfg.ChunkSize
+}
+
 // Malloc implements alloc.Allocator.
 func (a *GroupAlloc) Malloc(size uint64) uint64 {
 	// The allocator first compares the size against the maximum grouped
 	// object size, then consults the selectors (§4.4).
-	if size > 0 && size <= a.cfg.MaxGroupedSize {
+	if a.groupable(size) {
 		if g := a.classify.Classify(size, a.curSite); g >= 0 {
 			return a.groupMalloc(g, size)
 		}
@@ -249,7 +259,14 @@ func (a *GroupAlloc) Free(ptr uint64) {
 		a.fallback.Free(ptr)
 		return
 	}
-	size := a.sizes[ptr]
+	size, ok := a.sizes[ptr]
+	if !ok {
+		// No size entry: the pointer was never handed out from this chunk,
+		// or it was already freed. Accepting it would underflow the live
+		// statistics and double-decrement the chunk's region count,
+		// corrupting chunk reuse.
+		panic(fmt.Sprintf("halloc: double or invalid free of %#x in chunk %#x", ptr, c.base))
+	}
 	delete(a.sizes, ptr)
 	a.groupLive -= size
 	a.stats.Frees++
@@ -289,8 +306,33 @@ func (a *GroupAlloc) SizeOf(ptr uint64) uint64 {
 	return a.fallback.SizeOf(ptr)
 }
 
-// Calloc implements alloc.Allocator.
-func (a *GroupAlloc) Calloc(n, size uint64) uint64 { return a.Malloc(n * size) }
+// Calloc implements alloc.Allocator. The region is zeroed on both paths:
+// grouped regions may come from a reused spare chunk holding stale bytes,
+// and forwarded requests go through the fallback's Calloc so its own
+// zeroing contract applies (backed by an explicit Zero, as the simulated
+// fallbacks leave zeroing to their caller). The VM also zeroes after any
+// allocator's Calloc — that stays, because the baseline allocators do not
+// zero; this allocator must regardless, for callers that use it directly.
+// A product that overflows is forwarded as failure, matching calloc(3).
+func (a *GroupAlloc) Calloc(n, size uint64) uint64 {
+	total := n * size
+	if n != 0 && total/n != size {
+		return 0 // n*size wrapped; a tiny allocation here would be UB bait
+	}
+	if a.groupable(total) {
+		if g := a.classify.Classify(total, a.curSite); g >= 0 {
+			ptr := a.groupMalloc(g, total)
+			a.os.Memory().Zero(ptr, total)
+			return ptr
+		}
+	}
+	a.forwarded++
+	ptr := a.fallback.Calloc(n, size)
+	if ptr != 0 {
+		a.os.Memory().Zero(ptr, total)
+	}
+	return ptr
+}
 
 // Realloc implements alloc.Allocator.
 func (a *GroupAlloc) Realloc(ptr, size uint64) uint64 {

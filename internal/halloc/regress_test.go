@@ -1,0 +1,173 @@
+package halloc
+
+import (
+	"strings"
+	"testing"
+
+	"halo/internal/mem"
+)
+
+// TestHallocRegressions pins the three correctness fixes of the group
+// allocator: calloc zeroing (including reused spare chunks), calloc
+// overflow forwarding, oversized-request clamping, and double-free
+// detection. Each case failed before its fix.
+func TestHallocRegressions(t *testing.T) {
+	cases := []struct {
+		name      string
+		cfg       Config
+		wantPanic string // non-empty: the case must panic with this substring
+		run       func(t *testing.T, a *GroupAlloc, osm *mem.OS)
+	}{
+		{
+			name: "calloc_zeroes_fresh_chunk",
+			run: func(t *testing.T, a *GroupAlloc, osm *mem.OS) {
+				p := a.Calloc(2, 8) // 16 % 3 != 0: grouped
+				if a.chunkOf(p) == nil {
+					t.Fatal("calloc did not land in a group chunk")
+				}
+				if got := osm.Memory().ReadWord(p); got != 0 {
+					t.Fatalf("calloc memory = %#x, want 0", got)
+				}
+			},
+		},
+		{
+			name: "calloc_zeroes_reused_spare_chunk",
+			run: func(t *testing.T, a *GroupAlloc, osm *mem.OS) {
+				// Dirty a grouped chunk, empty it (the chunk parks on the
+				// spare list with its pages intact), then calloc from the
+				// same group: the reused region must not leak stale bytes.
+				p := a.Malloc(16)
+				if a.chunkOf(p) == nil {
+					t.Fatal("expected grouped allocation")
+				}
+				osm.Memory().WriteWord(p, 0xDEADBEEF)
+				osm.Memory().WriteWord(p+8, 0xFEEDFACE)
+				a.Free(p)
+				q := a.Calloc(2, 8)
+				if a.chunkOf(q) == nil {
+					t.Fatal("expected grouped calloc")
+				}
+				if q != p {
+					t.Fatalf("spare chunk not reused: %#x != %#x", q, p)
+				}
+				if lo, hi := osm.Memory().ReadWord(q), osm.Memory().ReadWord(q+8); lo != 0 || hi != 0 {
+					t.Fatalf("calloc leaked stale bytes: %#x %#x", lo, hi)
+				}
+			},
+		},
+		{
+			name: "calloc_forwarded_zeroes",
+			run: func(t *testing.T, a *GroupAlloc, osm *mem.OS) {
+				p := a.Calloc(3, 11) // 33 % 3 == 0: classifier declines
+				if a.chunkOf(p) != nil {
+					t.Fatal("ungrouped calloc landed in a group chunk")
+				}
+				osm.Memory().WriteWord(p, 0xABCD)
+				a.Free(p)
+				q := a.Calloc(3, 11) // fallback recycles the same block
+				if got := osm.Memory().ReadWord(q); got != 0 {
+					t.Fatalf("forwarded calloc memory = %#x, want 0", got)
+				}
+			},
+		},
+		{
+			name: "calloc_overflow_fails",
+			run: func(t *testing.T, a *GroupAlloc, osm *mem.OS) {
+				// n*size wraps to 16 bytes; the request must fail rather
+				// than hand back a tiny region.
+				if p := a.Calloc(1<<62+1, 16); p != 0 {
+					t.Fatalf("overflowing calloc returned %#x, want 0", p)
+				}
+				if p := a.Calloc(^uint64(0), 2); p != 0 {
+					t.Fatalf("overflowing calloc returned %#x, want 0", p)
+				}
+				// Benign zero-count calloc still succeeds as before.
+				if a.Stats().Allocs != 0 {
+					t.Fatalf("failed callocs recorded %d grouped allocs", a.Stats().Allocs)
+				}
+			},
+		},
+		{
+			name: "oversized_request_forwards",
+			cfg:  Config{ChunkSize: 4096, SlabSize: 64 << 10, MaxGroupedSize: 8192},
+			run: func(t *testing.T, a *GroupAlloc, osm *mem.OS) {
+				// MaxGroupedSize exceeds the chunk payload (the 128 KiB
+				// omnetpp artifact shape, scaled down): a request larger
+				// than ChunkSize-header must forward, not bump past the
+				// chunk end into the neighbour.
+				small := a.Malloc(1024) // fits: grouped
+				if a.chunkOf(small) == nil {
+					t.Fatal("small request not grouped")
+				}
+				big := a.Malloc(5000) // 5000+64 > 4096: must forward
+				if a.chunkOf(big) != nil {
+					t.Fatalf("oversized request served from a group chunk at %#x", big)
+				}
+				if got := a.SizeOf(big); got < 5000 {
+					t.Fatalf("SizeOf(big) = %d", got)
+				}
+				// And a grouped neighbour allocated after stays intact.
+				next := a.Malloc(1024)
+				osm.Memory().WriteWord(next, 0x1234)
+				if got := osm.Memory().ReadWord(next); got != 0x1234 {
+					t.Fatalf("neighbouring chunk corrupted: %#x", got)
+				}
+			},
+		},
+		{
+			name:      "double_free_of_live_chunk_pointer_panics",
+			wantPanic: "double or invalid free",
+			run: func(t *testing.T, a *GroupAlloc, osm *mem.OS) {
+				p := a.Malloc(16)
+				q := a.Malloc(16) // keeps the chunk live after p is freed
+				_ = q
+				a.Free(p)
+				a.Free(p) // stats.LiveObjects would underflow silently
+			},
+		},
+		{
+			name:      "free_of_never_allocated_chunk_pointer_panics",
+			wantPanic: "double or invalid free",
+			run: func(t *testing.T, a *GroupAlloc, osm *mem.OS) {
+				p := a.Malloc(16)
+				a.Free(p + 8) // interior pointer: no sizes entry
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, osm := newTestAlloc(tc.cfg)
+			defer func() {
+				r := recover()
+				switch {
+				case tc.wantPanic == "" && r != nil:
+					t.Fatalf("unexpected panic: %v", r)
+				case tc.wantPanic != "" && r == nil:
+					t.Fatalf("expected panic containing %q", tc.wantPanic)
+				case tc.wantPanic != "":
+					if msg, ok := r.(string); !ok || !strings.Contains(msg, tc.wantPanic) {
+						t.Fatalf("panic = %v, want substring %q", r, tc.wantPanic)
+					}
+				}
+			}()
+			tc.run(t, a, osm)
+		})
+	}
+}
+
+// TestCallocStatsMatchMalloc checks grouped callocs participate in the
+// same accounting as mallocs (they reach groupMalloc).
+func TestCallocStatsMatchMalloc(t *testing.T) {
+	a, _ := newTestAlloc(Config{})
+	p := a.Calloc(2, 8)
+	if a.chunkOf(p) == nil {
+		t.Fatal("grouped calloc expected")
+	}
+	if a.GroupedAllocs() != 1 || a.Stats().LiveObjects != 1 || a.Stats().LiveBytes != 16 {
+		t.Fatalf("stats = %+v, grouped=%d", a.Stats(), a.GroupedAllocs())
+	}
+	a.Free(p)
+	if a.Stats().LiveObjects != 0 || a.Stats().LiveBytes != 0 {
+		t.Fatalf("stats after free = %+v", a.Stats())
+	}
+}

@@ -11,6 +11,9 @@ import (
 type Config struct {
 	Streams   StreamConfig
 	MaxGroups int
+	// Workers bounds the per-stream benefit-analysis fan-out (0 = one per
+	// CPU, 1 = serial). Output is bit-identical at any setting.
+	Workers int
 }
 
 // Result is the outcome of the analysis: the co-allocation policy and the
@@ -33,16 +36,23 @@ type Result struct {
 // weighted set packing. The returned SiteGroups table is the runtime
 // identification policy (immediate call site of the allocation procedure).
 func Analyze(p *profile.Profile, cfg Config) *Result {
-	// Object identities and their allocation sites/sizes.
+	// Object identities and their allocation sites/sizes, laid out densely
+	// by allocation serial.
 	trace := make([]int64, len(p.Trace))
-	objects := make(map[int64]ObjectInfo, len(p.Trace)/4+1)
+	var maxSerial int64 = -1
 	for i, r := range p.Trace {
 		trace[i] = int64(r.Obj)
-		objects[int64(r.Obj)] = ObjectInfo{Site: r.Site, Size: r.ObjSize}
+		if trace[i] > maxSerial {
+			maxSerial = trace[i]
+		}
+	}
+	objects := NewObjects(maxSerial)
+	for _, r := range p.Trace {
+		objects.Add(int64(r.Obj), ObjectInfo{Site: r.Site, Size: r.ObjSize})
 	}
 
 	ext := ExtractStreams(trace, cfg.Streams)
-	sets := BuildSets(ext.Streams, objects)
+	sets := BuildSetsParallel(ext.Streams, objects, cfg.Workers)
 	packed := PackSets(sets, cfg.MaxGroups)
 
 	siteGroups := make(map[isa.Addr]int)

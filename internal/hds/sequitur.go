@@ -14,178 +14,225 @@ package hds
 // time, incremental inference of a context-free grammar whose language is
 // exactly the input string, maintaining the digram-uniqueness and
 // rule-utility invariants.
+//
+// The grammar is laid out for the trace-compression fast path. Symbols live
+// in one dense slab addressed by int32 index (with a free list threaded
+// through retired nodes), rules in a slice indexed by rule number (numbers
+// are assigned densely and deleted numbers never reused), and the digram
+// index is a flat open-addressing hash table from symbol-key pairs to slab
+// indices. Nothing in the structure holds a Go pointer, so a terminal
+// append performs no map operations, no allocation in the steady state, and
+// generates no GC write-barrier or scan work.
 
-// symbol is a node in a rule body's doubly linked list. A symbol is a
-// terminal (rule == nil), a nonterminal reference (rule != nil, guard
-// false), or a rule's guard sentinel (guard true, rule = owning rule).
+// symNil and symTomb are digram-table slot sentinels; slab index 0 is
+// reserved so 0 can mean "empty".
+const (
+	symNil  int32 = 0
+	symTomb int32 = -1
+)
+
+// symbol is a node in a rule body's doubly linked list, addressed by its
+// slab index. A symbol is a terminal (value >= 0), a nonterminal reference
+// (value < 0, encoding rule -value-1), or a rule's guard sentinel (guard
+// true, value encoding the owning rule the same way).
 type symbol struct {
-	g          *Grammar
-	next, prev *symbol
-	value      int64
-	rule       *Rule
+	next, prev int32
+	value      int64 // the digram key: terminal value, or -ruleNumber-1
 	guard      bool
 }
 
-// Rule is a grammar production.
-type Rule struct {
-	g      *Grammar
-	guard  *symbol
-	count  int // references from other rules
-	Number int // stable id; 0 is the start rule
+// ruleData is a grammar production's slab-side state.
+type ruleData struct {
+	guard int32 // slab index of the guard sentinel
+	count int32 // references from other rules
+	live  bool
 }
 
 // Grammar is a SEQUITUR grammar under construction.
 type Grammar struct {
-	digrams map[[2]int64]*symbol
-	start   *Rule
-	rules   map[int]*Rule
-	nextNum int
+	syms    []symbol
+	free    int32 // free-list head (threaded through next), symNil when empty
+	rules   []ruleData
+	nlive   int
 	length  int // terminals consumed
+	digrams digramTable
+}
+
+// Rule is a handle on a grammar production.
+type Rule struct {
+	g      *Grammar
+	Number int // stable id; 0 is the start rule
 }
 
 // NewGrammar returns an empty grammar.
 func NewGrammar() *Grammar {
-	g := &Grammar{digrams: make(map[[2]int64]*symbol), rules: make(map[int]*Rule)}
-	g.start = g.newRule()
+	g := &Grammar{syms: make([]symbol, 1, 1024), free: symNil}
+	g.newRule()
 	return g
 }
 
-func (g *Grammar) newRule() *Rule {
-	r := &Rule{g: g, Number: g.nextNum}
-	g.nextNum++
-	guard := &symbol{g: g, rule: r, guard: true}
-	guard.next, guard.prev = guard, guard
-	r.guard = guard
-	g.rules[r.Number] = r
-	return r
-}
+// ntKey encodes a rule number as a digram key (negated, offset, so the
+// terminal and nonterminal spaces cannot collide).
+func ntKey(rule int32) int64 { return -int64(rule) - 1 }
 
-func (r *Rule) first() *symbol { return r.guard.next }
-func (r *Rule) last() *symbol  { return r.guard.prev }
+// ruleOf inverts ntKey.
+func ruleOf(key int64) int32 { return int32(-key - 1) }
 
-// key returns the digram-table identity of a symbol's value: terminals use
-// their value, nonterminals the (negated, offset) rule number so the two
-// spaces cannot collide.
-func (s *symbol) key() int64 {
-	if s.rule != nil {
-		return -int64(s.rule.Number) - 1
+// newSymbol hands out a slab node with the given key.
+func (g *Grammar) newSymbol(value int64, guard bool) int32 {
+	i := g.free
+	if i != symNil {
+		g.free = g.syms[i].next
+	} else {
+		g.syms = append(g.syms, symbol{})
+		i = int32(len(g.syms) - 1)
 	}
-	return s.value
+	g.syms[i] = symbol{value: value, guard: guard}
+	return i
 }
 
-func (s *symbol) isGuard() bool { return s.guard }
-func (s *symbol) nt() bool      { return s.rule != nil && !s.guard }
+// freeSymbol recycles a node the algorithm has permanently unlinked.
+func (g *Grammar) freeSymbol(i int32) {
+	g.syms[i].next = g.free
+	g.syms[i].prev = symNil
+	g.free = i
+}
 
-func digramOf(s *symbol) [2]int64 { return [2]int64{s.key(), s.next.key()} }
+func (g *Grammar) newRule() int32 {
+	num := int32(len(g.rules))
+	guard := g.newSymbol(ntKey(num), true)
+	g.syms[guard].next, g.syms[guard].prev = guard, guard
+	g.rules = append(g.rules, ruleData{guard: guard, live: true})
+	g.nlive++
+	return num
+}
+
+// deleteRule removes a rule inlined by the utility invariant. Its number is
+// retired, never reused.
+func (g *Grammar) deleteRule(num int32) {
+	g.freeSymbol(g.rules[num].guard)
+	g.rules[num].live = false
+	g.nlive--
+}
+
+func (g *Grammar) firstOf(num int32) int32 { return g.syms[g.rules[num].guard].next }
+func (g *Grammar) lastOf(num int32) int32  { return g.syms[g.rules[num].guard].prev }
+
+func (g *Grammar) isNT(i int32) bool { return g.syms[i].value < 0 && !g.syms[i].guard }
 
 // join links left and right, clearing any digram that started at left.
-func join(left, right *symbol) {
-	if left.next != nil {
-		left.deleteDigram()
+func (g *Grammar) join(left, right int32) {
+	if g.syms[left].next != symNil {
+		g.deleteDigram(left)
 	}
-	left.next, right.prev = right, left
+	g.syms[left].next = right
+	g.syms[right].prev = left
 }
 
 // insertAfter inserts y after s.
-func (s *symbol) insertAfter(y *symbol) {
-	join(y, s.next)
-	join(s, y)
+func (g *Grammar) insertAfter(s, y int32) {
+	g.join(y, g.syms[s].next)
+	g.join(s, y)
 }
 
 // deleteDigram removes the digram table entry starting at s, if it is the
 // registered occurrence.
-func (s *symbol) deleteDigram() {
-	if s.isGuard() || s.next == nil || s.next.isGuard() {
+func (g *Grammar) deleteDigram(s int32) {
+	n := g.syms[s].next
+	if g.syms[s].guard || n == symNil || g.syms[n].guard {
 		return
 	}
-	d := digramOf(s)
-	if s.g.digrams[d] == s {
-		delete(s.g.digrams, d)
-	}
+	g.digrams.deleteIf(g.syms[s].value, g.syms[n].value, s)
 }
 
 // unlink removes s from its list, updating digrams and rule usage.
-func (s *symbol) unlink() {
-	join(s.prev, s.next)
-	if !s.isGuard() {
-		s.deleteDigram()
-		if s.nt() {
-			s.rule.count--
+func (g *Grammar) unlink(s int32) {
+	g.join(g.syms[s].prev, g.syms[s].next)
+	if !g.syms[s].guard {
+		g.deleteDigram(s)
+		if g.isNT(s) {
+			g.rules[ruleOf(g.syms[s].value)].count--
 		}
 	}
 }
 
 // check enforces digram uniqueness for the digram starting at s. Returns
 // true if a substitution happened.
-func (s *symbol) check() bool {
-	if s.isGuard() || s.next.isGuard() {
+func (g *Grammar) check(s int32) bool {
+	n := g.syms[s].next
+	if g.syms[s].guard || g.syms[n].guard {
 		return false
 	}
-	d := digramOf(s)
-	found, ok := s.g.digrams[d]
-	if !ok {
-		s.g.digrams[d] = s
+	found, existed := g.digrams.getOrInsert(g.syms[s].value, g.syms[n].value, s)
+	if !existed {
 		return false
 	}
-	if found.next != s {
-		s.g.match(s, found)
+	if g.syms[found].next != s {
+		g.match(s, found)
 	}
 	return true
 }
 
 // match resolves a repeated digram: reuse the rule if the other occurrence
 // is a complete rule body, otherwise create a new rule for the digram.
-func (g *Grammar) match(s, found *symbol) {
-	var r *Rule
-	if found.prev.isGuard() && found.next.next.isGuard() {
-		r = found.prev.rule
-		s.substitute(r)
+func (g *Grammar) match(s, found int32) {
+	var r int32
+	fPrev, fNextNext := g.syms[found].prev, g.syms[g.syms[found].next].next
+	if g.syms[fPrev].guard && g.syms[fNextNext].guard {
+		r = ruleOf(g.syms[fPrev].value)
+		g.substitute(s, r)
 	} else {
 		r = g.newRule()
-		r.last().insertAfter(g.copySymbol(s))
-		r.last().insertAfter(g.copySymbol(s.next))
-		g.digrams[digramOf(r.first())] = r.first()
-		found.substitute(r)
-		s.substitute(r)
+		g.insertAfter(g.lastOf(r), g.copySymbol(s))
+		g.insertAfter(g.lastOf(r), g.copySymbol(g.syms[s].next))
+		f := g.firstOf(r)
+		g.digrams.put(g.syms[f].value, g.syms[g.syms[f].next].value, f)
+		g.substitute(found, r)
+		g.substitute(s, r)
 	}
 	// Rule utility: a rule referenced once is inlined at its last use.
-	if f := r.first(); f.nt() && f.rule.count == 1 {
-		f.expand()
+	if f := g.firstOf(r); g.isNT(f) && g.rules[ruleOf(g.syms[f].value)].count == 1 {
+		g.expand(f)
 	}
 }
 
 // copySymbol clones a symbol's value into a fresh node.
-func (g *Grammar) copySymbol(s *symbol) *symbol {
-	if s.nt() {
-		s.rule.count++
-		return &symbol{g: g, rule: s.rule}
+func (g *Grammar) copySymbol(s int32) int32 {
+	v := g.syms[s].value
+	if v < 0 {
+		g.rules[ruleOf(v)].count++
 	}
-	return &symbol{g: g, value: s.value}
+	return g.newSymbol(v, false)
 }
 
-// substitute replaces s and s.next with a reference to rule r.
-func (s *symbol) substitute(r *Rule) {
-	q := s.prev
-	s.next.unlink()
-	s.unlink()
-	r.count++
-	q.insertAfter(&symbol{g: s.g, rule: r})
-	if !q.check() {
-		q.next.check()
+// substitute replaces s and its successor with a reference to rule r.
+func (g *Grammar) substitute(s, r int32) {
+	q := g.syms[s].prev
+	dead := g.syms[s].next
+	g.unlink(dead)
+	g.unlink(s)
+	g.freeSymbol(dead)
+	g.freeSymbol(s)
+	g.rules[r].count++
+	g.insertAfter(q, g.newSymbol(ntKey(r), false))
+	if !g.check(q) {
+		g.check(g.syms[q].next)
 	}
 }
 
 // expand inlines the rule of a once-referenced nonterminal occurrence.
-func (s *symbol) expand() {
-	left, right := s.prev, s.next
-	f, l := s.rule.first(), s.rule.last()
-	s.deleteDigram()
-	delete(s.g.rules, s.rule.Number)
-	join(left, f)
-	join(l, right)
-	if !l.isGuard() && !right.isGuard() {
-		s.g.digrams[digramOf(l)] = l
+func (g *Grammar) expand(s int32) {
+	left, right := g.syms[s].prev, g.syms[s].next
+	num := ruleOf(g.syms[s].value)
+	f, l := g.firstOf(num), g.lastOf(num)
+	g.deleteDigram(s)
+	g.deleteRule(num)
+	g.join(left, f)
+	g.join(l, right)
+	if !g.syms[l].guard && !g.syms[right].guard {
+		g.digrams.put(g.syms[l].value, g.syms[g.syms[l].next].value, l)
 	}
+	g.freeSymbol(s)
 }
 
 // Append feeds the next terminal of the input sequence.
@@ -194,9 +241,10 @@ func (g *Grammar) Append(value int64) {
 		panic("hds: terminals must be non-negative")
 	}
 	g.length++
-	g.start.last().insertAfter(&symbol{g: g, value: value})
-	if p := g.start.last().prev; !p.isGuard() {
-		p.check()
+	t := g.newSymbol(value, false)
+	g.insertAfter(g.lastOf(0), t)
+	if p := g.syms[g.lastOf(0)].prev; !g.syms[p].guard {
+		g.check(p)
 	}
 }
 
@@ -204,37 +252,185 @@ func (g *Grammar) Append(value int64) {
 func (g *Grammar) Length() int { return g.length }
 
 // NumRules reports the live rule count (including the start rule).
-func (g *Grammar) NumRules() int { return len(g.rules) }
+func (g *Grammar) NumRules() int { return g.nlive }
+
+// numAssigned reports how many rule numbers have ever been handed out;
+// slices indexed by rule number size themselves with it.
+func (g *Grammar) numAssigned() int { return len(g.rules) }
 
 // Body returns a rule's symbol sequence: terminal values (>= 0) and rule
 // references encoded as -Number-1.
 func (r *Rule) Body() []int64 {
+	g := r.g
 	var out []int64
-	for s := r.first(); !s.isGuard(); s = s.next {
-		out = append(out, s.key())
+	for s := g.firstOf(int32(r.Number)); !g.syms[s].guard; s = g.syms[s].next {
+		out = append(out, g.syms[s].value)
 	}
 	return out
 }
 
-// Rules returns all live rules keyed by number; 0 is the start rule.
-func (g *Grammar) Rules() map[int]*Rule { return g.rules }
+// Rules returns the live rules in ascending rule-number order; the first is
+// always the start rule (number 0).
+func (g *Grammar) Rules() []*Rule {
+	out := make([]*Rule, 0, g.nlive)
+	for num := range g.rules {
+		if g.rules[num].live {
+			out = append(out, &Rule{g: g, Number: num})
+		}
+	}
+	return out
+}
 
 // Start returns the start rule.
-func (g *Grammar) Start() *Rule { return g.start }
+func (g *Grammar) Start() *Rule { return &Rule{g: g, Number: 0} }
 
 // Expand reconstructs the full input sequence (for validation).
 func (g *Grammar) Expand() []int64 {
 	var out []int64
-	var walk func(r *Rule)
-	walk = func(r *Rule) {
-		for s := r.first(); !s.isGuard(); s = s.next {
-			if s.nt() {
-				walk(s.rule)
+	var walk func(num int32)
+	walk = func(num int32) {
+		for s := g.firstOf(num); !g.syms[s].guard; s = g.syms[s].next {
+			if v := g.syms[s].value; v < 0 {
+				walk(ruleOf(v))
 			} else {
-				out = append(out, s.value)
+				out = append(out, v)
 			}
 		}
 	}
-	walk(g.start)
+	walk(0)
 	return out
+}
+
+// digramTable is a flat open-addressing hash table from digrams (the pair
+// of adjacent symbol keys) to the slab index of their registered
+// occurrence. Linear probing with tombstone deletion; growth rehashes the
+// tombstones away. The table holds no Go pointers.
+type digramTable struct {
+	k0, k1 []int64
+	occ    []int32 // symNil = empty, symTomb = deleted
+	n      int     // live entries
+	used   int     // live + tombstones (probe-chain occupancy)
+}
+
+const digramTableMinCap = 64
+
+// digramMix finalises the digram into a table hash (Murmur3 finaliser over
+// the combined halves).
+func digramMix(a, b int64) uint64 {
+	k := uint64(a)*0x9e3779b97f4a7c15 ^ uint64(b)
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// findSlot probes for (a, b). On a key hit it returns the entry's slot and
+// true; otherwise it returns the insertion slot — the first tombstone on
+// the probe chain if one was passed, else the terminating empty slot — and
+// false. Callers must have ensured spare capacity first.
+func (t *digramTable) findSlot(a, b int64) (int, bool) {
+	mask := uint64(len(t.occ) - 1)
+	i := digramMix(a, b) & mask
+	slot := -1
+	for t.occ[i] != symNil {
+		if t.occ[i] == symTomb {
+			if slot < 0 {
+				slot = int(i)
+			}
+		} else if t.k0[i] == a && t.k1[i] == b {
+			return int(i), true
+		}
+		i = (i + 1) & mask
+	}
+	if slot < 0 {
+		slot = int(i)
+	}
+	return slot, false
+}
+
+// insertAt fills an insertion slot returned by findSlot.
+func (t *digramTable) insertAt(i int, a, b int64, s int32) {
+	if t.occ[i] == symNil {
+		t.used++ // a tombstone reuse keeps the probe-chain occupancy
+	}
+	t.k0[i], t.k1[i], t.occ[i] = a, b, s
+	t.n++
+}
+
+// getOrInsert returns the registered occurrence of (a, b), or registers s
+// and reports that no occurrence existed.
+func (t *digramTable) getOrInsert(a, b int64, s int32) (int32, bool) {
+	if t.used*4 >= len(t.occ)*3 {
+		t.grow()
+	}
+	i, hit := t.findSlot(a, b)
+	if hit {
+		return t.occ[i], true
+	}
+	t.insertAt(i, a, b, s)
+	return symNil, false
+}
+
+// put registers s as the occurrence of (a, b), replacing any existing one.
+func (t *digramTable) put(a, b int64, s int32) {
+	if t.used*4 >= len(t.occ)*3 {
+		t.grow()
+	}
+	i, hit := t.findSlot(a, b)
+	if hit {
+		t.occ[i] = s
+		return
+	}
+	t.insertAt(i, a, b, s)
+}
+
+// deleteIf removes the entry for (a, b) when s is the registered occurrence.
+func (t *digramTable) deleteIf(a, b int64, s int32) {
+	if t.n == 0 {
+		return
+	}
+	mask := uint64(len(t.occ) - 1)
+	i := digramMix(a, b) & mask
+	for t.occ[i] != symNil {
+		if t.occ[i] != symTomb && t.k0[i] == a && t.k1[i] == b {
+			if t.occ[i] == s {
+				t.occ[i] = symTomb
+				t.n--
+			}
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// grow doubles the table (or compacts it in place when tombstones dominate)
+// and rehashes every live entry.
+func (t *digramTable) grow() {
+	newCap := len(t.occ) * 2
+	// If the table is mostly tombstones, rehashing at the same capacity
+	// restores the load factor without doubling memory.
+	if t.n*2 < len(t.occ) && newCap > digramTableMinCap {
+		newCap = len(t.occ)
+	}
+	if newCap < digramTableMinCap {
+		newCap = digramTableMinCap
+	}
+	k0 := make([]int64, newCap)
+	k1 := make([]int64, newCap)
+	occ := make([]int32, newCap)
+	mask := uint64(newCap - 1)
+	for i, s := range t.occ {
+		if s == symNil || s == symTomb {
+			continue
+		}
+		j := digramMix(t.k0[i], t.k1[i]) & mask
+		for occ[j] != symNil {
+			j = (j + 1) & mask
+		}
+		k0[j], k1[j], occ[j] = t.k0[i], t.k1[i], s
+	}
+	t.k0, t.k1, t.occ = k0, k1, occ
+	t.used = t.n
 }

@@ -111,12 +111,12 @@ func TestSequiturRuleUtility(t *testing.T) {
 			}
 		}
 	}
-	for num := range g.Rules() {
-		if num == 0 {
+	for _, r := range g.Rules() {
+		if r.Number == 0 {
 			continue
 		}
-		if refs[num] < 2 {
-			t.Errorf("rule %d referenced %d times", num, refs[num])
+		if refs[r.Number] < 2 {
+			t.Errorf("rule %d referenced %d times", r.Number, refs[r.Number])
 		}
 	}
 }
@@ -144,11 +144,11 @@ func TestRuleFreqAndLens(t *testing.T) {
 	// Find a rule with expansion [1 2] and check freq*len sums to the
 	// whole trace.
 	total := 0
-	for num := range g.Rules() {
-		if num == 0 {
+	for _, r := range g.Rules() {
+		if r.Number == 0 {
 			continue
 		}
-		total += freq[num] * lens[num]
+		total += freq[r.Number] * lens[r.Number]
 	}
 	// All terminals are covered by rules in this fully regular input.
 	if total < len(seq) {

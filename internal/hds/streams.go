@@ -45,32 +45,32 @@ func (c StreamConfig) withDefaults() StreamConfig {
 // counts live in slices indexed by rule number rather than maps.
 func ruleFreq(g *Grammar) []int {
 	// Topological order: parents before children.
-	order := make([]*Rule, 0, g.NumRules())
-	state := make([]uint8, g.nextNum) // 0 unvisited, 1 visiting, 2 done
-	var dfs func(r *Rule)
-	dfs = func(r *Rule) {
-		state[r.Number] = 1
-		for s := r.first(); !s.isGuard(); s = s.next {
-			if s.nt() && state[s.rule.Number] == 0 {
-				dfs(s.rule)
+	order := make([]int32, 0, g.NumRules())
+	state := make([]uint8, g.numAssigned()) // 0 unvisited, 1 visiting, 2 done
+	var dfs func(num int32)
+	dfs = func(num int32) {
+		state[num] = 1
+		for s := g.firstOf(num); !g.syms[s].guard; s = g.syms[s].next {
+			if v := g.syms[s].value; v < 0 && state[ruleOf(v)] == 0 {
+				dfs(ruleOf(v))
 			}
 		}
-		state[r.Number] = 2
-		order = append(order, r) // post-order: children first
+		state[num] = 2
+		order = append(order, num) // post-order: children first
 	}
-	dfs(g.Start())
-	freq := make([]int, g.nextNum)
-	freq[g.Start().Number] = 1
+	dfs(0)
+	freq := make([]int, g.numAssigned())
+	freq[0] = 1
 	// Walk parents before children: reverse post-order.
 	for i := len(order) - 1; i >= 0; i-- {
-		r := order[i]
-		f := freq[r.Number]
+		num := order[i]
+		f := freq[num]
 		if f == 0 {
 			continue
 		}
-		for s := r.first(); !s.isGuard(); s = s.next {
-			if s.nt() {
-				freq[s.rule.Number] += f
+		for s := g.firstOf(num); !g.syms[s].guard; s = g.syms[s].next {
+			if v := g.syms[s].value; v < 0 {
+				freq[ruleOf(v)] += f
 			}
 		}
 	}
@@ -80,65 +80,68 @@ func ruleFreq(g *Grammar) []int {
 // ruleLens computes each rule's terminal expansion length, indexed by rule
 // number (-1 marks numbers of deleted rules, never queried).
 func ruleLens(g *Grammar) []int {
-	lens := make([]int, g.nextNum)
+	lens := make([]int, g.numAssigned())
 	for i := range lens {
 		lens[i] = -1
 	}
-	var calc func(r *Rule) int
-	calc = func(r *Rule) int {
-		if l := lens[r.Number]; l >= 0 {
+	var calc func(num int32) int
+	calc = func(num int32) int {
+		if l := lens[num]; l >= 0 {
 			return l
 		}
-		lens[r.Number] = 0 // cycle guard; grammars are acyclic
+		lens[num] = 0 // cycle guard; grammars are acyclic
 		total := 0
-		for s := r.first(); !s.isGuard(); s = s.next {
-			if s.nt() {
-				total += calc(s.rule)
+		for s := g.firstOf(num); !g.syms[s].guard; s = g.syms[s].next {
+			if v := g.syms[s].value; v < 0 {
+				total += calc(ruleOf(v))
 			} else {
 				total++
 			}
 		}
-		lens[r.Number] = total
+		lens[num] = total
 		return total
 	}
-	for _, r := range g.Rules() {
-		calc(r)
+	for num := range g.rules {
+		if g.rules[num].live {
+			calc(int32(num))
+		}
 	}
 	return lens
 }
 
 // expandRulePrefix materialises the first cap terminals of a rule.
-func expandRulePrefix(r *Rule, cap int) []int64 {
+func expandRulePrefix(g *Grammar, num int32, cap int) []int64 {
 	out := make([]int64, 0, cap)
-	var walk func(r *Rule) bool
-	walk = func(r *Rule) bool {
-		for s := r.first(); !s.isGuard(); s = s.next {
+	var walk func(num int32) bool
+	walk = func(num int32) bool {
+		for s := g.firstOf(num); !g.syms[s].guard; s = g.syms[s].next {
 			if len(out) >= cap {
 				return false
 			}
-			if s.nt() {
-				if !walk(s.rule) {
+			if v := g.syms[s].value; v < 0 {
+				if !walk(ruleOf(v)) {
 					return false
 				}
-				continue
+			} else {
+				out = append(out, v)
 			}
-			out = append(out, s.value)
 		}
 		return true
 	}
-	walk(r)
+	walk(num)
 	return out
 }
 
 // expandRule materialises a rule's terminal expansion up to a cap,
 // returning nil if it would exceed the cap.
-func expandRule(r *Rule, cap int) []int64 {
+func expandRule(g *Grammar, num int32, cap int) []int64 {
 	out := make([]int64, 0, cap)
-	var walk func(r *Rule) bool
-	walk = func(r *Rule) bool {
-		for s := r.first(); !s.isGuard(); s = s.next {
-			if s.nt() {
-				if !walk(s.rule) {
+	var walk func(num int32) bool
+	walk = func(num int32) bool {
+		for s := g.firstOf(num); !g.syms[s].guard; s = g.syms[s].next {
+			v := g.syms[s].value
+			if v < 0 {
+				if !walk(ruleOf(v)) {
 					return false
 				}
 				continue
@@ -146,11 +149,11 @@ func expandRule(r *Rule, cap int) []int64 {
 			if len(out) >= cap {
 				return false
 			}
-			out = append(out, s.value)
+			out = append(out, v)
 		}
 		return true
 	}
-	if !walk(r) {
+	if !walk(num) {
 		return nil
 	}
 	return out
@@ -181,8 +184,8 @@ func ExtractStreams(trace []int64, cfg StreamConfig) *ExtractResult {
 	lens := ruleLens(g)
 
 	var cands []Stream
-	for num, r := range g.Rules() {
-		if num == 0 {
+	for num := range g.rules {
+		if num == 0 || !g.rules[num].live {
 			continue // the start rule is the whole trace
 		}
 		l := lens[num]
@@ -194,7 +197,7 @@ func ExtractStreams(trace []int64, cfg StreamConfig) *ExtractResult {
 			continue // a stream must recur
 		}
 		if l <= cfg.MaxLen {
-			objs := expandRule(r, cfg.MaxLen)
+			objs := expandRule(g, int32(num), cfg.MaxLen)
 			if objs == nil {
 				continue
 			}
@@ -203,7 +206,7 @@ func ExtractStreams(trace []int64, cfg StreamConfig) *ExtractResult {
 		}
 		// The rule's expansion exceeds the stream window: the stream is
 		// cut short at the window, keeping the full expansion's heat.
-		objs := expandRulePrefix(r, cfg.MaxLen)
+		objs := expandRulePrefix(g, int32(num), cfg.MaxLen)
 		cands = append(cands, Stream{Objects: objs, Freq: f, Heat: l * f, Truncated: true})
 	}
 	sort.Slice(cands, func(i, j int) bool {

@@ -6,6 +6,15 @@
 // selectors are the program points the post-link rewriter instruments, and
 // the selectors themselves are evaluated by the specialised allocator
 // against the group-state bit vector at runtime.
+//
+// The stage is laid out for synthesis throughput: "which contexts pass
+// through site S" is precomputed as one bit vector per site (indexed by
+// context), so Figure 10's conflict counting is a word-parallel
+// AND-popcount instead of a chain walk per (context, site) pair, and
+// selector construction — independent per group once the popularity order
+// fixes each group's eligibility mask — fans out over a bounded worker
+// pool with results gathered by group index. Output is bit-identical at
+// any worker count.
 package identify
 
 import (
@@ -13,8 +22,10 @@ import (
 	"sort"
 	"strings"
 
+	"halo/internal/bits"
 	"halo/internal/group"
 	"halo/internal/isa"
+	"halo/internal/pool"
 	"halo/internal/profile"
 )
 
@@ -57,9 +68,45 @@ type Result struct {
 // terminates when conflicts stop improving, which this backstops.
 const maxConjSites = 16
 
-// Build constructs selectors for the groups per Figure 10. Contexts must
-// carry their group assignments (Context.Group; -1 for ungrouped).
+// siteIndex is the precomputed per-site context-membership index.
+type siteIndex struct {
+	ids  map[isa.Addr]int
+	vecs []*bits.Vec // vecs[id] bit i set: contexts[i] passes through site
+}
+
+// buildSiteIndex scans every context chain once, producing one context
+// bitset per distinct call site.
+func buildSiteIndex(contexts []*profile.Context) *siteIndex {
+	idx := &siteIndex{ids: make(map[isa.Addr]int)}
+	n := len(contexts)
+	for i, c := range contexts {
+		for _, e := range c.Chain {
+			if e.Site == isa.NoAddr {
+				continue
+			}
+			id, ok := idx.ids[e.Site]
+			if !ok {
+				id = len(idx.vecs)
+				idx.ids[e.Site] = id
+				idx.vecs = append(idx.vecs, bits.New(n))
+			}
+			idx.vecs[id].Set(i)
+		}
+	}
+	return idx
+}
+
+// Build constructs selectors for the groups per Figure 10 using one worker
+// per CPU. Contexts must carry their group assignments (Context.Group; -1
+// for ungrouped).
 func Build(groups []group.Group, contexts []*profile.Context) *Result {
+	return BuildParallel(groups, contexts, 0)
+}
+
+// BuildParallel is Build with an explicit worker count (<= 0 selects one
+// worker per CPU, 1 forces serial execution). Selector output is a
+// function of the groups and contexts alone, never of the worker count.
+func BuildParallel(groups []group.Group, contexts []*profile.Context, workers int) *Result {
 	// Process groups from most to least popular.
 	ordered := append([]group.Group(nil), groups...)
 	sort.Slice(ordered, func(i, j int) bool {
@@ -69,32 +116,72 @@ func Build(groups []group.Group, contexts []*profile.Context) *Result {
 		return ordered[i].ID < ordered[j].ID
 	})
 
-	res := &Result{}
-	ignore := make(map[int]bool, len(ordered))
-	siteSet := make(map[isa.Addr]bool)
+	n := len(contexts)
+	idx := buildSiteIndex(contexts)
 
-	for _, g := range ordered {
-		ignore[g.ID] = true
-		sel := Selector{Group: g.ID}
-		for _, member := range g.Members {
-			mctx := contexts[member]
-			conj := buildConjunction(mctx, contexts, ignore)
-			if conj == nil {
-				continue
-			}
-			if conflictsOf(conj, contexts, ignore) > 0 {
-				res.Residual++
-			}
-			sel.Conj = append(sel.Conj, conj)
-			for _, s := range conj {
-				siteSet[s] = true
-			}
-		}
-		if len(sel.Conj) > 0 {
-			res.Selectors = append(res.Selectors, sel)
+	// byGroup lists the contexts carrying each group id, the set the
+	// serial algorithm removed from the conflict universe as it marked
+	// groups ignored.
+	byGroup := make(map[int][]int)
+	for i, c := range contexts {
+		if c.Group >= 0 {
+			byGroup[c.Group] = append(byGroup[c.Group], i)
 		}
 	}
 
+	// eligible[k]: the conflict universe for ordered group k — every
+	// context except those of groups 0..k in popularity order. The masks
+	// derive from the order alone, so each group's selector construction
+	// is independent and safe to fan out.
+	eligible := make([]*bits.Vec, len(ordered))
+	mask := bits.New(n)
+	mask.SetAll()
+	for k, g := range ordered {
+		for _, i := range byGroup[g.ID] {
+			mask.Clear(i)
+		}
+		eligible[k] = mask.Clone()
+	}
+
+	type groupResult struct {
+		sel      Selector
+		residual int
+		sites    []isa.Addr
+	}
+	results := make([]groupResult, len(ordered))
+	pool.Map(len(ordered), workers, func(k int) error {
+		g := ordered[k]
+		cur := bits.New(n) // scratch: the surviving-conflict set
+		res := groupResult{sel: Selector{Group: g.ID}}
+		for _, member := range g.Members {
+			mctx := contexts[member]
+			conj, conflicts := buildConjunction(mctx, idx, eligible[k], cur)
+			if conj == nil {
+				continue
+			}
+			if conflicts > 0 {
+				res.residual++
+			}
+			res.sel.Conj = append(res.sel.Conj, conj)
+			res.sites = append(res.sites, conj...)
+		}
+		results[k] = res
+		return nil
+	})
+
+	// Gather in popularity order: identical to the serial walk.
+	res := &Result{}
+	siteSet := make(map[isa.Addr]bool)
+	for k := range results {
+		r := &results[k]
+		res.Residual += r.residual
+		if len(r.sel.Conj) > 0 {
+			res.Selectors = append(res.Selectors, r.sel)
+		}
+		for _, s := range r.sites {
+			siteSet[s] = true
+		}
+	}
 	res.Sites = make([]isa.Addr, 0, len(siteSet))
 	for s := range siteSet {
 		res.Sites = append(res.Sites, s)
@@ -106,45 +193,36 @@ func Build(groups []group.Group, contexts []*profile.Context) *Result {
 // buildConjunction builds the expression identifying one group member:
 // repeatedly add the call site from the member's chain that minimises the
 // number of surviving conflicting contexts, preferring sites lower in the
-// stack on ties, until conflicts reach zero or stop improving.
-func buildConjunction(member *profile.Context, contexts []*profile.Context, ignore map[int]bool) []isa.Addr {
+// stack on ties, until conflicts reach zero or stop improving. The
+// surviving set is tracked as a bitset (cur), so each candidate's conflict
+// count is one AND-popcount. Returns the expression and its final
+// conflict count (the residual signal).
+func buildConjunction(member *profile.Context, idx *siteIndex, eligible, cur *bits.Vec) ([]isa.Addr, int) {
 	sites := member.Sites()
 	if len(sites) == 0 {
-		return nil
+		return nil, 0
 	}
 	var expr []isa.Addr
 	conflicts := -1 // "infinity" sentinel
+	cur.CopyFrom(eligible)
+	count := cur.Count()
 
 	for len(expr) < maxConjSites {
-		// chains: non-ignored contexts matching the current expression.
-		// An empty set means zero conflicts; one anchoring site is still
+		// cur: non-ignored contexts matching the current expression. An
+		// empty set means zero conflicts; one anchoring site is still
 		// added so the selector has something to test at runtime.
-		var chains []*profile.Context
-		for _, c := range contexts {
-			if ignore[c.Group] {
-				continue
-			}
-			if matchesAll(c, expr) {
-				chains = append(chains, c)
-			}
-		}
-		if len(chains) == 0 && len(expr) > 0 {
+		if count == 0 && len(expr) > 0 {
 			break
 		}
-		// opts: for each candidate site, how many conflicting chains
-		// contain it. Pick the minimum; ties go to the site lower in the
-		// member's stack.
+		// For each candidate site, how many conflicting contexts contain
+		// it. Pick the minimum; ties go to the site lower in the member's
+		// stack.
 		bestSite, bestM, bestPos := isa.NoAddr, -1, -1
 		for _, s := range sites {
 			if contains(expr, s) {
 				continue
 			}
-			m := 0
-			for _, c := range chains {
-				if c.HasSite(s) {
-					m++
-				}
-			}
+			m := cur.AndCount(idx.vecs[idx.ids[s]])
 			pos := member.SitePos(s)
 			if bestM < 0 || m < bestM || (m == bestM && pos < bestPos) {
 				bestSite, bestM, bestPos = s, m, pos
@@ -158,6 +236,8 @@ func buildConjunction(member *profile.Context, contexts []*profile.Context, igno
 			break
 		}
 		expr = append(expr, bestSite)
+		cur.And(idx.vecs[idx.ids[bestSite]])
+		count = bestM
 		conflicts = bestM
 		if conflicts == 0 {
 			break
@@ -166,23 +246,11 @@ func buildConjunction(member *profile.Context, contexts []*profile.Context, igno
 	if len(expr) == 0 {
 		// Degenerate: take the innermost site so the member is at least
 		// approximately identified.
-		expr = []isa.Addr{sites[len(sites)-1]}
+		s := sites[len(sites)-1]
+		expr = []isa.Addr{s}
+		conflicts = eligible.AndCount(idx.vecs[idx.ids[s]])
 	}
-	return expr
-}
-
-// conflictsOf counts non-ignored contexts matching the conjunction.
-func conflictsOf(conj []isa.Addr, contexts []*profile.Context, ignore map[int]bool) int {
-	n := 0
-	for _, c := range contexts {
-		if ignore[c.Group] {
-			continue
-		}
-		if matchesAll(c, conj) {
-			n++
-		}
-	}
-	return n
+	return expr, conflicts
 }
 
 // matchesAll reports whether the context's chain passes through every site.
