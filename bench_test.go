@@ -22,6 +22,7 @@ import (
 	"halo/internal/isa"
 	"halo/internal/measure"
 	"halo/internal/mem"
+	"halo/internal/obs"
 	"halo/internal/profile"
 	"halo/internal/profstore"
 	"halo/internal/rewrite"
@@ -293,27 +294,42 @@ func recordEventStream(b *testing.B, name string) (*isa.Program, []vm.Event) {
 // BenchmarkProfileThroughput measures raw events/sec through the full
 // profiler sink — shadow stack, object index, affinity queue and graph —
 // with the interpreter taken out of the loop. This is the ceiling the
-// profiling data plane puts on every training run and halod job.
+// profiling data plane puts on every training run and halod job. The
+// instrumented/bare pair pins the observability overhead: metrics are
+// recorded per ~4096-event batch, so the two sub-benchmarks must stay
+// within noise of each other (EXPERIMENTS.md records the budget at 2%).
 func BenchmarkProfileThroughput(b *testing.B) {
+	run := func(b *testing.B, p *isa.Program, events []vm.Event) {
+		for i := 0; i < b.N; i++ {
+			pr := profile.New(p, profile.Config{})
+			for off := 0; off < len(events); off += vm.DefaultBatchSize {
+				end := off + vm.DefaultBatchSize
+				if end > len(events) {
+					end = len(events)
+				}
+				pr.ConsumeEvents(events[off:end])
+			}
+			pr.Finish()
+		}
+		b.StopTimer()
+		perSec := float64(b.N) * float64(len(events)) / b.Elapsed().Seconds()
+		b.ReportMetric(perSec, "events/sec")
+		b.ReportMetric(float64(len(events)), "events/op")
+	}
 	for _, name := range []string{"povray", "omnetpp"} {
 		b.Run(name, func(b *testing.B) {
 			p, events := recordEventStream(b, name)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				pr := profile.New(p, profile.Config{})
-				for off := 0; off < len(events); off += vm.DefaultBatchSize {
-					end := off + vm.DefaultBatchSize
-					if end > len(events) {
-						end = len(events)
-					}
-					pr.ConsumeEvents(events[off:end])
-				}
-				pr.Finish()
-			}
-			b.StopTimer()
-			perSec := float64(b.N) * float64(len(events)) / b.Elapsed().Seconds()
-			b.ReportMetric(perSec, "events/sec")
-			b.ReportMetric(float64(len(events)), "events/op")
+			b.Run("instrumented", func(b *testing.B) {
+				obs.SetEnabled(true)
+				b.ResetTimer()
+				run(b, p, events)
+			})
+			b.Run("bare", func(b *testing.B) {
+				obs.SetEnabled(false)
+				defer obs.SetEnabled(true)
+				b.ResetTimer()
+				run(b, p, events)
+			})
 		})
 	}
 }

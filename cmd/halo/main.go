@@ -32,6 +32,7 @@ import (
 	"halo/internal/halloc"
 	"halo/internal/isa"
 	"halo/internal/measure"
+	"halo/internal/obs"
 	"halo/internal/policy"
 	"halo/internal/profile"
 	"halo/internal/profstore"
@@ -65,6 +66,8 @@ func main() {
 		err = cmdPipeline(args)
 	case "list":
 		err = cmdList(args)
+	case "version":
+		fmt.Println(obs.Build().String())
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -90,7 +93,8 @@ commands:
   opt            run the full pipeline, emit rewritten binary + policy
   run            execute a binary under an allocator policy
   pipeline       end-to-end: profile on test input, measure on ref input
-  list           list available workloads`)
+  list           list available workloads
+  version        print build information`)
 }
 
 // Policy is the JSON document `halo opt` emits and `halo run` consumes —

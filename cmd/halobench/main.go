@@ -15,9 +15,10 @@
 // run, timed outside the worker pools), per-workload profiling throughput
 // (events consumed by the training run's profiler and events/sec), a
 // per-workload "synthesis" section (the wall-clock of turning the training
-// profile into groups, selectors and the HDS policy), and the sweep's
-// wall-clock — the format the repository's BENCH_*.json trajectory
-// records.
+// profile into groups, selectors and the HDS policy), a "metrics" section
+// (a snapshot of the process metrics registry plus per-workload pipeline
+// stage spans), and the sweep's wall-clock — the format the repository's
+// BENCH_*.json trajectory records.
 package main
 
 import (
@@ -30,7 +31,16 @@ import (
 	"time"
 
 	"halo/internal/experiments"
+	"halo/internal/obs"
 )
+
+// jsonMetrics is the observability section of the -json document: the
+// Default registry's snapshot (VM, pool and profiler substrate counters)
+// and the per-workload pipeline stage spans.
+type jsonMetrics struct {
+	Global map[string]float64           `json:"global"`
+	Stages []experiments.WorkloadStages `json:"stages"`
+}
 
 // jsonDoc is the -json output document.
 type jsonDoc struct {
@@ -42,6 +52,7 @@ type jsonDoc struct {
 	Results   []experiments.BenchResult `json:"results"`
 	Profiling []experiments.ProfileStat `json:"profiling"`
 	Synthesis []experiments.SynthStat   `json:"synthesis"`
+	Metrics   jsonMetrics               `json:"metrics"`
 	Tables    []*experiments.Table      `json:"tables"`
 	WallNs    int64                     `json:"wall_ns"`
 }
@@ -96,8 +107,12 @@ func main() {
 			Results:   engine.BenchResults(),
 			Profiling: engine.ProfileStats(),
 			Synthesis: engine.SynthesisStats(),
-			Tables:    tables,
-			WallNs:    wall.Nanoseconds(),
+			Metrics: jsonMetrics{
+				Global: obs.Default.Snapshot(),
+				Stages: engine.StageStats(),
+			},
+			Tables: tables,
+			WallNs: wall.Nanoseconds(),
 		}
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {

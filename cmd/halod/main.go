@@ -3,9 +3,12 @@
 // program and profile images, the daemon merges profiles, runs the
 // pipeline on a bounded worker pool, and serves the optimized artifacts
 // (group reports, rewritten binaries, allocator policies) from a
-// content-addressed cache.
+// content-addressed cache. Metrics are served at GET /metrics (Prometheus
+// text format); -debug-addr opens a second, normally private listener with
+// net/http/pprof, expvar and another /metrics.
 //
 //	halod [-addr :7920] [-workers N] [-queue N] [-max-upload BYTES]
+//	      [-debug-addr :7921]
 //
 // Typical session (see README.md for the full walkthrough):
 //
@@ -20,36 +23,46 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"halo/internal/obs"
 	"halo/internal/service"
 )
 
 func main() {
 	addr := flag.String("addr", ":7920", "listen address")
+	debugAddr := flag.String("debug-addr", "", "debug listener (pprof, expvar, metrics); empty = off")
 	workers := flag.Int("workers", 0, "optimization worker pool size (0 = service default)")
 	queue := flag.Int("queue", 0, "job queue depth (0 = service default)")
 	maxUpload := flag.Int64("max-upload", 0, "max upload size in bytes (0 = service default)")
 	trainWorkers := flag.Int("training-workers", 0, "per-job pool for concurrent training runs (0 = one per CPU)")
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv := service.New(service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		MaxUploadBytes:  *maxUpload,
 		TrainingWorkers: *trainWorkers,
+		Logger:          logger,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(srv),
+		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *debugAddr != "" {
+		go serveDebug(logger, *debugAddr)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -58,7 +71,7 @@ func main() {
 	go func() {
 		defer close(drained)
 		<-stop
-		log.Printf("halod: shutting down")
+		logger.Info("shutting down")
 		// The drain window must outlast the service's longest handler:
 		// GET /v1/jobs/{id}?wait=1 long-polls for up to five minutes.
 		ctx, cancel := context.WithTimeout(context.Background(), 6*time.Minute)
@@ -66,7 +79,8 @@ func main() {
 		httpSrv.Shutdown(ctx)
 	}()
 
-	log.Printf("halod: listening on %s (%s)", *addr, describe(srv))
+	logger.Info("listening",
+		"addr", *addr, "workers", srv.Stats().Workers, "build", obs.Build().String())
 	err := httpSrv.ListenAndServe()
 	if err == http.ErrServerClosed {
 		// Shutdown closed the listener; wait for in-flight requests
@@ -80,16 +94,27 @@ func main() {
 	}
 }
 
-func describe(s *service.Server) string {
-	st := s.Stats()
-	return fmt.Sprintf("%d workers", st.Workers)
-}
-
-// logRequests is a minimal access log.
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+// serveDebug runs the private debug listener: pprof, expvar, and the
+// process-wide metrics (the service's own registry lives on the main
+// listener's /metrics, which also renders the process registry).
+func serveDebug(logger *slog.Logger, addr string) {
+	expvar.Publish("halo_metrics", expvar.Func(func() any {
+		return obs.Default.Snapshot()
+	}))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.Default.WritePrometheus(w)
 	})
+	logger.Info("debug listener", "addr", addr)
+	dbg := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		logger.Error("debug listener failed", "err", err)
+	}
 }

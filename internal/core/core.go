@@ -18,6 +18,7 @@ import (
 	"halo/internal/identify"
 	"halo/internal/isa"
 	"halo/internal/mem"
+	"halo/internal/obs"
 	"halo/internal/pool"
 	"halo/internal/profile"
 	"halo/internal/profstore"
@@ -46,6 +47,11 @@ type Config struct {
 	// fan out over. 0 selects one worker per CPU, 1 forces serial
 	// execution. Synthesis output is bit-identical at any setting.
 	SynthesisWorkers int
+
+	// Trace, when non-nil, receives one span per pipeline stage (profile,
+	// group, identify, rewrite, lower, hds/*). Timing only — it never
+	// affects results. A nil trace records nothing at zero cost.
+	Trace *obs.Trace
 }
 
 // Optimized carries every artefact of the HALO pipeline for one binary.
@@ -66,6 +72,7 @@ type Optimized struct {
 // Profile runs the program on the training input under the default
 // allocator with the Pin-replacement instrumentation attached.
 func Profile(p *isa.Program, cfg Config) (*profile.Profile, error) {
+	defer cfg.Trace.Span("profile")()
 	prof := profile.New(p, cfg.Profile)
 	memory := mem.NewMemory()
 	osm := mem.NewOS(memory)
@@ -94,6 +101,9 @@ func ProfileN(p *isa.Program, cfg Config, runs, workers int) (*profile.Profile, 
 	if runs <= 1 {
 		return Profile(p, cfg)
 	}
+	// One span covers the whole fan-out and merge; the concurrent inner
+	// runs are untraced so the span list stays one-entry-per-stage.
+	defer cfg.Trace.Span("profile")()
 	baseSeed := cfg.ProfileSeed
 	if baseSeed == 0 {
 		baseSeed = 7
@@ -101,6 +111,7 @@ func ProfileN(p *isa.Program, cfg Config, runs, workers int) (*profile.Profile, 
 	profs := make([]*profile.Profile, runs)
 	err := pool.Map(runs, workers, func(i int) error {
 		c := cfg
+		c.Trace = nil
 		c.ProfileSeed = baseSeed + uint64(i)
 		pr, err := Profile(p, c)
 		if err != nil {
@@ -141,6 +152,7 @@ func OptimizeFromProfile(p *isa.Program, prof *profile.Profile, cfg Config) (*Op
 	if gp.Workers == 0 {
 		gp.Workers = cfg.SynthesisWorkers
 	}
+	endGroup := cfg.Trace.Span("group")
 	groups := group.Form(prof.Graph, gp)
 
 	// Record group membership on the contexts for identification.
@@ -152,10 +164,15 @@ func OptimizeFromProfile(p *isa.Program, prof *profile.Profile, cfg Config) (*Op
 			prof.Contexts[m].Group = g.ID
 		}
 	}
+	endGroup()
 
+	endIdentify := cfg.Trace.Span("identify")
 	sel := identify.BuildParallel(groups, prof.Contexts, cfg.SynthesisWorkers)
+	endIdentify()
 
+	endRewrite := cfg.Trace.Span("rewrite")
 	rw, err := rewrite.Instrument(p, sel.Sites)
+	endRewrite()
 	if err != nil {
 		return nil, fmt.Errorf("core: rewriting: %w", err)
 	}
@@ -167,6 +184,7 @@ func OptimizeFromProfile(p *isa.Program, prof *profile.Profile, cfg Config) (*Op
 		Selectors: sel,
 		Rewrite:   rw,
 	}
+	endLower := cfg.Trace.Span("lower")
 	for _, s := range sel.Selectors {
 		lowered, dropped := rewrite.LowerSelectors(s.Conj, rw.SiteBits)
 		opt.DroppedConjs += dropped
@@ -177,6 +195,7 @@ func OptimizeFromProfile(p *isa.Program, prof *profile.Profile, cfg Config) (*Op
 			})
 		}
 	}
+	endLower()
 	return opt, nil
 }
 
@@ -189,6 +208,9 @@ func AnalyzeHDS(prof *profile.Profile, cfg Config) (*hds.Result, error) {
 	hc := cfg.HDS
 	if hc.Workers == 0 {
 		hc.Workers = cfg.SynthesisWorkers
+	}
+	if hc.Trace == nil {
+		hc.Trace = cfg.Trace
 	}
 	return hds.Analyze(prof, hc), nil
 }

@@ -29,6 +29,7 @@ import (
 	"halo/internal/hds"
 	"halo/internal/isa"
 	"halo/internal/measure"
+	"halo/internal/obs"
 	"halo/internal/pool"
 	"halo/internal/rewrite"
 	"halo/internal/workloads"
@@ -131,10 +132,11 @@ type artefacts struct {
 	opt *core.Optimized
 	hds *hds.Result
 
-	profEvents uint64 // VM events the training run's profiler consumed
-	profWallNs int64  // wall-clock of the training run
-	synthOptNs int64  // wall-clock of OptimizeFromProfile (group+identify+rewrite)
-	synthHDSNs int64  // wall-clock of the hot-data-streams analysis
+	profEvents uint64     // VM events the training run's profiler consumed
+	profWallNs int64      // wall-clock of the training run
+	synthOptNs int64      // wall-clock of OptimizeFromProfile (group+identify+rewrite)
+	synthHDSNs int64      // wall-clock of the hot-data-streams analysis
+	stages     []obs.Span // per-stage spans of the pipeline run
 
 	refProg *isa.Program
 	polBase measure.Policy
@@ -222,6 +224,8 @@ func (e *Engine) artefactsFor(w workloads.Workload) (*artefacts, error) {
 	// Same one-level-parallel discipline as the trial pools: when the
 	// sweep fans workloads out, synthesis runs serially inside each.
 	cfg.SynthesisWorkers = e.trialWorkers()
+	tr := obs.NewTrace()
+	cfg.Trace = tr
 	testProg := w.Build(w.TestScale)
 	profStart := time.Now()
 	prof, err := core.Profile(testProg, cfg)
@@ -260,6 +264,7 @@ func (e *Engine) artefactsFor(w workloads.Workload) (*artefacts, error) {
 		profWallNs: profWall.Nanoseconds(),
 		synthOptNs: optWall.Nanoseconds(),
 		synthHDSNs: hdsWall.Nanoseconds(),
+		stages:     tr.Spans(),
 		refProg:    refProg,
 		polBase:    measure.Policy{Kind: measure.Jemalloc},
 		polPt:      measure.Policy{Kind: measure.Ptmalloc},
@@ -475,6 +480,27 @@ func (e *Engine) SynthesisStats() []SynthStat {
 			HDSNs:      a.synthHDSNs,
 			WallNs:     a.synthOptNs + a.synthHDSNs,
 		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Workload < out[j].Workload })
+	return out
+}
+
+// WorkloadStages is one workload's per-stage span list: the same spans a
+// halod job report carries, recorded for the harness's local pipeline run.
+type WorkloadStages struct {
+	Workload string     `json:"workload"`
+	Stages   []obs.Span `json:"stages"`
+}
+
+// StageStats reports per-stage pipeline timings for every workload the
+// executed experiments derived artefacts for, sorted by workload. Call
+// after Run.
+func (e *Engine) StageStats() []WorkloadStages {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]WorkloadStages, 0, len(e.arts))
+	for _, a := range e.arts {
+		out = append(out, WorkloadStages{Workload: a.w.Name, Stages: a.stages})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Workload < out[j].Workload })
 	return out

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"halo/internal/isa"
+	"halo/internal/obs"
 	"halo/internal/profile"
 )
 
@@ -14,6 +15,9 @@ type Config struct {
 	// Workers bounds the per-stream benefit-analysis fan-out (0 = one per
 	// CPU, 1 = serial). Output is bit-identical at any setting.
 	Workers int
+	// Trace, when non-nil, receives one span per analysis stage (the
+	// SEQUITUR grammar, co-allocation set construction, set packing).
+	Trace *obs.Trace
 }
 
 // Result is the outcome of the analysis: the co-allocation policy and the
@@ -51,9 +55,15 @@ func Analyze(p *profile.Profile, cfg Config) *Result {
 		objects.Add(int64(r.Obj), ObjectInfo{Site: r.Site, Size: r.ObjSize})
 	}
 
+	endSeq := cfg.Trace.Span("hds/sequitur")
 	ext := ExtractStreams(trace, cfg.Streams)
+	endSeq()
+	endSets := cfg.Trace.Span("hds/sets")
 	sets := BuildSetsParallel(ext.Streams, objects, cfg.Workers)
+	endSets()
+	endPack := cfg.Trace.Span("hds/setpack")
 	packed := PackSets(sets, cfg.MaxGroups)
+	endPack()
 
 	siteGroups := make(map[isa.Addr]int)
 	for g, s := range packed {

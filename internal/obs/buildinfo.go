@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo is the build identity stamped into logs, `halo version` and
+// halod's /healthz body, read once from the binary's embedded module info.
+type BuildInfo struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go"`
+	Revision  string `json:"revision,omitempty"`
+	Time      string `json:"build_time,omitempty"`
+	Modified  bool   `json:"dirty,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the process's build information. Fields missing from the
+// embedded info (e.g. VCS data in a plain `go test` build) are empty.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Module: "halo", Version: "(devel)"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Path != "" {
+			buildInfo.Module = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		buildInfo.GoVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// String renders a one-line identity: "halo (devel) go1.24.0 [abc1234]".
+func (b BuildInfo) String() string {
+	s := fmt.Sprintf("%s %s %s", b.Module, b.Version, b.GoVersion)
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if b.Modified {
+			rev += "+dirty"
+		}
+		s += " [" + rev + "]"
+	}
+	return s
+}

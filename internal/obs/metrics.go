@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// counterShards stripes hot counters across cache lines so concurrent
+// workers (halod's job pool, the measurement harness) do not serialise on
+// one contended line. 8 shards × 64 B = 512 B per counter.
+const counterShards = 8
+
+// shard picks a stripe for the calling goroutine. Goroutine stacks live in
+// distinct allocations, so the address of a stack variable is a cheap,
+// stable-per-goroutine discriminator — the same trick striped-counter
+// libraries use. Correctness never depends on the distribution; a bad hash
+// only costs contention.
+func shard() int {
+	var b byte
+	return int((uintptr(unsafe.Pointer(&b)) >> 10) & (counterShards - 1))
+}
+
+type padded struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonic, sharded, allocation-free counter. The zero value
+// is usable, but counters should be obtained from a Registry so they
+// render.
+type Counter struct {
+	v [counterShards]padded
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v[shard()].n.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v[shard()].n.Add(n) }
+
+// Value sums the shards. The sum is not a consistent snapshot under
+// concurrent writers, but is always a value the counter passed through.
+func (c *Counter) Value() uint64 {
+	var sum uint64
+	for i := range c.v {
+		sum += c.v[i].n.Load()
+	}
+	return sum
+}
+
+// Gauge is a settable instantaneous value (int64 semantics, rendered as a
+// float). The zero value is usable.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value reads the gauge as a float64.
+func (g *Gauge) Value() float64 { return float64(g.v.Load()) }
+
+// DefLatencyBounds are the default histogram bucket upper bounds, in
+// seconds: 10 µs to 10 s, a 2.5×/4× ladder wide enough to hold both
+// halod's ~100 µs cache-hit path and multi-second pipeline runs.
+var DefLatencyBounds = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram: lock-free, allocation-free
+// observation into preallocated atomic bucket counts. Bounds are upper
+// bucket limits; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBounds
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value. The bucket scan is a bounded linear pass over
+// ~20 floats — branch-predictable and allocation-free.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// CountSum returns the observation count and value sum.
+func (h *Histogram) CountSum() (uint64, float64) {
+	return h.count.Load(), math.Float64frombits(h.sum.Load())
+}
+
+// write renders the histogram's cumulative buckets, sum and count in
+// Prometheus exposition form.
+func (h *Histogram) write(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	count, sum := h.CountSum()
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %v\n", name, sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %v\n", name, labels, sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, count)
+	}
+}
+
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}

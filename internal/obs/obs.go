@@ -1,0 +1,243 @@
+// Package obs is the observability substrate shared by halod, the
+// pipeline and the VM event engine: allocation-free counters, gauges and
+// fixed-bucket histograms collected in a Registry that renders Prometheus
+// text exposition, plus per-job stage spans (span.go) and build
+// information (buildinfo.go).
+//
+// The design follows the repository's dense-structures discipline: every
+// metric is registered once, up front, into a Registry (registration may
+// allocate); the record path — Counter.Add, Gauge.Set, Histogram.Observe —
+// touches only preallocated atomics and never allocates, locks or loops
+// unboundedly. Hot loops (the VM interpreter, the profiler's per-event
+// switch) are never instrumented per event; producers record once per
+// batch, so the cost is a handful of atomic adds per ~4096 events.
+//
+// Two registries matter in practice: the package Default registry carries
+// process-wide substrate metrics (VM event engine, worker pool, profiler
+// ingest), and internal/service builds a per-server registry for the
+// daemon's request, cache, job and store metrics. halod's GET /metrics
+// renders both.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates metric families in the exposition output.
+type Kind uint8
+
+// Metric kinds, named after their Prometheus TYPE strings.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one name="value" pair attached to a series at registration.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// renderLabels builds the canonical `a="b",c="d"` form, sorted by label
+// name so series identity does not depend on argument order.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	return b.String()
+}
+
+// series is one registered time series (or histogram, which expands to
+// several series at render time).
+type series struct {
+	name   string
+	labels string // canonical rendered label set, "" for none
+	help   string
+	kind   Kind
+	read   func() float64 // counter and gauge value
+	hist   *Histogram     // histogram state (kind == KindHistogram)
+}
+
+func (s *series) id() string {
+	if s.labels == "" {
+		return s.name
+	}
+	return s.name + "{" + s.labels + "}"
+}
+
+// Registry holds registered metrics and renders them. Registration is
+// expected at construction time (it takes a lock and allocates); the
+// returned metric handles are what the hot paths touch.
+type Registry struct {
+	mu     sync.Mutex
+	series []*series
+	byID   map[string]*series
+	help   map[string]string // family name -> first registered help string
+	kind   map[string]Kind   // family name -> kind (must agree across series)
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byID: make(map[string]*series),
+		help: make(map[string]string),
+		kind: make(map[string]Kind),
+	}
+}
+
+// Default is the process-wide registry substrate packages (vm, pool,
+// profile) register into. Services render it alongside their own.
+var Default = NewRegistry()
+
+// enabled gates batch-grained recording by substrate producers (the VM
+// event engine, the profiler). It exists so the overhead benchmark can
+// compare instrumented and bare runs of the same binary; production code
+// leaves it on.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// Enabled reports whether substrate producers should record. Checked once
+// per batch, never per event.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled toggles substrate recording (see Enabled).
+func SetEnabled(v bool) { enabled.Store(v) }
+
+func (r *Registry) register(s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := s.id()
+	if _, dup := r.byID[id]; dup {
+		panic(fmt.Sprintf("obs: duplicate series %s", id))
+	}
+	if k, ok := r.kind[s.name]; ok && k != s.kind {
+		panic(fmt.Sprintf("obs: family %s registered as both %s and %s", s.name, k, s.kind))
+	}
+	if _, ok := r.help[s.name]; !ok {
+		r.help[s.name] = s.help
+		r.kind[s.name] = s.kind
+	}
+	r.byID[id] = s
+	r.series = append(r.series, s)
+}
+
+// Counter registers and returns a monotonic counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(&series{name: name, labels: renderLabels(labels), help: help, kind: KindCounter, read: func() float64 { return float64(c.Value()) }})
+	return c
+}
+
+// Gauge registers and returns a settable gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(&series{name: name, labels: renderLabels(labels), help: help, kind: KindGauge, read: g.Value})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at render
+// time. fn must be safe to call from any goroutine and must not call back
+// into this registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(&series{name: name, labels: renderLabels(labels), help: help, kind: KindGauge, read: fn})
+}
+
+// Histogram registers and returns a fixed-bucket histogram. bounds are the
+// inclusive upper bucket bounds, ascending; nil selects DefLatencyBounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	h := newHistogram(bounds)
+	r.register(&series{name: name, labels: renderLabels(labels), help: help, kind: KindHistogram, hist: h})
+	return h
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, one HELP/TYPE header
+// per family, series sorted by label set within it.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	byFamily := make(map[string][]*series, len(r.help))
+	for _, s := range r.series {
+		byFamily[s.name] = append(byFamily[s.name], s)
+	}
+	names := make([]string, 0, len(byFamily))
+	for name := range byFamily {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		family := byFamily[name]
+		sort.Slice(family, func(i, j int) bool { return family[i].labels < family[j].labels })
+		if help := r.help[name]; help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, r.kind[name])
+		for _, s := range family {
+			if s.kind == KindHistogram {
+				s.hist.write(w, s.name, s.labels)
+				continue
+			}
+			if s.labels == "" {
+				fmt.Fprintf(w, "%s %v\n", s.name, s.read())
+			} else {
+				fmt.Fprintf(w, "%s{%s} %v\n", s.name, s.labels, s.read())
+			}
+		}
+	}
+}
+
+// Snapshot returns every series' current value keyed by `name` or
+// `name{labels}`. Histograms contribute their _count and _sum series. The
+// map is freshly built; callers own it. This is the JSON-friendly view
+// /v1/stats, expvar and halobench -json consume.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	ss := append([]*series(nil), r.series...)
+	r.mu.Unlock()
+	out := make(map[string]float64, len(ss))
+	for _, s := range ss {
+		if s.kind == KindHistogram {
+			count, sum := s.hist.CountSum()
+			suffix := ""
+			if s.labels != "" {
+				suffix = "{" + s.labels + "}"
+			}
+			out[s.name+"_count"+suffix] = float64(count)
+			out[s.name+"_sum"+suffix] = sum
+			continue
+		}
+		out[s.id()] = s.read()
+	}
+	return out
+}

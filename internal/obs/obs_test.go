@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	const goroutines, per = 16, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "a gauge")
+	g.Set(42)
+	g.Add(-2)
+	if got := g.Value(); got != 40 {
+		t.Fatalf("gauge = %v, want 40", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.001, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	count, sum := h.CountSum()
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if math.Abs(sum-5.551) > 1e-9 {
+		t.Fatalf("sum = %v, want 5.551", sum)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		`lat_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramConcurrentSum(t *testing.T) {
+	h := newHistogram([]float64{1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	count, sum := h.CountSum()
+	if count != 8000 || math.Abs(sum-4000) > 1e-6 {
+		t.Fatalf("count=%d sum=%v, want 8000 / 4000", count, sum)
+	}
+}
+
+func TestRegistryExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests", L("route", "/a"), L("class", "2xx"))
+	c.Add(3)
+	r.Counter("reqs_total", "requests", L("route", "/b"), L("class", "2xx")).Inc()
+	r.GaugeFunc("queue_depth", "depth", func() float64 { return 7 })
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	// Labels sort by name; families carry one HELP/TYPE header each.
+	for _, want := range []string{
+		"# HELP reqs_total requests\n# TYPE reqs_total counter\n",
+		`reqs_total{class="2xx",route="/a"} 3`,
+		`reqs_total{class="2xx",route="/b"} 1`,
+		"# TYPE queue_depth gauge\nqueue_depth 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE reqs_total") != 1 {
+		t.Errorf("family header repeated:\n%s", out)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x_total", "x")
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(5)
+	h := r.Histogram("d_seconds", "d", []float64{1})
+	h.Observe(0.25)
+	snap := r.Snapshot()
+	if snap["a_total"] != 5 {
+		t.Errorf("snapshot a_total = %v", snap["a_total"])
+	}
+	if snap["d_seconds_count"] != 1 || snap["d_seconds_sum"] != 0.25 {
+		t.Errorf("snapshot histogram = %v / %v", snap["d_seconds_count"], snap["d_seconds_sum"])
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace()
+	end := tr.Span("profile")
+	time.Sleep(2 * time.Millisecond)
+	end()
+	tr.Span("group")()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "profile" || spans[1].Name != "group" {
+		t.Fatalf("span order wrong: %+v", spans)
+	}
+	if spans[0].DurNs < int64(time.Millisecond) {
+		t.Errorf("profile span too short: %d ns", spans[0].DurNs)
+	}
+	if spans[1].StartNs < spans[0].StartNs {
+		t.Errorf("spans out of start order: %+v", spans)
+	}
+	if got := RenderSpans(spans); !strings.Contains(got, "profile") || !strings.Contains(got, "total") {
+		t.Errorf("RenderSpans output incomplete:\n%s", got)
+	}
+}
+
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	tr.Span("anything")() // must not panic
+	if tr.Spans() != nil {
+		t.Fatal("nil trace returned spans")
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := Build()
+	if b.Module == "" || b.Version == "" {
+		t.Fatalf("empty build info: %+v", b)
+	}
+	if s := b.String(); !strings.Contains(s, b.Module) {
+		t.Errorf("String() = %q missing module", s)
+	}
+}
+
+// BenchmarkCounterParallel pins the record-path cost and proves it does
+// not allocate.
+func BenchmarkCounterParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() == 0 {
+		b.Fatal("counter did not move")
+	}
+}
+
+// BenchmarkHistogramObserve pins the Observe cost (bounded bucket scan +
+// three atomics) and proves it does not allocate.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "bench", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) * 1e-4)
+	}
+}
+
+func TestExpositionParseableFloats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c").Add(9)
+	h := r.Histogram("h_seconds", "h", nil)
+	h.Observe(0.02)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		var name string
+		var val float64
+		if n, err := fmt.Sscanf(strings.ReplaceAll(line, "} ", "} "), "%s %g", &name, &val); n != 2 || err != nil {
+			t.Errorf("unparseable exposition line %q: %v", line, err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed pipeline stage inside a Trace. Offsets are relative to
+// the trace's start, so a span list is self-contained and serialisable.
+type Span struct {
+	Name    string `json:"name"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// Trace collects the stage spans of one job: each pipeline phase (profile
+// ingest, grouping, selector identification, rewrite, the HDS grammar and
+// set-packing stages) records when it ran and for how long. A nil *Trace
+// is valid everywhere and records nothing, so pipeline code traces
+// unconditionally and callers opt in by supplying a trace.
+//
+// Stages run sequentially within a job, but the mutex makes concurrent
+// recording (e.g. ProfileN's fan-out) safe; span order is start order.
+type Trace struct {
+	t0    time.Time
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts an empty trace; its clock starts now.
+func NewTrace() *Trace {
+	return &Trace{t0: time.Now(), spans: make([]Span, 0, 16)}
+}
+
+var nopEnd = func() {}
+
+// Span opens a named stage and returns the function that closes it:
+//
+//	defer tr.Span("group")()
+//
+// Safe on a nil trace (returns a shared no-op).
+func (t *Trace) Span(name string) func() {
+	if t == nil {
+		return nopEnd
+	}
+	start := time.Now()
+	return func() {
+		end := time.Now()
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{
+			Name:    name,
+			StartNs: start.Sub(t.t0).Nanoseconds(),
+			DurNs:   end.Sub(start).Nanoseconds(),
+		})
+		t.mu.Unlock()
+	}
+}
+
+// Spans returns the recorded spans in start order. The slice is a copy.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := append([]Span(nil), t.spans...)
+	return out
+}
+
+// RenderSpans formats a span list as an aligned text block — the stage
+// section appended to job reports. Returns "" for an empty list.
+func RenderSpans(spans []Span) string {
+	if len(spans) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("stage timings:\n")
+	var total int64
+	for _, s := range spans {
+		total += s.DurNs
+	}
+	for _, s := range spans {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(s.DurNs) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %-16s %12.3fms  %5.1f%%  (start +%.3fms)\n",
+			s.Name, float64(s.DurNs)/1e6, pct, float64(s.StartNs)/1e6)
+	}
+	fmt.Fprintf(&b, "  %-16s %12.3fms\n", "total", float64(total)/1e6)
+	return b.String()
+}

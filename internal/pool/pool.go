@@ -11,11 +11,24 @@ package pool
 import (
 	"runtime"
 	"sync"
+
+	"halo/internal/obs"
 )
 
 // DefaultWorkers is the pool width used when a caller passes workers <= 0:
 // one worker per schedulable CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Pool metrics, recorded per Map call and per worker lifetime — never per
+// task — in the process Default registry.
+var (
+	mMaps = obs.Default.Counter("halo_pool_maps_total",
+		"pool.Map fan-outs executed (serial fast path included)")
+	mTasks = obs.Default.Counter("halo_pool_tasks_total",
+		"work items dispatched through pool.Map")
+	mBusy = obs.Default.Gauge("halo_pool_workers_busy",
+		"worker goroutines currently running pool.Map work")
+)
 
 // Map runs fn(0) … fn(n-1) on at most workers goroutines and returns the
 // lowest-index error (nil if every call succeeded). Every index runs
@@ -33,9 +46,15 @@ func Map(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	if obs.Enabled() {
+		mMaps.Inc()
+		mTasks.Add(uint64(n))
+	}
 	if workers == 1 {
 		// Serial fast path. Still runs every index so error selection
 		// matches the parallel path exactly.
+		mBusy.Add(1)
+		defer mBusy.Add(-1)
 		var first error
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil && first == nil {
@@ -50,6 +69,8 @@ func Map(n, workers int, fn func(i int) error) error {
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
+			mBusy.Add(1)
+			defer mBusy.Add(-1)
 			defer wg.Done()
 			for i := range next {
 				errs[i] = fn(i)

@@ -23,7 +23,17 @@ import (
 
 	"halo/internal/affinity"
 	"halo/internal/isa"
+	"halo/internal/obs"
 	"halo/internal/vm"
+)
+
+// Profiler ingest metrics, recorded once per batch (never per event) so
+// the 15–21M events/sec consume path is untouched between flushes.
+var (
+	mIngestEvents = obs.Default.Counter("halo_profile_events_total",
+		"VM events consumed by profiler sinks")
+	mIngestBatches = obs.Default.Counter("halo_profile_batches_total",
+		"event batches consumed by profiler sinks")
 )
 
 // Config parameterises profiling.
@@ -172,6 +182,10 @@ func (p *Profiler) AllocatedBetween(c affinity.Ctx, lo, hi uint64) bool {
 // so the shadow stack, the object index and the affinity queue observe the
 // exact sequence the per-event engine produced.
 func (p *Profiler) ConsumeEvents(batch []vm.Event) {
+	if obs.Enabled() {
+		mIngestEvents.Add(uint64(len(batch)))
+		mIngestBatches.Inc()
+	}
 	p.events += uint64(len(batch))
 	for i := range batch {
 		ev := &batch[i]

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"halo/internal/core"
+	"halo/internal/obs"
 	"halo/internal/policy"
 	"halo/internal/profile"
 	"halo/internal/profstore"
@@ -120,6 +121,7 @@ type Artifact struct {
 	Binary    []byte // rewritten program image
 	Policy    []byte // PolicyDoc JSON
 	Elapsed   time.Duration
+	Stages    []obs.Span // per-stage pipeline timings
 }
 
 // PolicyDoc is the allocator policy document served for finished jobs —
@@ -134,6 +136,7 @@ type PolicySel = policy.Sel
 // Job tracks one optimize request through the worker pool.
 type Job struct {
 	ID        string
+	ReqID     string // request ID of the submitting HTTP request
 	Key       string
 	State     string // "queued", "running", "done", "failed"
 	Cached    bool
@@ -159,13 +162,14 @@ type JobStatus struct {
 // ResultSummary carries the artifact's headline numbers; the heavyweight
 // artifacts hang off the /v1/jobs/{id}/... endpoints.
 type ResultSummary struct {
-	Groups      int     `json:"groups"`
-	Selectors   int     `json:"selectors"`
-	NumBits     int     `json:"num_bits"`
-	Inserted    int     `json:"inserted"`
-	Dropped     int     `json:"dropped_conjs"`
-	BinaryBytes int     `json:"binary_bytes"`
-	ElapsedSec  float64 `json:"elapsed_sec"`
+	Groups      int        `json:"groups"`
+	Selectors   int        `json:"selectors"`
+	NumBits     int        `json:"num_bits"`
+	Inserted    int        `json:"inserted"`
+	Dropped     int        `json:"dropped_conjs"`
+	BinaryBytes int        `json:"binary_bytes"`
+	ElapsedSec  float64    `json:"elapsed_sec"`
+	Stages      []obs.Span `json:"stages,omitempty"`
 }
 
 // handleOptimize validates a request, consults the artifact cache and the
@@ -206,10 +210,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	// Cache hit: settle the job immediately.
 	if _, ok := s.artifacts[key]; ok {
 		job := s.newJobLocked(req, key)
+		job.ReqID = ReqID(r.Context())
 		job.State = "done"
 		job.Cached = true
 		close(job.done)
-		s.stats.CacheHits++
+		s.mCacheHits.Inc()
 		status := s.jobStatusLocked(job)
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, status)
@@ -217,7 +222,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	// Identical request already in flight: coalesce onto it.
 	if running := s.inflight[key]; running != nil {
-		s.stats.Coalesced++
+		s.mCoalesced.Inc()
 		status := s.jobStatusLocked(running)
 		status.Coalesced = true
 		s.mu.Unlock()
@@ -230,6 +235,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job := s.newJobLocked(req, key)
+	job.ReqID = ReqID(r.Context())
 	select {
 	case s.queue <- job:
 	default:
@@ -240,10 +246,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.inflight[key] = job
-	s.stats.CacheMisses++
-	s.stats.JobsQueued++
+	s.mCacheMisses.Inc()
+	s.mJobsQueued.Inc()
 	status := s.jobStatusLocked(job)
 	s.mu.Unlock()
+	s.log.Info("job queued",
+		"job", job.ID, "req", job.ReqID, "program", req.Program, "profiles", len(req.Profiles))
 	writeJSON(w, http.StatusAccepted, status)
 }
 
@@ -297,6 +305,7 @@ func (s *Server) jobStatusLocked(job *Job) JobStatus {
 				Dropped:     a.Dropped,
 				BinaryBytes: len(a.Binary),
 				ElapsedSec:  a.Elapsed.Seconds(),
+				Stages:      a.Stages,
 			}
 		}
 	}
@@ -324,24 +333,44 @@ func (s *Server) runJob(job *Job) {
 	}
 	s.mu.Unlock()
 
+	s.gJobsRunning.Add(1)
+	s.log.Info("job start", "job", job.ID, "req", job.ReqID, "program", job.req.Program)
 	start := time.Now()
 	artifact, err := buildArtifact(prog, job.req, blobs, s.cfg.TrainingWorkers)
+	elapsed := time.Since(start)
+	s.gJobsRunning.Add(-1)
+	if err == nil && obs.Enabled() {
+		for _, sp := range artifact.Stages {
+			if h := s.stageHist[sp.Name]; h != nil {
+				h.Observe(float64(sp.DurNs) / 1e9)
+			}
+		}
+	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.inflight, job.Key)
 	if err != nil {
 		job.State = "failed"
 		job.Err = err.Error()
-		s.stats.JobsFailed++
+		s.mJobsFailed.Inc()
 	} else {
 		artifact.Key = job.Key
-		artifact.Elapsed = time.Since(start)
+		artifact.Elapsed = elapsed
 		s.artifacts[job.Key] = artifact
 		job.State = "done"
-		s.stats.JobsDone++
+		s.mJobsDone.Inc()
 	}
 	close(job.done)
+	s.mu.Unlock()
+
+	if err != nil {
+		s.log.Warn("job failed",
+			"job", job.ID, "req", job.ReqID, "err", err, "dur_ms", elapsed.Milliseconds())
+	} else {
+		s.log.Info("job done",
+			"job", job.ID, "req", job.ReqID, "groups", artifact.Groups,
+			"selectors", artifact.Selectors, "dur_ms", elapsed.Milliseconds())
+	}
 }
 
 // buildArtifact runs the pipeline: decode (or record) a profile, merge if
@@ -357,6 +386,10 @@ func buildArtifact(prog *programEntry, req OptimizeRequest, blobs [][]byte, trai
 	// so Workers jobs synthesising at once stay at roughly one runner per
 	// CPU. Output is worker-count-invariant; only wall-clock changes.
 	cfg.SynthesisWorkers = trainWorkers
+	// Every job is traced; the spans land in the artifact (and from there
+	// in job status, the report, and the stage histograms).
+	tr := obs.NewTrace()
+	cfg.Trace = tr
 
 	var opt *core.Optimized
 	var err error
@@ -379,7 +412,11 @@ func buildArtifact(prog *programEntry, req OptimizeRequest, blobs [][]byte, trai
 	} else {
 		// Decode fresh copies: the pipeline mutates context group
 		// assignments, so cached blobs must never share decoded state.
+		// Decoding and merging stands in for the training run, so it takes
+		// the "profile" slot in the stage trace.
+		endProfile := tr.Span("profile")
 		prof, err := decodeAndMerge(req.Config, blobs)
+		endProfile()
 		if err != nil {
 			return nil, err
 		}
@@ -420,6 +457,7 @@ func buildArtifact(prog *programEntry, req OptimizeRequest, blobs [][]byte, trai
 		Report:    opt.GroupReport(),
 		Binary:    binary,
 		Policy:    polJSON,
+		Stages:    tr.Spans(),
 	}, nil
 }
 
@@ -534,6 +572,9 @@ func (s *Server) handleJobReport(w http.ResponseWriter, r *http.Request) {
 	if a := s.jobArtifact(w, r); a != nil {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte(a.Report))
+		if stages := obs.RenderSpans(a.Stages); stages != "" {
+			w.Write([]byte("\n" + stages))
+		}
 	}
 }
 

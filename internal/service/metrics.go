@@ -1,0 +1,197 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"halo/internal/obs"
+)
+
+// reqIDKey keys the per-request ID the middleware assigns in the request
+// context. The ID follows the request into any job it creates, so one job's
+// lifecycle can be traced from access log to completion log.
+type reqIDKey struct{}
+
+// ReqID returns the request ID the server middleware assigned, or "".
+func ReqID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// routeMetrics is the pre-registered series set for one mux route. Every
+// route registers at New(), so the record path touches only atomics — never
+// the registry lock and never an allocation.
+type routeMetrics struct {
+	requests *obs.Counter
+	class2xx *obs.Counter
+	class4xx *obs.Counter
+	class5xx *obs.Counter
+	latency  *obs.Histogram
+}
+
+// jobStages are the pipeline phases whose per-job durations feed the
+// halo_job_stage_seconds histograms. Registered up front: lazy registration
+// from runJob would order registry.mu after s.mu, deadlocking against the
+// store gauges (which read under s.mu while the registry renders).
+var jobStages = [...]string{"profile", "group", "identify", "rewrite", "lower"}
+
+// initMetrics builds the server's registry: one series set per route plus an
+// "other" catch-all, the cache/job counters, the store gauges, and the
+// per-stage latency histograms. Must run before the worker pool starts.
+func (s *Server) initMetrics(patterns []string) {
+	s.reg = obs.NewRegistry()
+	s.routes = make(map[string]*routeMetrics, len(patterns)+1)
+	for _, p := range append(patterns, "other") {
+		route := obs.L("route", p)
+		s.routes[p] = &routeMetrics{
+			requests: s.reg.Counter("halo_http_requests_total",
+				"HTTP requests dispatched, by mux route", route),
+			class2xx: s.reg.Counter("halo_http_responses_total",
+				"HTTP responses, by route and status class", route, obs.L("class", "2xx")),
+			class4xx: s.reg.Counter("halo_http_responses_total",
+				"HTTP responses, by route and status class", route, obs.L("class", "4xx")),
+			class5xx: s.reg.Counter("halo_http_responses_total",
+				"HTTP responses, by route and status class", route, obs.L("class", "5xx")),
+			latency: s.reg.Histogram("halo_http_request_seconds",
+				"HTTP request latency by route", obs.DefLatencyBounds, route),
+		}
+	}
+
+	s.mCacheHits = s.reg.Counter("halo_cache_hits_total",
+		"optimize requests served from the artifact cache")
+	s.mCacheMisses = s.reg.Counter("halo_cache_misses_total",
+		"optimize requests that queued a new job")
+	s.mCoalesced = s.reg.Counter("halo_jobs_coalesced_total",
+		"optimize requests coalesced onto an identical in-flight job")
+	s.mJobsQueued = s.reg.Counter("halo_jobs_queued_total",
+		"jobs accepted onto the worker queue")
+	s.mJobsDone = s.reg.Counter("halo_jobs_done_total",
+		"jobs that completed and published an artifact")
+	s.mJobsFailed = s.reg.Counter("halo_jobs_failed_total",
+		"jobs whose pipeline returned an error")
+	s.gJobsRunning = s.reg.Gauge("halo_jobs_running",
+		"jobs currently executing on the worker pool")
+
+	s.reg.GaugeFunc("halo_queue_depth",
+		"jobs waiting in the worker queue", func() float64 { return float64(len(s.queue)) })
+	s.reg.GaugeFunc("halo_workers",
+		"optimize worker-pool size", func() float64 { return float64(s.cfg.Workers) })
+
+	// Store gauges read under s.mu at scrape time; the lock order is always
+	// registry.mu -> s.mu, and nothing registers while holding s.mu.
+	s.reg.GaugeFunc("halo_store_programs",
+		"program images stored", s.lockedGauge(func() float64 { return float64(len(s.programs)) }))
+	s.reg.GaugeFunc("halo_store_profiles",
+		"profile images stored", s.lockedGauge(func() float64 { return float64(len(s.profiles)) }))
+	s.reg.GaugeFunc("halo_store_artifacts",
+		"cached optimization artifacts", s.lockedGauge(func() float64 { return float64(len(s.artifacts)) }))
+	s.reg.GaugeFunc("halo_store_program_bytes",
+		"bytes of stored program images", s.lockedGauge(func() float64 {
+			var n int
+			for _, e := range s.programs {
+				n += len(e.Image)
+			}
+			return float64(n)
+		}))
+	s.reg.GaugeFunc("halo_store_profile_bytes",
+		"bytes of stored profile images", s.lockedGauge(func() float64 {
+			var n int
+			for _, e := range s.profiles {
+				n += len(e.Blob)
+			}
+			return float64(n)
+		}))
+	s.reg.GaugeFunc("halo_store_artifact_bytes",
+		"bytes of cached artifacts (binary, policy, report)", s.lockedGauge(func() float64 {
+			var n int
+			for _, a := range s.artifacts {
+				n += len(a.Binary) + len(a.Policy) + len(a.Report)
+			}
+			return float64(n)
+		}))
+
+	s.stageHist = make(map[string]*obs.Histogram, len(jobStages))
+	for _, stage := range jobStages {
+		s.stageHist[stage] = s.reg.Histogram("halo_job_stage_seconds",
+			"per-job pipeline stage duration", obs.DefLatencyBounds, obs.L("stage", stage))
+	}
+}
+
+// lockedGauge wraps a read that must hold the server lock.
+func (s *Server) lockedGauge(read func() float64) func() float64 {
+	return func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return read()
+	}
+}
+
+// statusWriter captures the status code a handler writes.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// ServeHTTP dispatches to the API through the metrics and logging
+// middleware: it assigns the request ID, dispatches, and records the route's
+// series off the pattern the mux matched (set on the request during
+// dispatch), so instrumentation never re-parses paths.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := fmt.Sprintf("r-%06d", s.nextReq.Add(1))
+	r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	route := r.Pattern
+	rm := s.routes[route]
+	if rm == nil {
+		route = "other"
+		rm = s.routes[route]
+	}
+	if obs.Enabled() {
+		rm.requests.Inc()
+		switch {
+		case status >= 500:
+			rm.class5xx.Inc()
+		case status >= 400:
+			rm.class4xx.Inc()
+		default:
+			rm.class2xx.Inc()
+		}
+		rm.latency.ObserveSince(start)
+	}
+	s.log.Info("http",
+		"req", id, "method", r.Method, "path", r.URL.Path,
+		"route", route, "status", status,
+		"dur_ms", float64(time.Since(start).Microseconds())/1e3)
+}
+
+// handleMetrics serves the Prometheus text exposition: the server's own
+// registry followed by the process-wide default registry (VM, pool and
+// profiler substrate metrics). Family names never overlap, so concatenation
+// is a valid exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+	obs.Default.WritePrometheus(w)
+}

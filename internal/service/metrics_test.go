@@ -1,0 +1,259 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scrapeMetrics fetches /metrics and parses the Prometheus text exposition
+// strictly: HELP/TYPE headers are unique per family and precede that
+// family's samples, and every sample line is `name{labels} value` with a
+// parseable float value. It returns the samples keyed exactly as rendered.
+func scrapeMetrics(t *testing.T, c *testClient) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(c.url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics content-type = %q", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+
+	samples := make(map[string]float64)
+	typed := make(map[string]string) // family -> TYPE
+	helped := make(map[string]bool)  // family -> HELP seen
+	for ln, line := range strings.Split(buf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			fam, _, _ := strings.Cut(rest, " ")
+			if helped[fam] {
+				t.Errorf("line %d: duplicate HELP for %s", ln+1, fam)
+			}
+			helped[fam] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			fam, kind, _ := strings.Cut(rest, " ")
+			if _, dup := typed[fam]; dup {
+				t.Errorf("line %d: duplicate TYPE for %s", ln+1, fam)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Errorf("line %d: bad TYPE %q for %s", ln+1, kind, fam)
+			}
+			typed[fam] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("line %d: unexpected comment %q", ln+1, line)
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		key, val := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Errorf("line %d: value %q does not parse: %v", ln+1, val, err)
+		}
+		name, _, _ := strings.Cut(key, "{")
+		fam := name
+		if typed[fam] == "" {
+			// Histogram samples carry a suffix on the family name.
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if base, ok := strings.CutSuffix(name, suf); ok && typed[base] == "histogram" {
+					fam = base
+					break
+				}
+			}
+		}
+		if typed[fam] == "" {
+			t.Errorf("line %d: sample %q has no preceding TYPE", ln+1, name)
+		}
+		if _, dup := samples[key]; dup {
+			t.Errorf("line %d: duplicate series %s", ln+1, key)
+		}
+		f, _ := strconv.ParseFloat(val, 64)
+		samples[key] = f
+	}
+	return samples
+}
+
+// TestMetricsExposition runs one real optimize job through the server and
+// checks the /metrics exposition: valid format (scrapeMetrics), wide
+// coverage across the service, cache, pool and VM layers, and internally
+// consistent histograms.
+func TestMetricsExposition(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	progID, _ := c.uploadProgram("art")
+	// No profiles named: the server trains in-process, so the VM, pool and
+	// profiler substrate metrics in the Default registry all move.
+	c.optimizeWait(OptimizeRequest{Program: progID, Config: OptimizeConfig{ProfileSeed: 3}})
+
+	m := scrapeMetrics(t, c)
+
+	if len(m) < 20 {
+		t.Errorf("exposition has %d series, want >= 20", len(m))
+	}
+	for _, fam := range []string{
+		// service layer
+		`halo_http_requests_total{route="POST /v1/optimize"}`,
+		`halo_http_responses_total{class="2xx",route="POST /v1/optimize"}`,
+		`halo_http_request_seconds_count{route="POST /v1/optimize"}`,
+		`halo_jobs_queued_total`,
+		`halo_jobs_done_total`,
+		`halo_jobs_failed_total`,
+		`halo_jobs_running`,
+		`halo_queue_depth`,
+		`halo_workers`,
+		// cache + store layer
+		`halo_cache_hits_total`,
+		`halo_cache_misses_total`,
+		`halo_jobs_coalesced_total`,
+		`halo_store_programs`,
+		`halo_store_program_bytes`,
+		`halo_store_artifacts`,
+		// per-stage pipeline timings
+		`halo_job_stage_seconds_count{stage="profile"}`,
+		`halo_job_stage_seconds_count{stage="group"}`,
+		`halo_job_stage_seconds_count{stage="rewrite"}`,
+		// substrate (Default registry): VM event engine, pool, profiler
+		`halo_vm_runs_total`,
+		`halo_vm_events_total`,
+		`halo_vm_batches_total`,
+		`halo_pool_maps_total`,
+		`halo_profile_events_total`,
+	} {
+		if _, ok := m[fam]; !ok {
+			t.Errorf("exposition is missing %s", fam)
+		}
+	}
+
+	if m[`halo_jobs_done_total`] < 1 {
+		t.Errorf("halo_jobs_done_total = %v, want >= 1", m[`halo_jobs_done_total`])
+	}
+	if m[`halo_store_programs`] != 1 {
+		t.Errorf("halo_store_programs = %v, want 1", m[`halo_store_programs`])
+	}
+	if m[`halo_vm_events_total`] <= 0 || m[`halo_profile_events_total`] <= 0 {
+		t.Errorf("substrate counters did not move: vm=%v profile=%v",
+			m[`halo_vm_events_total`], m[`halo_profile_events_total`])
+	}
+	if m[`halo_job_stage_seconds_count{stage="profile"}`] < 1 {
+		t.Error("stage histogram recorded no profile stage")
+	}
+
+	// Histogram self-consistency: the +Inf bucket is cumulative, so it must
+	// equal the series count.
+	inf := m[`halo_http_request_seconds_bucket{route="POST /v1/optimize",le="+Inf"}`]
+	count := m[`halo_http_request_seconds_count{route="POST /v1/optimize"}`]
+	if inf != count || count < 1 {
+		t.Errorf("histogram +Inf bucket %v != count %v", inf, count)
+	}
+}
+
+// TestErrorPathsCounted drives the API's 4xx paths — malformed JSON,
+// unknown IDs, oversized uploads — and asserts each returned its 4xx (never
+// a 5xx or a panic) and incremented its route's error counter, verified by
+// scraping /metrics.
+func TestErrorPathsCounted(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, MaxUploadBytes: 1024})
+
+	if code, body := c.post("/v1/optimize", []byte("{not json"), nil); code != http.StatusBadRequest {
+		t.Errorf("malformed optimize JSON: %d %s, want 400", code, body)
+	}
+	if code, _ := c.postJSON("/v1/optimize", OptimizeRequest{Program: "missing"}, nil); code != http.StatusNotFound {
+		t.Errorf("unknown program: %d, want 404", code)
+	}
+	if code, _ := c.get("/v1/programs/"+strings.Repeat("0", 64), nil); code != http.StatusNotFound {
+		t.Errorf("unknown program fetch: %d, want 404", code)
+	}
+	if code, _ := c.get("/v1/profiles/"+strings.Repeat("0", 64), nil); code != http.StatusNotFound {
+		t.Errorf("unknown profile fetch: %d, want 404", code)
+	}
+	if code, _ := c.get("/v1/jobs/job-999999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", code)
+	}
+	if code, _ := c.post("/v1/programs", make([]byte, 4096), nil); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized upload: %d, want 413", code)
+	}
+
+	m := scrapeMetrics(t, c)
+	for key, want := range map[string]float64{
+		`halo_http_responses_total{class="4xx",route="POST /v1/optimize"}`:     2,
+		`halo_http_responses_total{class="4xx",route="GET /v1/programs/{id}"}`: 1,
+		`halo_http_responses_total{class="4xx",route="GET /v1/profiles/{id}"}`: 1,
+		`halo_http_responses_total{class="4xx",route="GET /v1/jobs/{id}"}`:     1,
+		`halo_http_responses_total{class="4xx",route="POST /v1/programs"}`:     1,
+	} {
+		if m[key] != want {
+			t.Errorf("%s = %v, want %v", key, m[key], want)
+		}
+	}
+	for key, v := range m {
+		if strings.Contains(key, `class="5xx"`) && v != 0 {
+			t.Errorf("server emitted 5xx responses: %s = %v", key, v)
+		}
+	}
+}
+
+// TestHealthzBuildInfo checks /healthz reports liveness plus the build.
+func TestHealthzBuildInfo(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	var body struct {
+		Status  string `json:"status"`
+		Version string `json:"version"`
+		Go      string `json:"go"`
+	}
+	if code, _ := c.get("/healthz", &body); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if body.Status != "ok" {
+		t.Errorf("healthz status = %q", body.Status)
+	}
+	if body.Go == "" || body.Version == "" {
+		t.Errorf("healthz build info incomplete: %+v", body)
+	}
+}
+
+// TestStatsMatchesMetrics pins the /v1/stats JSON view to the registry: the
+// two endpoints must report the same counters.
+func TestStatsMatchesMetrics(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	progID, _ := c.uploadProgram("art")
+	req := OptimizeRequest{Program: progID, Config: OptimizeConfig{ProfileSeed: 5}}
+	c.optimizeWait(req)
+	c.optimizeWait(req) // cache hit
+
+	var stats Stats
+	if code, _ := c.get("/v1/stats", &stats); code != http.StatusOK {
+		t.Fatal("stats fetch failed")
+	}
+	m := scrapeMetrics(t, c)
+	for key, got := range map[string]uint64{
+		"halo_jobs_queued_total":  stats.JobsQueued,
+		"halo_jobs_done_total":    stats.JobsDone,
+		"halo_jobs_failed_total":  stats.JobsFailed,
+		"halo_cache_hits_total":   stats.CacheHits,
+		"halo_cache_misses_total": stats.CacheMisses,
+	} {
+		if float64(got) != m[key] {
+			t.Errorf("stats %s = %d, /metrics says %v", key, got, m[key])
+		}
+	}
+	if stats.CacheHits < 1 || stats.JobsDone != 1 {
+		t.Errorf("unexpected stats: %+v", stats)
+	}
+}

@@ -28,8 +28,9 @@
 //	GET    /v1/jobs/{id}/binary  rewritten program image
 //	GET    /v1/jobs/{id}/policy  allocator policy (JSON)
 //	GET    /v1/stats             counters
+//	GET    /metrics              Prometheus text exposition
 //	DELETE /v1/cache             drop cached artifacts
-//	GET    /healthz              liveness
+//	GET    /healthz              liveness + build info
 package service
 
 import (
@@ -38,11 +39,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"halo/internal/isa"
+	"halo/internal/obs"
 	"halo/internal/pool"
 	"halo/internal/profile"
 	"halo/internal/profstore"
@@ -69,6 +73,9 @@ type Config struct {
 	// levels multiply, so a per-CPU default here would oversubscribe the
 	// machine by a factor of Workers.
 	TrainingWorkers int
+	// Logger receives structured access-log and job-lifecycle events. Nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -90,10 +97,15 @@ func (c Config) withDefaults() Config {
 			c.TrainingWorkers = 1
 		}
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	return c
 }
 
-// Stats are the server's monotonic counters.
+// Stats are the server's monotonic counters, read from the metrics
+// registry — /v1/stats is a JSON view over the same series /metrics
+// exposes, so the two can never disagree.
 type Stats struct {
 	Programs    int    `json:"programs"`
 	Profiles    int    `json:"profiles"`
@@ -125,6 +137,7 @@ type profileEntry struct {
 type Server struct {
 	cfg Config
 	mux *http.ServeMux
+	log *slog.Logger
 
 	mu        sync.Mutex
 	programs  map[string]*programEntry
@@ -135,10 +148,23 @@ type Server struct {
 	inflight  map[string]*Job // cache key -> running/queued job
 	nextJob   int
 	closed    bool
-	stats     Stats
 
 	queue chan *Job
 	wg    sync.WaitGroup
+
+	// Metrics (internal/obs): pre-registered at New, recorded lock-free.
+	reg       *obs.Registry
+	routes    map[string]*routeMetrics
+	stageHist map[string]*obs.Histogram
+	nextReq   atomic.Uint64
+
+	mCacheHits   *obs.Counter
+	mCacheMisses *obs.Counter
+	mCoalesced   *obs.Counter
+	mJobsQueued  *obs.Counter
+	mJobsDone    *obs.Counter
+	mJobsFailed  *obs.Counter
+	gJobsRunning *obs.Gauge
 }
 
 // New starts a server and its worker pool. Callers must Close it.
@@ -146,6 +172,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:       cfg,
+		log:       cfg.Logger,
 		programs:  make(map[string]*programEntry),
 		profiles:  make(map[string]*profileEntry),
 		jobs:      make(map[string]*Job),
@@ -153,36 +180,47 @@ func New(cfg Config) *Server {
 		inflight:  make(map[string]*Job),
 		queue:     make(chan *Job, cfg.QueueDepth),
 	}
+	mux := http.NewServeMux()
+	var patterns []string
+	handle := func(pattern string, h http.HandlerFunc) {
+		patterns = append(patterns, pattern)
+		mux.HandleFunc(pattern, h)
+	}
+	handle("POST /v1/programs", s.handleProgramUpload)
+	handle("GET /v1/programs", s.handleProgramList)
+	handle("GET /v1/programs/{id}", s.handleProgramGet)
+	handle("POST /v1/profiles", s.handleProfileUpload)
+	handle("GET /v1/profiles", s.handleProfileList)
+	handle("GET /v1/profiles/{id}", s.handleProfileGet)
+	handle("POST /v1/profiles/merge", s.handleProfileMerge)
+	handle("POST /v1/optimize", s.handleOptimize)
+	handle("GET /v1/jobs", s.handleJobList)
+	handle("GET /v1/jobs/{id}", s.handleJobGet)
+	handle("GET /v1/jobs/{id}/report", s.handleJobReport)
+	handle("GET /v1/jobs/{id}/binary", s.handleJobBinary)
+	handle("GET /v1/jobs/{id}/policy", s.handleJobPolicy)
+	handle("GET /v1/stats", s.handleStats)
+	handle("GET /metrics", s.handleMetrics)
+	handle("DELETE /v1/cache", s.handleCacheFlush)
+	handle("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	s.initMetrics(patterns)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/programs", s.handleProgramUpload)
-	mux.HandleFunc("GET /v1/programs", s.handleProgramList)
-	mux.HandleFunc("GET /v1/programs/{id}", s.handleProgramGet)
-	mux.HandleFunc("POST /v1/profiles", s.handleProfileUpload)
-	mux.HandleFunc("GET /v1/profiles", s.handleProfileList)
-	mux.HandleFunc("GET /v1/profiles/{id}", s.handleProfileGet)
-	mux.HandleFunc("POST /v1/profiles/merge", s.handleProfileMerge)
-	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleJobReport)
-	mux.HandleFunc("GET /v1/jobs/{id}/binary", s.handleJobBinary)
-	mux.HandleFunc("GET /v1/jobs/{id}/policy", s.handleJobPolicy)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("DELETE /v1/cache", s.handleCacheFlush)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
-	s.mux = mux
 	return s
 }
 
-// ServeHTTP dispatches to the API.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+// handleHealthz reports liveness plus the build the daemon is running.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	b := obs.Build()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"version":  b.Version,
+		"go":       b.GoVersion,
+		"revision": b.Revision,
+	})
 }
 
 // Close stops accepting jobs and waits for the worker pool to drain.
@@ -204,12 +242,18 @@ func (s *Server) Stats() Stats {
 }
 
 func (s *Server) statsLocked() Stats {
-	st := s.stats
-	st.Programs = len(s.programs)
-	st.Profiles = len(s.profiles)
-	st.Artifacts = len(s.artifacts)
-	st.Workers = s.cfg.Workers
-	return st
+	return Stats{
+		Programs:    len(s.programs),
+		Profiles:    len(s.profiles),
+		JobsQueued:  s.mJobsQueued.Value(),
+		JobsDone:    s.mJobsDone.Value(),
+		JobsFailed:  s.mJobsFailed.Value(),
+		CacheHits:   s.mCacheHits.Value(),
+		CacheMisses: s.mCacheMisses.Value(),
+		Coalesced:   s.mCoalesced.Value(),
+		Artifacts:   len(s.artifacts),
+		Workers:     s.cfg.Workers,
+	}
 }
 
 // FlushCache drops every cached artifact (not the jobs that produced them).

@@ -170,8 +170,14 @@ func TestServiceEndToEnd(t *testing.T) {
 			}
 
 			// The served artifacts must decode and match the local
-			// OptimizeFromProfile run over the same merged profile.
-			_, report := c.get("/v1/jobs/"+st.ID+"/report", nil)
+			// OptimizeFromProfile run over the same merged profile. The
+			// served report carries an appended stage-timings section the
+			// local GroupReport does not.
+			_, servedReport := c.get("/v1/jobs/"+st.ID+"/report", nil)
+			report, _, hasStages := bytes.Cut(servedReport, []byte("\nstage timings:\n"))
+			if !hasStages {
+				t.Error("served report has no stage timings section")
+			}
 			_, binary := c.get("/v1/jobs/"+st.ID+"/binary", nil)
 			var pol PolicyDoc
 			if code, _ := c.get("/v1/jobs/"+st.ID+"/policy", &pol); code != http.StatusOK {
@@ -222,7 +228,7 @@ func TestServiceEndToEnd(t *testing.T) {
 				t.Fatalf("repeated request keyed differently: %s vs %s", st2.Key, st.Key)
 			}
 			_, report2 := c.get("/v1/jobs/"+st2.ID+"/report", nil)
-			if !bytes.Equal(report, report2) {
+			if !bytes.Equal(servedReport, report2) {
 				t.Fatal("cached artifact differs from original")
 			}
 		})

@@ -14,7 +14,10 @@
 // results under any BatchSize (and under the Replay shim).
 package vm
 
-import "halo/internal/isa"
+import (
+	"halo/internal/isa"
+	"halo/internal/obs"
+)
 
 // EventKind discriminates event records.
 type EventKind uint8
@@ -79,10 +82,16 @@ func (v *VM) emit(ev Event) {
 
 // flushEvents delivers any buffered events to the sink. The VM flushes when
 // the buffer fills and once when Run finishes (on success, trap, or budget
-// exhaustion), so sinks always observe the complete stream.
+// exhaustion), so sinks always observe the complete stream. Engine metrics
+// are sampled here, per batch, so the per-event paths stay untouched.
 func (v *VM) flushEvents() {
 	if v.sink == nil || len(v.events) == 0 {
 		return
+	}
+	if obs.Enabled() {
+		mEvents.Add(uint64(len(v.events)))
+		mBatches.Inc()
+		mBatchFill.Set(int64(len(v.events) * 100 / cap(v.events)))
 	}
 	v.sink.ConsumeEvents(v.events)
 	v.events = v.events[:0]

@@ -17,6 +17,7 @@ import (
 	"halo/internal/bits"
 	"halo/internal/isa"
 	"halo/internal/mem"
+	"halo/internal/obs"
 )
 
 // Allocator satisfies the program's memory-management externals. It is the
@@ -228,6 +229,9 @@ func (v *VM) rand() uint64 {
 // result value. Buffered events are flushed on every exit path, so the
 // sink sees the complete stream even when the run traps.
 func (v *VM) Run() (int64, error) {
+	if obs.Enabled() {
+		mRuns.Inc()
+	}
 	defer v.flushEvents()
 	entry := v.prog.Funcs[v.prog.Entry]
 	v.regs = make([]int64, 0, 4096)
