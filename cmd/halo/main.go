@@ -3,7 +3,7 @@
 // individual stages:
 //
 //	halo build         -w povray -scale test -o povray.hbin  build a workload binary
-//	halo disasm        povray.hbin                           disassemble a binary
+//	halo disasm        [-fused] povray.hbin                  disassemble a binary
 //	halo profile       [-seed N] [-o p.hprof] povray.hbin    profile; print graph, save profile
 //	halo profile-merge -o m.hprof a.hprof b.hprof ...        merge saved profiles
 //	halo groups        [flags] povray.hbin                   print allocation groups (Figure 9 view)
@@ -37,6 +37,7 @@ import (
 	"halo/internal/profile"
 	"halo/internal/profstore"
 	"halo/internal/rewrite"
+	"halo/internal/vm"
 	"halo/internal/workloads"
 )
 
@@ -86,7 +87,7 @@ func usage() {
 
 commands:
   build          build a workload into a binary image
-  disasm         disassemble a binary image
+  disasm         disassemble a binary image (-fused: predecoded stream)
   profile        profile a binary; print its affinity graph, save with -o
   profile-merge  merge saved profiles from independent training runs
   groups         print the allocation groups formed from a profile
@@ -154,12 +155,21 @@ func cmdBuild(args []string) error {
 }
 
 func cmdDisasm(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: halo disasm <binary>")
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	fused := fs.Bool("fused", false, "render the predecoded stream with superinstruction fusion")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	p, err := loadProgram(args[0])
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: halo disasm [-fused] <binary>")
+	}
+	p, err := loadProgram(fs.Arg(0))
 	if err != nil {
 		return err
+	}
+	if *fused {
+		fmt.Print(vm.DisasmFused(p))
+		return nil
 	}
 	fmt.Print(p.Disasm())
 	return nil

@@ -1,0 +1,204 @@
+// Command vmbench measures interpreter dispatch throughput: each golden
+// workload's test-scale build is executed by both the reference switch
+// interpreter and the predecoded threaded dispatcher, and the best-of-reps
+// steps/sec and events/sec are reported. It backs the CI dispatch
+// regression guard: with -baseline it compares the fresh numbers against a
+// committed BENCH_vm.json and fails when any workload's threaded-engine
+// events/sec drops by more than -tol percent.
+//
+// Usage:
+//
+//	vmbench [-reps N] [-workloads a,b] [-out BENCH_vm.json]
+//	        [-baseline BENCH_vm.json] [-tol 20]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"halo/internal/mem"
+	"halo/internal/vm"
+	"halo/internal/workloads"
+)
+
+// Result is one workload × engine throughput record.
+type Result struct {
+	Workload     string  `json:"workload"`
+	Engine       string  `json:"engine"`
+	Steps        uint64  `json:"steps"`
+	Events       uint64  `json:"events"`
+	Fused        uint64  `json:"fused"`
+	NsPerRun     int64   `json:"ns_per_run"`
+	StepsPerSec  float64 `json:"steps_per_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// Doc is the BENCH_vm.json document.
+type Doc struct {
+	Reps    int      `json:"reps"`
+	Results []Result `json:"results"`
+}
+
+// countSink counts events without retaining them.
+type countSink struct{ n uint64 }
+
+func (s *countSink) ConsumeEvents(batch []vm.Event) { s.n += uint64(len(batch)) }
+
+// bumpAlloc is the minimal allocator the benchmark runs under: dispatch
+// throughput must not depend on allocator policy.
+type bumpAlloc struct {
+	next  uint64
+	sizes map[uint64]uint64
+	m     *mem.Memory
+}
+
+func newBump(m *mem.Memory) *bumpAlloc {
+	return &bumpAlloc{next: mem.HeapBase, sizes: map[uint64]uint64{}, m: m}
+}
+
+func (b *bumpAlloc) Malloc(size uint64) uint64 {
+	p := b.next
+	b.next += (size + 15) &^ 15
+	b.sizes[p] = size
+	return p
+}
+func (b *bumpAlloc) Calloc(n, size uint64) uint64 { return b.Malloc(n * size) }
+func (b *bumpAlloc) Realloc(p, size uint64) uint64 {
+	np := b.Malloc(size)
+	if old := b.sizes[p]; old > 0 {
+		n := old
+		if size < n {
+			n = size
+		}
+		b.m.Copy(np, p, n)
+	}
+	return np
+}
+func (b *bumpAlloc) Free(p uint64) {}
+
+// measure runs the workload once and reports retired steps, events and
+// wall-clock.
+func measure(name string, mode vm.DispatchMode) (Result, error) {
+	w := workloads.MustGet(name)
+	p := w.Build(w.TestScale)
+	vm.Predecode(p) // decode outside the timed region, as real runs do
+	m := mem.NewMemory()
+	sink := &countSink{}
+	v := vm.New(p, m, newBump(m), sink, vm.Config{Seed: 1000, Dispatch: mode})
+	start := time.Now()
+	if _, err := v.Run(); err != nil {
+		return Result{}, fmt.Errorf("%s: %v", name, err)
+	}
+	ns := time.Since(start).Nanoseconds()
+	sec := float64(ns) / 1e9
+	engine := "threaded"
+	if mode == vm.DispatchSwitch {
+		engine = "switch"
+	}
+	return Result{
+		Workload:     name,
+		Engine:       engine,
+		Steps:        v.Steps(),
+		Events:       sink.n,
+		Fused:        v.Fused(),
+		NsPerRun:     ns,
+		StepsPerSec:  float64(v.Steps()) / sec,
+		EventsPerSec: float64(sink.n) / sec,
+	}, nil
+}
+
+func main() {
+	var (
+		reps     = flag.Int("reps", 5, "repetitions per configuration (best-of wins)")
+		names    = flag.String("workloads", "povray,omnetpp", "comma-separated workloads")
+		out      = flag.String("out", "", "write results as JSON to this file")
+		baseline = flag.String("baseline", "", "compare against a committed BENCH_vm.json")
+		tol      = flag.Float64("tol", 20, "max allowed threaded events/sec regression, percent")
+	)
+	flag.Parse()
+
+	doc := Doc{Reps: *reps}
+	for _, name := range strings.Split(*names, ",") {
+		for _, mode := range []vm.DispatchMode{vm.DispatchSwitch, vm.DispatchThreaded} {
+			var best Result
+			for i := 0; i < *reps; i++ {
+				r, err := measure(name, mode)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "vmbench: %v\n", err)
+					os.Exit(1)
+				}
+				if r.EventsPerSec > best.EventsPerSec {
+					best = r
+				}
+			}
+			doc.Results = append(doc.Results, best)
+			fmt.Printf("%-10s %-9s %12d steps  %9d fused  %8.2fms  %11.0f steps/s  %11.0f events/s\n",
+				best.Workload, best.Engine, best.Steps, best.Fused,
+				float64(best.NsPerRun)/1e6, best.StepsPerSec, best.EventsPerSec)
+		}
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vmbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "vmbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+
+	if *baseline != "" {
+		if failed := checkBaseline(doc, *baseline, *tol); failed {
+			os.Exit(1)
+		}
+	}
+}
+
+// checkBaseline compares threaded-engine events/sec against the committed
+// baseline and reports whether any workload regressed beyond tol percent.
+func checkBaseline(doc Doc, path string, tol float64) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vmbench: baseline: %v\n", err)
+		return true
+	}
+	var base Doc
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "vmbench: baseline: %v\n", err)
+		return true
+	}
+	want := map[string]float64{}
+	for _, r := range base.Results {
+		if r.Engine == "threaded" {
+			want[r.Workload] = r.EventsPerSec
+		}
+	}
+	failed := false
+	for _, r := range doc.Results {
+		if r.Engine != "threaded" {
+			continue
+		}
+		b, ok := want[r.Workload]
+		if !ok || b == 0 {
+			continue
+		}
+		drop := (b - r.EventsPerSec) / b * 100
+		if drop > tol {
+			fmt.Fprintf(os.Stderr, "vmbench: %s threaded events/s regressed %.1f%% (%.0f -> %.0f, tol %.0f%%)\n",
+				r.Workload, drop, b, r.EventsPerSec, tol)
+			failed = true
+		} else {
+			fmt.Printf("%s: threaded events/s within tolerance (%+.1f%% vs baseline)\n",
+				r.Workload, -drop)
+		}
+	}
+	return failed
+}

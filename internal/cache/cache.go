@@ -243,63 +243,80 @@ func New(cfg Config) *Hierarchy {
 // stall cycles for the miss path. Accesses that straddle a line boundary
 // touch both lines, as on real hardware.
 func (h *Hierarchy) Access(addr uint64, size uint8, write bool) {
+	stall, mem := h.accessStall(addr, size)
+	h.stallCycle += stall
+	h.memAccess += mem
+}
+
+// accessStall simulates one access and returns the stall cycles and DRAM
+// accesses it cost instead of charging them, so batch consumers can
+// accumulate the charges in locals and write them back once per batch.
+// Level and TLB hit/miss counters still update in place: they are updated
+// exactly once per lookup either way, so their totals are bit-identical.
+func (h *Hierarchy) accessStall(addr uint64, size uint8) (stall, mem uint64) {
 	first := addr >> LineShift
 	last := (addr + uint64(size) - 1) >> LineShift
 	for line := first; line <= last; line++ {
-		h.accessLine(line)
+		s, m := h.accessLine(line)
+		stall += s
+		mem += m
 	}
 	page := addr >> h.cfg.TLB.PageBits
-	h.translate(page)
+	stall += h.translate(page)
 	if lastPage := (addr + uint64(size) - 1) >> h.cfg.TLB.PageBits; lastPage != page {
-		h.translate(lastPage)
+		stall += h.translate(lastPage)
 	}
+	return stall, mem
 }
 
 // ConsumeEvents implements vm.EventSink: the hierarchy drains the VM's
 // batched event stream directly, simulating each load and store in batch
 // order and ignoring the non-access records. This replaces the per-access
-// virtual dispatch of the Hooks-era adapter in internal/measure.
+// virtual dispatch of the Hooks-era adapter in internal/measure. The
+// hierarchy-wide charge counters accumulate in locals across the whole
+// batch and are written back once, so the hot loop's read-modify-write
+// traffic on the Hierarchy stays out of the per-event path.
 func (h *Hierarchy) ConsumeEvents(batch []vm.Event) {
+	var stall, mem uint64
 	for i := range batch {
 		ev := &batch[i]
 		if ev.Kind == vm.EvAccess {
-			h.Access(ev.Addr, ev.Size, ev.Write)
+			s, m := h.accessStall(ev.Addr, ev.Size)
+			stall += s
+			mem += m
 		}
 	}
+	h.stallCycle += stall
+	h.memAccess += mem
 }
 
-// translate charges the DTLB penalty on a first-level miss and the full
+// translate returns the DTLB penalty on a first-level miss and the full
 // page-walk penalty when the second-level TLB misses too.
-func (h *Hierarchy) translate(page uint64) {
+func (h *Hierarchy) translate(page uint64) (stall uint64) {
 	if h.tlb.access(page) {
-		return
+		return 0
 	}
 	if h.stlb != nil {
 		if h.stlb.access(page) {
-			h.stallCycle += h.cfg.TLB.Penalty
-			return
+			return h.cfg.TLB.Penalty
 		}
-		h.stallCycle += h.cfg.STLB.Penalty
-		return
+		return h.cfg.STLB.Penalty
 	}
-	h.stallCycle += h.cfg.TLB.Penalty
+	return h.cfg.TLB.Penalty
 }
 
-func (h *Hierarchy) accessLine(line uint64) {
+func (h *Hierarchy) accessLine(line uint64) (stall, mem uint64) {
 	if h.l1.access(line, true) {
-		h.stallCycle += h.cfg.L1.Latency
-		return
+		return h.cfg.L1.Latency, 0
 	}
 	if h.l2.access(line, true) {
-		h.stallCycle += h.cfg.L2.Latency
-		return
+		return h.cfg.L2.Latency, 0
 	}
-	hitL3 := h.l3.access(line, true)
-	if hitL3 {
-		h.stallCycle += h.cfg.L3.Latency
+	if h.l3.access(line, true) {
+		stall = h.cfg.L3.Latency
 	} else {
-		h.memAccess++
-		h.stallCycle += h.cfg.MemLatency
+		stall = h.cfg.MemLatency
+		mem = 1
 	}
 	if h.cfg.Prefetch {
 		// Next-line prefetcher at L2: on an L2 miss, pull the following
@@ -312,6 +329,7 @@ func (h *Hierarchy) accessLine(line uint64) {
 			}
 		}
 	}
+	return stall, mem
 }
 
 // Stats aggregates the hierarchy's counters.

@@ -1,6 +1,10 @@
 package cache
 
-import "testing"
+import (
+	"testing"
+
+	"halo/internal/vm"
+)
 
 func smallConfig() Config {
 	return Config{
@@ -173,5 +177,61 @@ func TestStatsString(t *testing.T) {
 	h.Access(0, 8, false)
 	if s := h.Stats().String(); len(s) == 0 {
 		t.Fatal("empty stats string")
+	}
+}
+
+func TestBatchedConsumeMatchesPerAccess(t *testing.T) {
+	// The batched ConsumeEvents path accumulates stall/DRAM charges in
+	// locals and writes them back once per batch; it must land on exactly
+	// the same counters as charging every access individually.
+	mkEvents := func() []vm.Event {
+		rng := uint64(42)
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+		evs := make([]vm.Event, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			// Mix of hot lines, straddles and page-crossing strides.
+			addr := (next() % (1 << 20)) &^ 1
+			size := uint8(1 << (next() % 4))
+			if next()%16 == 0 {
+				addr = addr&^0xfff | 0xffe // straddle a page boundary
+			}
+			kind := vm.EvAccess
+			if next()%32 == 0 {
+				kind = vm.EvCall // non-access records must be ignored
+			}
+			evs = append(evs, vm.Event{Kind: kind, Addr: addr, Size: size, Write: next()%3 == 0})
+		}
+		return evs
+	}
+
+	ref := New(smallConfig())
+	for _, ev := range mkEvents() {
+		if ev.Kind == vm.EvAccess {
+			ref.Access(ev.Addr, ev.Size, ev.Write)
+		}
+	}
+
+	for _, batchSize := range []int{1, 64, 4096} {
+		h := New(smallConfig())
+		evs := mkEvents()
+		for len(evs) > 0 {
+			n := batchSize
+			if n > len(evs) {
+				n = len(evs)
+			}
+			h.ConsumeEvents(evs[:n])
+			evs = evs[n:]
+		}
+		if h.Stats() != ref.Stats() {
+			t.Errorf("batch=%d: stats diverge:\n got %+v\nwant %+v", batchSize, h.Stats(), ref.Stats())
+		}
+		if h.StallCycles() != ref.StallCycles() {
+			t.Errorf("batch=%d: stalls %d, want %d", batchSize, h.StallCycles(), ref.StallCycles())
+		}
 	}
 }

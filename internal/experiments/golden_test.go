@@ -123,7 +123,7 @@ func TestGoldenTrialsWorkerInvariance(t *testing.T) {
 		t.Run(g.name, func(t *testing.T) {
 			w := workloads.MustGet(g.name)
 			p := w.Build(w.TestScale)
-			for _, workers := range []int{1, 2, 8} {
+			for _, workers := range []int{1, 2, 4, 8} {
 				s, err := measure.MeasureTrialsParallel(p, measure.Policy{Kind: measure.Jemalloc},
 					4, 1000, cache.XeonW2195(), workers)
 				if err != nil {
@@ -163,5 +163,36 @@ func TestGoldenBatchSizeInvariance(t *testing.T) {
 		if string(got) != string(want) {
 			t.Errorf("batch=%d: profile image differs from per-event delivery", batch)
 		}
+	}
+}
+
+// TestGoldenBatchSizeFingerprints pins the absolute profile fingerprints at
+// batch sizes 1, 64 and 4096 for every golden workload: each must hash to
+// the seed engine's recorded image. This is stronger than pairwise
+// invariance — the predecoded threaded dispatcher with superinstruction
+// fusion must reproduce the pre-batching per-event engine's bytes exactly
+// at every delivery granularity.
+func TestGoldenBatchSizeFingerprints(t *testing.T) {
+	for _, g := range goldens {
+		t.Run(g.name, func(t *testing.T) {
+			w := workloads.MustGet(g.name)
+			p := w.Build(w.TestScale)
+			for _, batch := range []int{1, 64, 4096} {
+				cfg := core.Config{ProfileBatchSize: batch}
+				cfg.Profile.RecordTrace = true
+				prof, err := core.Profile(p, cfg)
+				if err != nil {
+					t.Fatalf("batch=%d: %v", batch, err)
+				}
+				img, err := profstore.Encode(prof)
+				if err != nil {
+					t.Fatalf("batch=%d: %v", batch, err)
+				}
+				sum := sha256.Sum256(img)
+				if got := hex.EncodeToString(sum[:]); got != g.profileSHA {
+					t.Errorf("batch=%d: profile image sha256 = %s, want %s", batch, got, g.profileSHA)
+				}
+			}
+		})
 	}
 }

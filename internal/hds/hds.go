@@ -1,3 +1,13 @@
+// Package hds replicates the comparison technique of Chilimbi & Shaham,
+// "Cache-conscious Coallocation of Hot Data Streams" (PLDI '06), exactly as
+// the paper's evaluation does (§5.1): the object-level data reference trace
+// is compressed with SEQUITUR (internal/sequitur), minimal hot data streams
+// of 2–20 elements are extracted with the stream threshold set to cover 90%
+// of heap accesses, streams are converted to co-allocation sets scored by
+// their projected cache-line savings, and a profitable non-overlapping
+// family is chosen with Halldórsson's greedy approximation to weighted set
+// packing. At runtime the resulting groups are identified by the immediate
+// call site of the allocation procedure.
 package hds
 
 import (

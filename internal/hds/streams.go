@@ -1,6 +1,10 @@
 package hds
 
-import "sort"
+import (
+	"sort"
+
+	"halo/internal/sequitur"
+)
 
 // Stream is a minimal hot data stream: a sequence of object identities
 // that recurs in the reference trace, with its recurrence count. Streams
@@ -38,127 +42,6 @@ func (c StreamConfig) withDefaults() StreamConfig {
 	return c
 }
 
-// ruleFreq computes how many times each rule's expansion occurs in the full
-// input: the start rule occurs once, and every reference inside a rule
-// occurring f times contributes f to the referenced rule. Rule numbers are
-// assigned densely (deleted numbers are simply never revisited), so the
-// counts live in slices indexed by rule number rather than maps.
-func ruleFreq(g *Grammar) []int {
-	// Topological order: parents before children.
-	order := make([]int32, 0, g.NumRules())
-	state := make([]uint8, g.numAssigned()) // 0 unvisited, 1 visiting, 2 done
-	var dfs func(num int32)
-	dfs = func(num int32) {
-		state[num] = 1
-		for s := g.firstOf(num); !g.syms[s].guard; s = g.syms[s].next {
-			if v := g.syms[s].value; v < 0 && state[ruleOf(v)] == 0 {
-				dfs(ruleOf(v))
-			}
-		}
-		state[num] = 2
-		order = append(order, num) // post-order: children first
-	}
-	dfs(0)
-	freq := make([]int, g.numAssigned())
-	freq[0] = 1
-	// Walk parents before children: reverse post-order.
-	for i := len(order) - 1; i >= 0; i-- {
-		num := order[i]
-		f := freq[num]
-		if f == 0 {
-			continue
-		}
-		for s := g.firstOf(num); !g.syms[s].guard; s = g.syms[s].next {
-			if v := g.syms[s].value; v < 0 {
-				freq[ruleOf(v)] += f
-			}
-		}
-	}
-	return freq
-}
-
-// ruleLens computes each rule's terminal expansion length, indexed by rule
-// number (-1 marks numbers of deleted rules, never queried).
-func ruleLens(g *Grammar) []int {
-	lens := make([]int, g.numAssigned())
-	for i := range lens {
-		lens[i] = -1
-	}
-	var calc func(num int32) int
-	calc = func(num int32) int {
-		if l := lens[num]; l >= 0 {
-			return l
-		}
-		lens[num] = 0 // cycle guard; grammars are acyclic
-		total := 0
-		for s := g.firstOf(num); !g.syms[s].guard; s = g.syms[s].next {
-			if v := g.syms[s].value; v < 0 {
-				total += calc(ruleOf(v))
-			} else {
-				total++
-			}
-		}
-		lens[num] = total
-		return total
-	}
-	for num := range g.rules {
-		if g.rules[num].live {
-			calc(int32(num))
-		}
-	}
-	return lens
-}
-
-// expandRulePrefix materialises the first cap terminals of a rule.
-func expandRulePrefix(g *Grammar, num int32, cap int) []int64 {
-	out := make([]int64, 0, cap)
-	var walk func(num int32) bool
-	walk = func(num int32) bool {
-		for s := g.firstOf(num); !g.syms[s].guard; s = g.syms[s].next {
-			if len(out) >= cap {
-				return false
-			}
-			if v := g.syms[s].value; v < 0 {
-				if !walk(ruleOf(v)) {
-					return false
-				}
-			} else {
-				out = append(out, v)
-			}
-		}
-		return true
-	}
-	walk(num)
-	return out
-}
-
-// expandRule materialises a rule's terminal expansion up to a cap,
-// returning nil if it would exceed the cap.
-func expandRule(g *Grammar, num int32, cap int) []int64 {
-	out := make([]int64, 0, cap)
-	var walk func(num int32) bool
-	walk = func(num int32) bool {
-		for s := g.firstOf(num); !g.syms[s].guard; s = g.syms[s].next {
-			v := g.syms[s].value
-			if v < 0 {
-				if !walk(ruleOf(v)) {
-					return false
-				}
-				continue
-			}
-			if len(out) >= cap {
-				return false
-			}
-			out = append(out, v)
-		}
-		return true
-	}
-	if !walk(num) {
-		return nil
-	}
-	return out
-}
-
 // ExtractResult reports stream extraction outcomes, including the counts
 // the paper's roms discussion relies on ("the hot-data-stream-based
 // approach requires over 150,000 streams").
@@ -176,16 +59,16 @@ type ExtractResult struct {
 // configured fraction of the trace.
 func ExtractStreams(trace []int64, cfg StreamConfig) *ExtractResult {
 	cfg = cfg.withDefaults()
-	g := NewGrammar()
+	g := sequitur.NewGrammar()
 	for _, v := range trace {
 		g.Append(v)
 	}
-	freq := ruleFreq(g)
-	lens := ruleLens(g)
+	freq := sequitur.RuleFreq(g)
+	lens := sequitur.RuleLens(g)
 
 	var cands []Stream
-	for num := range g.rules {
-		if num == 0 || !g.rules[num].live {
+	for num := 0; num < g.NumAssigned(); num++ {
+		if num == 0 || !g.Live(num) {
 			continue // the start rule is the whole trace
 		}
 		l := lens[num]
@@ -197,7 +80,7 @@ func ExtractStreams(trace []int64, cfg StreamConfig) *ExtractResult {
 			continue // a stream must recur
 		}
 		if l <= cfg.MaxLen {
-			objs := expandRule(g, int32(num), cfg.MaxLen)
+			objs := sequitur.ExpandRule(g, num, cfg.MaxLen)
 			if objs == nil {
 				continue
 			}
@@ -206,7 +89,7 @@ func ExtractStreams(trace []int64, cfg StreamConfig) *ExtractResult {
 		}
 		// The rule's expansion exceeds the stream window: the stream is
 		// cut short at the window, keeping the full expansion's heat.
-		objs := expandRulePrefix(g, int32(num), cfg.MaxLen)
+		objs := sequitur.ExpandRulePrefix(g, num, cfg.MaxLen)
 		cands = append(cands, Stream{Objects: objs, Freq: f, Heat: l * f, Truncated: true})
 	}
 	sort.Slice(cands, func(i, j int) bool {

@@ -21,7 +21,10 @@
 // internal/vm.
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Word is the machine's native integer: 64-bit signed.
 type Word = int64
@@ -228,7 +231,24 @@ type Program struct {
 	// nextSynth is the next synthetic address to hand out; maintained by
 	// Link and used by the rewriter for inserted instructions.
 	nextSynth Addr
+
+	// decodeCache holds the VM's predecoded form of this program (an
+	// opaque value owned by internal/vm), so fan-out trials over a shared
+	// program pay one decode. Clone deliberately does not carry it over:
+	// the rewriter patches clones in place before execution.
+	decodeCache atomic.Value
 }
+
+// DecodeCache returns the cached predecoded form stored by SetDecodeCache,
+// or nil. The value's type is owned by internal/vm; the program only
+// provides per-instance storage with the right lifetime (the cache dies
+// with the program, never outlives a rewrite).
+func (p *Program) DecodeCache() any { return p.decodeCache.Load() }
+
+// SetDecodeCache stores the predecoded form. Concurrent stores of the
+// deterministic decode are benign: last writer wins and all values are
+// identical.
+func (p *Program) SetDecodeCache(d any) { p.decodeCache.Store(d) }
 
 // GlobalsBase is the address of the global segment: global slot i lives at
 // GlobalsBase + 8*i. It sits far below the heap (mem.HeapBase).

@@ -210,6 +210,13 @@ func MeasureTrialsParallel(p *isa.Program, policy Policy, trials int, baseSeed u
 	if trials < 1 {
 		trials = 1
 	}
+	// Pre-warm the decode cache before fanning out: every trial executes
+	// the same program (the rewritten one for HALO), so one decode up front
+	// keeps the workers from racing on redundant lowering passes.
+	vm.Predecode(p)
+	if policy.Kind == HALO && policy.Rewritten != nil {
+		vm.Predecode(policy.Rewritten)
+	}
 	all := make([]RunResult, trials+1)
 	err := pool.Map(trials+1, workers, func(t int) error {
 		r, err := Run(p, policy, baseSeed+uint64(t), machine)

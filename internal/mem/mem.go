@@ -56,6 +56,15 @@ func (m *Memory) page(addr uint64, create bool) *[PageSize]byte {
 	return p
 }
 
+// PageFor exposes the backing page containing addr, materialising it when
+// create is set. Execution engines cache the returned pointer as a
+// software TLB to skip the per-access map lookup; any operation that can
+// unmap or recreate pages (Release, and anything reachable from allocator
+// externs) obliges cached pointers to be dropped.
+func (m *Memory) PageFor(addr uint64, create bool) *[PageSize]byte {
+	return m.page(addr, create)
+}
+
 // ByteAt returns the byte stored at addr.
 func (m *Memory) ByteAt(addr uint64) byte {
 	p := m.page(addr, false)

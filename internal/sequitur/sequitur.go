@@ -1,16 +1,14 @@
-// Package hds replicates the comparison technique of Chilimbi & Shaham,
-// "Cache-conscious Coallocation of Hot Data Streams" (PLDI '06), exactly as
-// the paper's evaluation does (§5.1): the object-level data reference trace
-// is compressed with SEQUITUR, minimal hot data streams of 2–20 elements
-// are extracted with the stream threshold set to cover 90% of heap
-// accesses, streams are converted to co-allocation sets scored by their
-// projected cache-line savings, and a profitable non-overlapping family is
-// chosen with Halldórsson's greedy approximation to weighted set packing.
-// At runtime the resulting groups are identified by the immediate call
-// site of the allocation procedure.
-package hds
+// Package sequitur implements SEQUITUR (Nevill-Manning & Witten, 1997):
+// linear-time, incremental inference of a context-free grammar whose
+// language is exactly the input string. It is a leaf package shared by two
+// very different consumers: internal/hds compresses object-level data
+// reference traces with it to extract hot data streams (the paper's
+// PLDI '06 comparison technique), and internal/vm runs it over static
+// instruction streams at predecode time to find the hot opcode digrams
+// worth fusing into superinstructions.
+package sequitur
 
-// This file implements SEQUITUR (Nevill-Manning & Witten, 1997): linear
+// This file implements the grammar: linear
 // time, incremental inference of a context-free grammar whose language is
 // exactly the input string, maintaining the digram-uniqueness and
 // rule-utility invariants.
@@ -238,7 +236,7 @@ func (g *Grammar) expand(s int32) {
 // Append feeds the next terminal of the input sequence.
 func (g *Grammar) Append(value int64) {
 	if value < 0 {
-		panic("hds: terminals must be non-negative")
+		panic("sequitur: terminals must be non-negative")
 	}
 	g.length++
 	t := g.newSymbol(value, false)
@@ -254,9 +252,17 @@ func (g *Grammar) Length() int { return g.length }
 // NumRules reports the live rule count (including the start rule).
 func (g *Grammar) NumRules() int { return g.nlive }
 
-// numAssigned reports how many rule numbers have ever been handed out;
-// slices indexed by rule number size themselves with it.
-func (g *Grammar) numAssigned() int { return len(g.rules) }
+// NumAssigned reports how many rule numbers have ever been handed out;
+// slices indexed by rule number size themselves with it (deleted numbers
+// are never reused).
+func (g *Grammar) NumAssigned() int { return len(g.rules) }
+
+// Live reports whether the rule number is still a live production.
+func (g *Grammar) Live(num int) bool { return num < len(g.rules) && g.rules[num].live }
+
+// RuleOf decodes a nonterminal reference as it appears in a rule body
+// (a negative value) back to its rule number.
+func RuleOf(ref int64) int { return int(-ref - 1) }
 
 // Body returns a rule's symbol sequence: terminal values (>= 0) and rule
 // references encoded as -Number-1.

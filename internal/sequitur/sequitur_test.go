@@ -1,4 +1,4 @@
-package hds
+package sequitur
 
 import (
 	"testing"
@@ -139,8 +139,8 @@ func TestRuleFreqAndLens(t *testing.T) {
 	// 1 2 1 2 1 2 1 2 -> rule r=[1 2] occurring 4 times.
 	seq := []int64{1, 2, 1, 2, 1, 2, 1, 2}
 	g := buildGrammar(seq)
-	freq := ruleFreq(g)
-	lens := ruleLens(g)
+	freq := RuleFreq(g)
+	lens := RuleLens(g)
 	// Find a rule with expansion [1 2] and check freq*len sums to the
 	// whole trace.
 	total := 0
@@ -156,45 +156,6 @@ func TestRuleFreqAndLens(t *testing.T) {
 	}
 	if freq[0] != 1 {
 		t.Fatalf("start rule freq = %d", freq[0])
-	}
-}
-
-func TestExtractStreamsFindsHotStream(t *testing.T) {
-	// Objects 10,11,12 are traversed 50 times; 90..99 appear once each.
-	var seq []int64
-	for i := 0; i < 50; i++ {
-		seq = append(seq, 10, 11, 12)
-	}
-	for i := int64(90); i < 100; i++ {
-		seq = append(seq, i)
-	}
-	res := ExtractStreams(seq, StreamConfig{})
-	if len(res.Streams) == 0 {
-		t.Fatal("no hot streams found")
-	}
-	top := res.Streams[0]
-	found := make(map[int64]bool)
-	for _, o := range top.Objects {
-		found[o] = true
-	}
-	if !found[10] || !found[11] || !found[12] {
-		t.Fatalf("hottest stream %v does not cover the loop objects", top.Objects)
-	}
-	if top.Freq < 2 {
-		t.Fatalf("hottest stream freq = %d", top.Freq)
-	}
-}
-
-func TestExtractStreamsLengthWindow(t *testing.T) {
-	var seq []int64
-	for i := 0; i < 40; i++ {
-		seq = append(seq, 1, 2, 3, 4)
-	}
-	res := ExtractStreams(seq, StreamConfig{MinLen: 2, MaxLen: 3, Coverage: 0.9})
-	for _, s := range res.Streams {
-		if len(s.Objects) < 2 || len(s.Objects) > 3 {
-			t.Fatalf("stream length %d outside window", len(s.Objects))
-		}
 	}
 }
 

@@ -1,0 +1,53 @@
+package vm
+
+import (
+	"testing"
+
+	"halo/internal/mem"
+	"halo/internal/workloads"
+)
+
+// benchSink counts events without retaining them — the cheapest consumer
+// that still forces the emit/flush path to run.
+type benchSink struct{ n int }
+
+func (s *benchSink) ConsumeEvents(batch []Event) { s.n += len(batch) }
+
+// BenchmarkVMDispatch compares the reference switch interpreter against the
+// predecoded threaded dispatcher on the golden workloads. ReportMetric
+// publishes steps/s and events/s so the CI regression guard (cmd/vmbench)
+// and EXPERIMENTS.md can track dispatch throughput directly.
+func BenchmarkVMDispatch(b *testing.B) {
+	for _, name := range []string{"povray", "omnetpp"} {
+		w := workloads.MustGet(name)
+		p := w.Build(w.TestScale)
+		Predecode(p) // decode outside the timed region, as real runs do
+		for _, eng := range []struct {
+			name string
+			mode DispatchMode
+		}{
+			{"switch", DispatchSwitch},
+			{"threaded", DispatchThreaded},
+		} {
+			b.Run(name+"/"+eng.name, func(b *testing.B) {
+				var steps, events uint64
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					m := mem.NewMemory()
+					sink := &benchSink{}
+					v := New(p, m, newBump(m), sink, Config{Seed: 1000, Dispatch: eng.mode})
+					if _, err := v.Run(); err != nil {
+						b.Fatal(err)
+					}
+					steps += v.Steps()
+					events += uint64(sink.n)
+				}
+				sec := b.Elapsed().Seconds()
+				if sec > 0 {
+					b.ReportMetric(float64(steps)/sec, "steps/s")
+					b.ReportMetric(float64(events)/sec, "events/s")
+				}
+			})
+		}
+	}
+}

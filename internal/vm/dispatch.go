@@ -1,0 +1,504 @@
+// Threaded dispatch: the predecoded execution core. A handler table
+// indexed by decoded opcode replaces the reference interpreter's giant
+// switch (vm.go), in the style of classic func-table ISA simulators — with
+// the hottest paths kept inline in the loop itself: loads and stores (the
+// event-emit fast path), constants, adds, branches, calls/returns, and all
+// fused superinstructions. Everything else costs one indirect call through
+// the table.
+//
+// Hot state lives in locals for the whole run — pc, step/load/store
+// counters, the register window — and is written back to the VM and frame
+// only at call boundaries and exits, so the per-instruction loop touches no
+// VM fields except the event buffer.
+//
+// Step-budget contract for fused records: the loop head charges the first
+// component's step, the handler charges the second's. If the budget expires
+// between the halves the handler stops after the first component and
+// resumes at pc+1 — which holds the second component's original decoded
+// form — so the run traps with ErrMaxSteps at exactly the instruction
+// boundary the reference interpreter would, with the identical partial
+// event stream.
+package vm
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"halo/internal/isa"
+	"halo/internal/mem"
+)
+
+// dhandler executes one table-dispatched instruction and returns the next
+// pc. Errors are sentinel trap causes; the loop wraps them with frame
+// context.
+type dhandler func(v *VM, in *dinst, regs []int64, pc int) (int, error)
+
+// Sentinel trap causes for table handlers, formatted exactly like the
+// reference interpreter's messages.
+var (
+	errDivZero = errors.New("division by zero")
+	errModZero = errors.New("mod by zero")
+)
+
+// dtab is the handler table. Slots the loop handles inline are backed by
+// hIllegal for safety; they are never reached through the table.
+var dtab = [dopCount]dhandler{}
+
+func init() {
+	for i := range dtab {
+		dtab[i] = hIllegal
+	}
+	dtab[dNop] = hNop
+	dtab[dMov] = hMov
+	dtab[dSub] = hSub
+	dtab[dMul] = hMul
+	dtab[dDiv] = hDiv
+	dtab[dMod] = hMod
+	dtab[dAnd] = hAnd
+	dtab[dOr] = hOr
+	dtab[dXor] = hXor
+	dtab[dShl] = hShl
+	dtab[dShr] = hShr
+	dtab[dEq] = hEq
+	dtab[dNe] = hNe
+	dtab[dLt] = hLt
+	dtab[dLe] = hLe
+	dtab[dGroupSet] = hGroupSet
+	dtab[dGroupClr] = hGroupClr
+}
+
+func hIllegal(v *VM, in *dinst, regs []int64, pc int) (int, error) {
+	return 0, &illegalOp{op: isa.Opcode(in.imm)}
+}
+
+// illegalOp formats the reference interpreter's illegal-opcode trap cause.
+type illegalOp struct{ op isa.Opcode }
+
+func (e *illegalOp) Error() string { return "illegal opcode " + e.op.String() }
+
+func hNop(v *VM, in *dinst, regs []int64, pc int) (int, error) { return pc + 1, nil }
+func hMov(v *VM, in *dinst, regs []int64, pc int) (int, error) {
+	regs[in.a] = regs[in.b]
+	return pc + 1, nil
+}
+func hSub(v *VM, in *dinst, regs []int64, pc int) (int, error) {
+	regs[in.a] = regs[in.b] - regs[in.c]
+	return pc + 1, nil
+}
+func hMul(v *VM, in *dinst, regs []int64, pc int) (int, error) {
+	regs[in.a] = regs[in.b] * regs[in.c]
+	return pc + 1, nil
+}
+func hDiv(v *VM, in *dinst, regs []int64, pc int) (int, error) {
+	if regs[in.c] == 0 {
+		return 0, errDivZero
+	}
+	regs[in.a] = regs[in.b] / regs[in.c]
+	return pc + 1, nil
+}
+func hMod(v *VM, in *dinst, regs []int64, pc int) (int, error) {
+	if regs[in.c] == 0 {
+		return 0, errModZero
+	}
+	regs[in.a] = regs[in.b] % regs[in.c]
+	return pc + 1, nil
+}
+func hAnd(v *VM, in *dinst, regs []int64, pc int) (int, error) {
+	regs[in.a] = regs[in.b] & regs[in.c]
+	return pc + 1, nil
+}
+func hOr(v *VM, in *dinst, regs []int64, pc int) (int, error) {
+	regs[in.a] = regs[in.b] | regs[in.c]
+	return pc + 1, nil
+}
+func hXor(v *VM, in *dinst, regs []int64, pc int) (int, error) {
+	regs[in.a] = regs[in.b] ^ regs[in.c]
+	return pc + 1, nil
+}
+func hShl(v *VM, in *dinst, regs []int64, pc int) (int, error) {
+	regs[in.a] = regs[in.b] << (uint64(regs[in.c]) & 63)
+	return pc + 1, nil
+}
+func hShr(v *VM, in *dinst, regs []int64, pc int) (int, error) {
+	regs[in.a] = int64(uint64(regs[in.b]) >> (uint64(regs[in.c]) & 63))
+	return pc + 1, nil
+}
+func hEq(v *VM, in *dinst, regs []int64, pc int) (int, error) {
+	regs[in.a] = b2i(regs[in.b] == regs[in.c])
+	return pc + 1, nil
+}
+func hNe(v *VM, in *dinst, regs []int64, pc int) (int, error) {
+	regs[in.a] = b2i(regs[in.b] != regs[in.c])
+	return pc + 1, nil
+}
+func hLt(v *VM, in *dinst, regs []int64, pc int) (int, error) {
+	regs[in.a] = b2i(regs[in.b] < regs[in.c])
+	return pc + 1, nil
+}
+func hLe(v *VM, in *dinst, regs []int64, pc int) (int, error) {
+	regs[in.a] = b2i(regs[in.b] <= regs[in.c])
+	return pc + 1, nil
+}
+func hGroupSet(v *VM, in *dinst, regs []int64, pc int) (int, error) {
+	v.group.Set(int(in.imm))
+	return pc + 1, nil
+}
+func hGroupClr(v *VM, in *dinst, regs []int64, pc int) (int, error) {
+	v.group.Clear(int(in.imm))
+	return pc + 1, nil
+}
+
+const pageMask = mem.PageSize - 1
+
+// loadFast reads size bytes at addr through the dispatcher's one-entry
+// software TLB, turning the per-byte page-map lookups of Memory.Read into
+// a single in-page little-endian load on the (overwhelmingly common) hit
+// path. Page-straddling and non-power-of-two accesses fall back to the
+// reference path, which keeps the byte semantics identical.
+func (v *VM) loadFast(addr uint64, size uint8) uint64 {
+	off := addr & pageMask
+	if off+uint64(size) > mem.PageSize {
+		return v.mem.Read(addr, size)
+	}
+	if id := (addr >> mem.PageShift) + 1; id != v.tlbID {
+		v.tlbPage = v.mem.PageFor(addr, false)
+		v.tlbID = id
+	}
+	p := v.tlbPage
+	if p == nil {
+		return 0 // untouched page: reads as zeros
+	}
+	switch size {
+	case 8:
+		return binary.LittleEndian.Uint64(p[off:])
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(p[off:]))
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(p[off:]))
+	case 1:
+		return uint64(p[off])
+	default:
+		return v.mem.Read(addr, size)
+	}
+}
+
+// storeFast is the store-side TLB path; see loadFast. Stores materialise
+// the page, exactly as Memory.Write does.
+func (v *VM) storeFast(addr uint64, size uint8, val uint64) {
+	off := addr & pageMask
+	if off+uint64(size) > mem.PageSize {
+		v.mem.Write(addr, size, val)
+		return
+	}
+	if id := (addr >> mem.PageShift) + 1; id != v.tlbID || v.tlbPage == nil {
+		v.tlbPage = v.mem.PageFor(addr, true)
+		v.tlbID = id
+	}
+	p := v.tlbPage
+	switch size {
+	case 8:
+		binary.LittleEndian.PutUint64(p[off:], val)
+	case 4:
+		binary.LittleEndian.PutUint32(p[off:], uint32(val))
+	case 2:
+		binary.LittleEndian.PutUint16(p[off:], uint16(val))
+	case 1:
+		p[off] = byte(val)
+	default:
+		v.mem.Write(addr, size, val)
+	}
+}
+
+// runThreaded executes the decoded program. Entry frame and registers have
+// been set up by Run.
+func (v *VM) runThreaded(dp *Decoded) (res int64, err error) {
+	limit := v.cfg.MaxSteps
+	sinkOn := v.sink != nil
+	steps, loads, stores := v.steps, v.loads, v.stores
+	fused := v.fused
+	// Counter writeback on every exit path; break inner only re-enters the
+	// outer loop, which never reads them.
+	sync := func() { v.steps, v.loads, v.stores, v.fused = steps, loads, stores, fused }
+
+	for {
+		if len(v.frames) == 0 {
+			sync()
+			return 0, errors.New("vm: frame stack underflow")
+		}
+		f := &v.frames[len(v.frames)-1]
+		fc := &dp.funcs[f.fn]
+		code := fc.code
+		regs := v.regs[f.base : f.base+fc.nregs]
+		pc := f.pc
+
+	inner:
+		for {
+			if pc >= len(code) {
+				f.pc = pc
+				sync()
+				return 0, v.trap(*f, "fell off function end")
+			}
+			if steps >= limit {
+				f.pc = pc
+				sync()
+				return 0, ErrMaxSteps
+			}
+			in := &code[pc]
+			steps++
+			switch in.op {
+			case dConst:
+				regs[in.a] = in.imm
+				pc++
+			case dAdd:
+				regs[in.a] = regs[in.b] + regs[in.c]
+				pc++
+			case dAddImm:
+				regs[in.a] = regs[in.b] + in.imm
+				pc++
+			case dLoad:
+				addr := uint64(regs[in.b] + in.imm)
+				if sinkOn {
+					// Inlined emit: the hottest observation site.
+					v.events = append(v.events, Event{Kind: EvAccess, Addr: addr, Size: in.size})
+					if len(v.events) == cap(v.events) {
+						v.flushEvents()
+					}
+				}
+				loads++
+				regs[in.a] = int64(v.loadFast(addr, in.size))
+				pc++
+			case dStore:
+				addr := uint64(regs[in.b] + in.imm)
+				if sinkOn {
+					v.events = append(v.events, Event{Kind: EvAccess, Addr: addr, Size: in.size, Write: true})
+					if len(v.events) == cap(v.events) {
+						v.flushEvents()
+					}
+				}
+				stores++
+				v.storeFast(addr, in.size, uint64(regs[in.a]))
+				pc++
+			case dJmp:
+				pc = int(in.imm)
+			case dBz:
+				if regs[in.a] == 0 {
+					pc = int(in.imm)
+				} else {
+					pc++
+				}
+			case dBnz:
+				if regs[in.a] != 0 {
+					pc = int(in.imm)
+				} else {
+					pc++
+				}
+
+			// ---- superinstructions ----
+			case dConstAdd:
+				regs[in.a] = in.imm
+				if steps >= limit {
+					pc++ // budget expired mid-pair; resume at the second component
+					continue
+				}
+				steps++
+				fused++
+				regs[in.a2] = regs[in.b2] + regs[in.c2]
+				pc += 2
+			case dCmpBr:
+				x, y := regs[in.b], regs[in.c]
+				var r int64
+				switch in.ck >> 1 {
+				case ckEq:
+					r = b2i(x == y)
+				case ckNe:
+					r = b2i(x != y)
+				case ckLt:
+					r = b2i(x < y)
+				default:
+					r = b2i(x <= y)
+				}
+				regs[in.a] = r
+				if steps >= limit {
+					pc++
+					continue
+				}
+				steps++
+				fused++
+				cond := regs[in.a2]
+				take := cond != 0
+				if in.ck&1 == 0 { // bz
+					take = cond == 0
+				}
+				if take {
+					pc = int(in.imm2)
+				} else {
+					pc += 2
+				}
+			case dAddImmLoad:
+				regs[in.a] = regs[in.b] + in.imm
+				if steps >= limit {
+					pc++
+					continue
+				}
+				steps++
+				fused++
+				addr := uint64(regs[in.b2] + in.imm2)
+				if sinkOn {
+					v.events = append(v.events, Event{Kind: EvAccess, Addr: addr, Size: in.size2})
+					if len(v.events) == cap(v.events) {
+						v.flushEvents()
+					}
+				}
+				loads++
+				regs[in.a2] = int64(v.loadFast(addr, in.size2))
+				pc += 2
+			case dConstStore:
+				regs[in.a] = in.imm
+				if steps >= limit {
+					pc++
+					continue
+				}
+				steps++
+				fused++
+				addr := uint64(regs[in.b2] + in.imm2)
+				if sinkOn {
+					v.events = append(v.events, Event{Kind: EvAccess, Addr: addr, Size: in.size2, Write: true})
+					if len(v.events) == cap(v.events) {
+						v.flushEvents()
+					}
+				}
+				stores++
+				v.storeFast(addr, in.size2, uint64(regs[in.a2]))
+				pc += 2
+			case dLoadStore:
+				addr := uint64(regs[in.b] + in.imm)
+				if sinkOn {
+					v.events = append(v.events, Event{Kind: EvAccess, Addr: addr, Size: in.size})
+					if len(v.events) == cap(v.events) {
+						v.flushEvents()
+					}
+				}
+				loads++
+				regs[in.a] = int64(v.loadFast(addr, in.size))
+				if steps >= limit {
+					pc++
+					continue
+				}
+				steps++
+				fused++
+				addr = uint64(regs[in.b2] + in.imm2)
+				if sinkOn {
+					v.events = append(v.events, Event{Kind: EvAccess, Addr: addr, Size: in.size2, Write: true})
+					if len(v.events) == cap(v.events) {
+						v.flushEvents()
+					}
+				}
+				stores++
+				v.storeFast(addr, in.size2, uint64(regs[in.a2]))
+				pc += 2
+			case dLoadAdd:
+				addr := uint64(regs[in.b] + in.imm)
+				if sinkOn {
+					v.events = append(v.events, Event{Kind: EvAccess, Addr: addr, Size: in.size})
+					if len(v.events) == cap(v.events) {
+						v.flushEvents()
+					}
+				}
+				loads++
+				regs[in.a] = int64(v.loadFast(addr, in.size))
+				if steps >= limit {
+					pc++
+					continue
+				}
+				steps++
+				fused++
+				regs[in.a2] = regs[in.b2] + regs[in.c2]
+				pc += 2
+
+			// ---- control transfers ----
+			case dRet:
+				val := regs[in.a]
+				if f.entry {
+					sync()
+					return val, nil
+				}
+				if sinkOn {
+					v.emit(Event{Kind: EvReturn, Fn: int32(f.fn)})
+				}
+				dst, ret, base := f.dst, f.ret, f.base
+				v.frames = v.frames[:len(v.frames)-1]
+				v.regs = v.regs[:base]
+				pf := &v.frames[len(v.frames)-1]
+				v.regs[pf.base+int(dst)] = val
+				pf.pc = ret
+				break inner
+			case dCall, dCallInd:
+				var target int32
+				if in.op == dCall {
+					target = in.fn
+				} else {
+					t := regs[in.d]
+					if t < 0 || t >= int64(len(v.prog.Funcs)) {
+						f.pc = pc
+						sync()
+						return 0, v.trap(*f, "indirect call to bad function index %d", t)
+					}
+					target = int32(t)
+				}
+				if len(v.frames) >= v.cfg.MaxDepth {
+					f.pc = pc
+					sync()
+					return 0, v.trap(*f, "call stack overflow (%d frames)", len(v.frames))
+				}
+				callee := &dp.funcs[target]
+				if int(in.c) != callee.nparams {
+					f.pc = pc
+					sync()
+					return 0, v.trap(*f, "call to %s with %d args, want %d",
+						v.prog.Funcs[target].Name, in.c, callee.nparams)
+				}
+				newBase := len(v.regs)
+				v.regs = append(v.regs, make([]int64, callee.nregs)...)
+				for i := 0; i < int(in.c); i++ {
+					v.regs[newBase+i] = regs[int(in.b)+i]
+				}
+				v.frames = append(v.frames, frame{
+					fn:   int(target),
+					base: newBase,
+					dst:  in.a,
+					ret:  pc + 1,
+					site: in.addr,
+				})
+				if sinkOn {
+					v.emit(Event{Kind: EvCall, Site: in.addr, Fn: target})
+				}
+				break inner
+			case dCallExt:
+				f.pc = pc
+				sync()
+				res, err := v.callExtern(f, in.addr, in.b, in.c, regs, isa.Extern(in.fn))
+				// The extern may have unmapped, purged or recreated pages.
+				v.tlbID, v.tlbPage = 0, nil
+				if err != nil {
+					return 0, err
+				}
+				if v.halted {
+					return res, nil
+				}
+				regs[in.a] = res
+				pc++
+			case dHalt:
+				sync()
+				return 0, nil
+			default:
+				npc, herr := dtab[in.op](v, in, regs, pc)
+				if herr != nil {
+					f.pc = pc
+					sync()
+					return 0, v.trap(*f, "%s", herr)
+				}
+				pc = npc
+			}
+		}
+	}
+}

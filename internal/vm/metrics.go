@@ -14,4 +14,10 @@ var (
 		"event batches flushed to sinks")
 	mBatchFill = obs.Default.Gauge("halo_vm_batch_fill_pct",
 		"ring-buffer occupancy of the most recently flushed batch (percent of capacity)")
+	mFusedInsts = obs.Default.Counter("halo_vm_fused_insts_total",
+		"superinstruction pairs fully retired by the threaded dispatcher (recorded once per run)")
+	mPredecodeHits = obs.Default.Counter("halo_vm_predecode_cache_hits_total",
+		"Predecode calls served from the per-program decode cache")
+	mPredecodeMisses = obs.Default.Counter("halo_vm_predecode_cache_misses_total",
+		"Predecode calls that lowered a program from scratch")
 )

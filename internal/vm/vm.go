@@ -89,6 +89,20 @@ type Hooks interface {
 	OnAlloc(ev AllocEvent)
 }
 
+// DispatchMode selects the execution engine.
+type DispatchMode uint8
+
+// Execution engines.
+const (
+	// DispatchThreaded is the default: the program is predecoded once
+	// (predecode.go) and executed by the func-table threaded dispatcher with
+	// superinstruction fusion (dispatch.go).
+	DispatchThreaded DispatchMode = iota
+	// DispatchSwitch is the reference switch interpreter, retained verbatim
+	// as the differential-testing oracle for the threaded engine.
+	DispatchSwitch
+)
+
 // Config parameterises a run.
 type Config struct {
 	// Seed drives the deterministic rand external. Zero means 1.
@@ -111,6 +125,10 @@ type Config struct {
 	// DefaultBatchSize. The observed event sequence is identical at any
 	// batch size (1 degenerates to per-event delivery).
 	BatchSize int
+	// Dispatch selects the execution engine; the zero value is the
+	// predecoded threaded dispatcher. Both engines produce bit-identical
+	// results, step counts and event streams.
+	Dispatch DispatchMode
 }
 
 // Defaults for Config.
@@ -139,7 +157,14 @@ type VM struct {
 	steps  uint64
 	loads  uint64
 	stores uint64
+	fused  uint64 // superinstruction pairs fully retired
 	halted bool
+
+	// Software TLB for the threaded dispatcher: the last page touched by a
+	// load or store, keyed by page id + 1 (0 = empty). Dropped whenever an
+	// extern runs — allocators can unmap, purge or recreate pages.
+	tlbID   uint64
+	tlbPage *[mem.PageSize]byte
 }
 
 type frame struct {
@@ -207,6 +232,10 @@ func (v *VM) Loads() uint64 { return v.loads }
 // Stores reports executed store instructions.
 func (v *VM) Stores() uint64 { return v.stores }
 
+// Fused reports superinstruction pairs fully retired by the threaded
+// dispatcher; always zero under DispatchSwitch.
+func (v *VM) Fused() uint64 { return v.fused }
+
 // ErrMaxSteps is returned when the step budget is exhausted.
 var ErrMaxSteps = errors.New("vm: step budget exhausted")
 
@@ -239,7 +268,25 @@ func (v *VM) Run() (int64, error) {
 	v.frames = v.frames[:0]
 	v.frames = append(v.frames, frame{fn: v.prog.Entry, base: 0, entry: true})
 	v.halted = false
+	v.tlbID, v.tlbPage = 0, nil
 
+	if v.cfg.Dispatch == DispatchSwitch {
+		return v.runSwitch()
+	}
+	startFused := v.fused
+	res, err := v.runThreaded(Predecode(v.prog))
+	if obs.Enabled() {
+		if d := v.fused - startFused; d > 0 {
+			mFusedInsts.Add(d)
+		}
+	}
+	return res, err
+}
+
+// runSwitch is the reference interpreter: one switch over isa opcodes,
+// kept byte-for-byte equivalent in observable behaviour to the threaded
+// engine and exercised against it by the differential tests.
+func (v *VM) runSwitch() (int64, error) {
 	for {
 		if len(v.frames) == 0 {
 			return 0, errors.New("vm: frame stack underflow")
@@ -391,7 +438,7 @@ func (v *VM) Run() (int64, error) {
 					target = isa.FnRef(t)
 				}
 				if target.IsExtern() {
-					res, err := v.callExtern(f, in, regs, target.ExternOf())
+					res, err := v.callExtern(f, in.Addr, in.B, in.C, regs, target.ExternOf())
 					if err != nil {
 						return 0, err
 					}
@@ -432,17 +479,20 @@ func (v *VM) Run() (int64, error) {
 	}
 }
 
-func (v *VM) callExtern(f *frame, in isa.Inst, regs []int64, ext isa.Extern) (int64, error) {
+// callExtern services an external call. Both engines route here: the
+// switch interpreter passes the operands straight off the isa.Inst, the
+// threaded dispatcher off the decoded record.
+func (v *VM) callExtern(f *frame, site isa.Addr, argBase, argc uint8, regs []int64, ext isa.Extern) (int64, error) {
 	arg := func(i int) int64 {
-		if i < int(in.C) {
-			return regs[int(in.B)+i]
+		if i < int(argc) {
+			return regs[int(argBase)+i]
 		}
 		return 0
 	}
 	switch ext {
 	case isa.ExtMalloc, isa.ExtCalloc, isa.ExtRealloc, isa.ExtFree:
 		if v.siteAware != nil {
-			v.siteAware.SetAllocSite(in.Addr)
+			v.siteAware.SetAllocSite(site)
 		}
 	}
 	switch ext {
@@ -450,24 +500,31 @@ func (v *VM) callExtern(f *frame, in isa.Inst, regs []int64, ext isa.Extern) (in
 		size := uint64(arg(0))
 		ptr := v.alloc.Malloc(size)
 		if v.sink != nil {
-			v.emit(Event{Kind: EvAlloc, AKind: KindMalloc, Addr: ptr, Bytes: size, Site: in.Addr})
+			v.emit(Event{Kind: EvAlloc, AKind: KindMalloc, Addr: ptr, Bytes: size, Site: site})
 		}
 		return int64(ptr), nil
 	case isa.ExtCalloc:
 		n, size := uint64(arg(0)), uint64(arg(1))
-		ptr := v.alloc.Calloc(n, size)
-		if ptr != 0 {
-			v.mem.Zero(ptr, n*size)
+		var ptr uint64
+		if size != 0 && n > ^uint64(0)/size {
+			// POSIX calloc: a product that overflows must fail, not
+			// allocate the wrapped size and zero past the block.
+			ptr = 0
+		} else {
+			ptr = v.alloc.Calloc(n, size)
+			if ptr != 0 {
+				v.mem.Zero(ptr, n*size)
+			}
 		}
 		if v.sink != nil {
-			v.emit(Event{Kind: EvAlloc, AKind: KindCalloc, Addr: ptr, Bytes: n * size, Site: in.Addr})
+			v.emit(Event{Kind: EvAlloc, AKind: KindCalloc, Addr: ptr, Bytes: n * size, Site: site})
 		}
 		return int64(ptr), nil
 	case isa.ExtRealloc:
 		old, size := uint64(arg(0)), uint64(arg(1))
 		ptr := v.alloc.Realloc(old, size)
 		if v.sink != nil {
-			v.emit(Event{Kind: EvAlloc, AKind: KindRealloc, Addr: ptr, Old: old, Bytes: size, Site: in.Addr})
+			v.emit(Event{Kind: EvAlloc, AKind: KindRealloc, Addr: ptr, Old: old, Bytes: size, Site: site})
 		}
 		return int64(ptr), nil
 	case isa.ExtFree:
@@ -476,7 +533,7 @@ func (v *VM) callExtern(f *frame, in isa.Inst, regs []int64, ext isa.Extern) (in
 			v.alloc.Free(ptr)
 		}
 		if v.sink != nil {
-			v.emit(Event{Kind: EvAlloc, AKind: KindFree, Old: ptr, Site: in.Addr})
+			v.emit(Event{Kind: EvAlloc, AKind: KindFree, Old: ptr, Site: site})
 		}
 		return 0, nil
 	case isa.ExtRand:

@@ -472,3 +472,34 @@ func TestReallocPreservesData(t *testing.T) {
 		t.Fatalf("realloc lost data: %d", res)
 	}
 }
+
+func TestCallocOverflowReturnsNull(t *testing.T) {
+	// POSIX calloc: when n*size overflows, the call must fail with NULL.
+	// Before the VM checked the product, the wrapped (tiny) size reached
+	// the allocator, which happily returned a live pointer to a block far
+	// smaller than the program asked for.
+	for _, mode := range []DispatchMode{DispatchThreaded, DispatchSwitch} {
+		res, _ := run(t, func(b *prog.Builder) {
+			f := b.Func("main", 0)
+			n := f.ConstReg(1 << 33)
+			sz := f.ConstReg(1 << 33) // n*size = 2^66, wraps to 0
+			f.Ret(f.Calloc(n, sz))
+		}, Config{Dispatch: mode})
+		if res != 0 {
+			t.Errorf("dispatch=%d: calloc(2^33, 2^33) = %#x, want NULL", mode, res)
+		}
+	}
+	// A wrap that lands on a non-zero product must fail too.
+	for _, mode := range []DispatchMode{DispatchThreaded, DispatchSwitch} {
+		res, _ := run(t, func(b *prog.Builder) {
+			f := b.Func("main", 0)
+			n := f.ConstReg(3)
+			sz := f.Reg()
+			f.Const(sz, -9) // 2^64-9; 3*(2^64-9) wraps to 2^64-27
+			f.Ret(f.Calloc(n, sz))
+		}, Config{Dispatch: mode})
+		if res != 0 {
+			t.Errorf("dispatch=%d: overflowing calloc = %#x, want NULL", mode, res)
+		}
+	}
+}
