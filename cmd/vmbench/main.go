@@ -25,13 +25,19 @@ import (
 	"halo/internal/workloads"
 )
 
-// Result is one workload × engine throughput record.
+// Result is one workload × engine throughput record. TLB and fusion
+// figures are threaded-engine properties; they stay zero for the switch
+// engine, which has neither a software TLB nor superinstructions.
 type Result struct {
 	Workload     string  `json:"workload"`
 	Engine       string  `json:"engine"`
 	Steps        uint64  `json:"steps"`
 	Events       uint64  `json:"events"`
 	Fused        uint64  `json:"fused"`
+	Triples      uint64  `json:"triples"`       // fused-triple sites in the decoded program
+	Inlined      uint64  `json:"inlined"`       // inlined calls retired during the run
+	TLBHitRate   float64 `json:"tlb_hit_rate"`  // hits / (loads+stores)
+	TLBMissRate  float64 `json:"tlb_miss_rate"` // misses / (loads+stores)
 	NsPerRun     int64   `json:"ns_per_run"`
 	StepsPerSec  float64 `json:"steps_per_sec"`
 	EventsPerSec float64 `json:"events_per_sec"`
@@ -99,16 +105,27 @@ func measure(name string, mode vm.DispatchMode) (Result, error) {
 	if mode == vm.DispatchSwitch {
 		engine = "switch"
 	}
-	return Result{
+	res := Result{
 		Workload:     name,
 		Engine:       engine,
 		Steps:        v.Steps(),
 		Events:       sink.n,
 		Fused:        v.Fused(),
+		Inlined:      v.Inlined(),
 		NsPerRun:     ns,
 		StepsPerSec:  float64(v.Steps()) / sec,
 		EventsPerSec: float64(sink.n) / sec,
-	}, nil
+	}
+	if mode == vm.DispatchThreaded {
+		res.Triples = uint64(vm.Predecode(p).TripleSites())
+		if acc := v.Loads() + v.Stores(); acc > 0 {
+			miss := v.TLBMisses()
+			hits := acc - miss - v.TLBBypasses()
+			res.TLBHitRate = float64(hits) / float64(acc)
+			res.TLBMissRate = float64(miss) / float64(acc)
+		}
+	}
+	return res, nil
 }
 
 func main() {
@@ -136,9 +153,9 @@ func main() {
 				}
 			}
 			doc.Results = append(doc.Results, best)
-			fmt.Printf("%-10s %-9s %12d steps  %9d fused  %8.2fms  %11.0f steps/s  %11.0f events/s\n",
-				best.Workload, best.Engine, best.Steps, best.Fused,
-				float64(best.NsPerRun)/1e6, best.StepsPerSec, best.EventsPerSec)
+			fmt.Printf("%-10s %-9s %12d steps  %9d fused  %5d triples  %8d inlined  tlb %5.1f%%  %8.2fms  %11.0f steps/s  %11.0f events/s\n",
+				best.Workload, best.Engine, best.Steps, best.Fused, best.Triples, best.Inlined,
+				best.TLBHitRate*100, float64(best.NsPerRun)/1e6, best.StepsPerSec, best.EventsPerSec)
 		}
 	}
 
@@ -162,8 +179,9 @@ func main() {
 	}
 }
 
-// checkBaseline compares threaded-engine events/sec against the committed
-// baseline and reports whether any workload regressed beyond tol percent.
+// checkBaseline compares threaded-engine events/sec and steps/sec against
+// the committed baseline and reports whether any workload regressed beyond
+// tol percent on either axis.
 func checkBaseline(doc Doc, path string, tol float64) bool {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -175,30 +193,37 @@ func checkBaseline(doc Doc, path string, tol float64) bool {
 		fmt.Fprintf(os.Stderr, "vmbench: baseline: %v\n", err)
 		return true
 	}
-	want := map[string]float64{}
+	want := map[string]Result{}
 	for _, r := range base.Results {
 		if r.Engine == "threaded" {
-			want[r.Workload] = r.EventsPerSec
+			want[r.Workload] = r
 		}
 	}
 	failed := false
+	check := func(workload, metric string, baseline, got float64) {
+		if baseline == 0 {
+			return
+		}
+		drop := (baseline - got) / baseline * 100
+		if drop > tol {
+			fmt.Fprintf(os.Stderr, "vmbench: %s threaded %s regressed %.1f%% (%.0f -> %.0f, tol %.0f%%)\n",
+				workload, metric, drop, baseline, got, tol)
+			failed = true
+		} else {
+			fmt.Printf("%s: threaded %s within tolerance (%+.1f%% vs baseline)\n",
+				workload, metric, -drop)
+		}
+	}
 	for _, r := range doc.Results {
 		if r.Engine != "threaded" {
 			continue
 		}
 		b, ok := want[r.Workload]
-		if !ok || b == 0 {
+		if !ok {
 			continue
 		}
-		drop := (b - r.EventsPerSec) / b * 100
-		if drop > tol {
-			fmt.Fprintf(os.Stderr, "vmbench: %s threaded events/s regressed %.1f%% (%.0f -> %.0f, tol %.0f%%)\n",
-				r.Workload, drop, b, r.EventsPerSec, tol)
-			failed = true
-		} else {
-			fmt.Printf("%s: threaded events/s within tolerance (%+.1f%% vs baseline)\n",
-				r.Workload, -drop)
-		}
+		check(r.Workload, "events/s", b.EventsPerSec, r.EventsPerSec)
+		check(r.Workload, "steps/s", b.StepsPerSec, r.StepsPerSec)
 	}
 	return failed
 }

@@ -235,3 +235,50 @@ func TestBatchedConsumeMatchesPerAccess(t *testing.T) {
 		}
 	}
 }
+
+func TestBatchedSharedTranslationRuns(t *testing.T) {
+	// Dense same-page runs — the case the batched path serves via the
+	// shared translation (MRU repeat-hit) instead of a TLB set scan —
+	// interleaved with page straddles and slot-colliding strides. Totals
+	// must match the per-access reference exactly.
+	mkEvents := func() []vm.Event {
+		evs := make([]vm.Event, 0, 12000)
+		base := uint64(0x10_0000)
+		for r := 0; r < 100; r++ {
+			page := base + uint64(r%7)*0x1000
+			for i := 0; i < 50; i++ { // long same-page run
+				evs = append(evs, vm.Event{Kind: vm.EvAccess, Addr: page + uint64(i*8)%0xff8, Size: 8})
+			}
+			// Page straddle: translates two pages, leaves the second MRU.
+			evs = append(evs, vm.Event{Kind: vm.EvAccess, Addr: page + 0xffe, Size: 4})
+			// Immediately touch the straddle's second page: fast path again.
+			evs = append(evs, vm.Event{Kind: vm.EvAccess, Addr: page + 0x1000, Size: 8})
+			// Colliding stride: same TLB set, different page.
+			evs = append(evs, vm.Event{Kind: vm.EvAccess, Addr: page + 64*0x1000, Size: 8})
+		}
+		return evs
+	}
+
+	ref := New(smallConfig())
+	for _, ev := range mkEvents() {
+		ref.Access(ev.Addr, ev.Size, ev.Write)
+	}
+	for _, batchSize := range []int{1, 64, 4096} {
+		h := New(smallConfig())
+		evs := mkEvents()
+		for len(evs) > 0 {
+			n := batchSize
+			if n > len(evs) {
+				n = len(evs)
+			}
+			h.ConsumeEvents(evs[:n])
+			evs = evs[n:]
+		}
+		if h.Stats() != ref.Stats() {
+			t.Errorf("batch=%d: stats diverge:\n got %+v\nwant %+v", batchSize, h.Stats(), ref.Stats())
+		}
+		if h.StallCycles() != ref.StallCycles() {
+			t.Errorf("batch=%d: stalls %d, want %d", batchSize, h.StallCycles(), ref.StallCycles())
+		}
+	}
+}

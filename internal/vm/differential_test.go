@@ -27,15 +27,18 @@ const fuzzBufSize = 256
 
 // genOps emits n random operations into f. The generated code is always
 // well-defined: divisors are non-zero, memory accesses stay inside the
-// buf-based scratch buffer, loops are bounded. Fusable idioms (const+add,
-// cmp+branch, addi+load, load+add, const+store, load+store) are emitted
-// deliberately and repeatedly so superinstruction fusion triggers.
-func genOps(rng *rand.Rand, f *prog.FuncBuilder, temps []prog.Reg, buf prog.Reg, callees []string, n int) {
+// buf/big scratch buffers, loops are bounded. Fusable idioms — the six
+// pairs (const+add, cmp+branch, addi+load, load+add, const+store,
+// load+store) and the three triples (const+add+load, load+cmp+branch,
+// addi+load+add) — are emitted deliberately and repeatedly so
+// superinstruction fusion triggers, and big spans tlbSize+ pages so
+// direct-mapped TLB slot collisions (two pages, same index) occur.
+func genOps(rng *rand.Rand, f *prog.FuncBuilder, temps []prog.Reg, buf, big prog.Reg, callees []string, n int) {
 	rr := func() prog.Reg { return temps[rng.Intn(len(temps))] }
 	off := func(size int64) int64 { return rng.Int63n(fuzzBufSize - size + 1) }
 	nz := f.ConstReg(int64(rng.Intn(7)) + 1) // safe divisor
 	for i := 0; i < n; i++ {
-		switch rng.Intn(16) {
+		switch rng.Intn(20) {
 		case 0:
 			f.Const(rr(), rng.Int63n(1<<20)-1<<19)
 		case 1:
@@ -102,28 +105,90 @@ func genOps(rng *rand.Rand, f *prog.FuncBuilder, temps []prog.Reg, buf prog.Reg,
 			} else {
 				f.Xor(rr(), rr(), rr())
 			}
+		case 15: // const+add+load, the canonical fused triple
+			f.Const(rr(), rng.Int63n(64))
+			f.Add(rr(), rr(), rr())
+			f.Load(rr(), buf, off(8), 8)
+		case 16: // load+cmp+branch triple over a skipped op
+			v := rr()
+			f.Load(v, buf, off(8), 8)
+			c := rr()
+			switch rng.Intn(4) {
+			case 0:
+				f.Eq(c, v, rr())
+			case 1:
+				f.Ne(c, v, rr())
+			case 2:
+				f.Lt(c, v, rr())
+			default:
+				f.Le(c, v, rr())
+			}
+			skip := f.NewLabel()
+			if rng.Intn(2) == 0 {
+				f.Bz(c, skip)
+			} else {
+				f.Bnz(c, skip)
+			}
+			f.AddImm(rr(), rr(), 1)
+			f.Bind(skip)
+		case 17: // addi+load+add triple
+			f.AddImm(rr(), rr(), rng.Int63n(16))
+			f.Load(rr(), buf, off(8), 8)
+			f.Add(rr(), rr(), rr())
+		case 18: // TLB slot collision: two pages, same direct-mapped index
+			const stride = tlbSize * mem.PageSize
+			v := rr()
+			f.Store(big, 0, v, 8)
+			f.Store(big, stride, v, 8)
+			f.Load(rr(), big, 0, 8)
+			f.Load(rr(), big, stride, 8)
 		default:
 			f.Mov(rr(), f.RandConst(1000))
 		}
 	}
 }
 
+// fuzzBigSize spans the whole direct-mapped TLB plus one slack page, so
+// stride-tlbSize*PageSize accesses collide in one slot.
+const fuzzBigSize = (tlbSize+1)*mem.PageSize + 64
+
 // genProgram builds a deterministic random program: two straight-line
-// helpers and a main that mixes direct computation, loops, helper calls
-// and memory traffic over a scratch buffer.
+// helpers, two lib leaf functions (one inline-eligible, one deliberately
+// not — it divides, a trapping op the inliner must reject), and a main
+// that mixes direct computation, loops, calls and memory traffic over a
+// small scratch buffer plus a TLB-spanning big buffer.
 func genProgram(seed int64) *isa.Program {
 	rng := rand.New(rand.NewSource(seed))
 	b := prog.NewBuilder("fuzz")
+
+	{ // inline-eligible: lib, straight-line, tiny, no trapping ops
+		h := b.LibFunc("leaf_inl", 2)
+		r := h.Reg()
+		h.Add(r, h.Param(0), h.Param(1))
+		h.AddImm(r, r, rng.Int63n(16))
+		h.Ret(r)
+	}
+	{ // not eligible: contains div (would trap with the callee's frame)
+		h := b.LibFunc("leaf_div", 2)
+		r := h.Reg()
+		three := h.ConstReg(3)
+		h.Div(r, h.Param(0), three)
+		h.Add(r, r, h.Param(1))
+		h.Ret(r)
+	}
 
 	for _, name := range []string{"h1", "h2"} {
 		h := b.Func(name, 2)
 		sz := h.ConstReg(fuzzBufSize)
 		buf := h.Malloc(sz)
+		bsz := h.ConstReg(fuzzBigSize)
+		big := h.Malloc(bsz)
 		temps := []prog.Reg{h.Param(0), h.Param(1)}
 		for i := 0; i < 3; i++ {
 			temps = append(temps, h.ConstReg(rng.Int63n(50)))
 		}
-		genOps(rng, h, temps, buf, nil, 6+rng.Intn(10))
+		genOps(rng, h, temps, buf, big, []string{"leaf_inl", "leaf_div"}, 6+rng.Intn(10))
+		h.Free(big)
 		h.Free(buf)
 		h.Ret(temps[rng.Intn(len(temps))])
 	}
@@ -131,17 +196,20 @@ func genProgram(seed int64) *isa.Program {
 	f := b.Func("main", 0)
 	sz := f.ConstReg(fuzzBufSize)
 	buf := f.Malloc(sz)
+	bsz := f.ConstReg(fuzzBigSize)
+	big := f.Malloc(bsz)
 	temps := make([]prog.Reg, 0, 6)
 	for i := 0; i < 6; i++ {
 		temps = append(temps, f.ConstReg(rng.Int63n(100)))
 	}
-	callees := []string{"h1", "h2"}
-	genOps(rng, f, temps, buf, callees, 8+rng.Intn(12))
+	callees := []string{"h1", "h2", "leaf_inl", "leaf_div"}
+	genOps(rng, f, temps, buf, big, callees, 8+rng.Intn(12))
 	for l := 0; l < 2+rng.Intn(2); l++ {
 		f.LoopN(2+rng.Int63n(4), func(prog.Reg) {
-			genOps(rng, f, temps, buf, callees, 4+rng.Intn(8))
+			genOps(rng, f, temps, buf, big, callees, 4+rng.Intn(8))
 		})
 	}
+	f.Free(big)
 	f.Free(buf)
 	acc := f.Reg()
 	f.Const(acc, 0)
@@ -245,22 +313,35 @@ func itoa(v int64) string {
 }
 
 func TestDispatchDifferential(t *testing.T) {
-	fusedSites := 0
+	pairs, triples, inlined := 0, 0, 0
 	for seed := int64(1); seed <= 12; seed++ {
 		p := genProgram(seed)
-		fusedSites += Predecode(p).FusedSites()
+		dp := Predecode(p)
+		pairs += dp.FusedSites()
+		triples += dp.TripleSites()
+		inlined += dp.InlinedSites()
 		diffProgram(t, p, seed)
 	}
-	// The property is vacuous if the corpus never fuses anything.
-	if fusedSites == 0 {
-		t.Fatal("no fused superinstructions across the differential corpus")
+	// The property is vacuous for any optimisation the corpus never
+	// triggers.
+	if pairs == 0 {
+		t.Fatal("no fused pairs across the differential corpus")
+	}
+	if triples == 0 {
+		t.Fatal("no fused triples across the differential corpus")
+	}
+	if inlined == 0 {
+		t.Fatal("no inlined call sites across the differential corpus")
 	}
 }
 
 // FuzzDispatchDifferential drives the same comparison from the fuzzer:
 // any seed must produce identical observable behaviour on both engines.
+// The seed corpus is chosen so the generated programs hit triple-fusable
+// sequences, inlinable leaf calls and TLB index-collision address
+// patterns (genOps cases 15-18) as well as the original pair idioms.
 func FuzzDispatchDifferential(f *testing.F) {
-	for _, s := range []int64{1, 7, 42, 12345} {
+	for _, s := range []int64{1, 7, 42, 12345, 31, 77, 4242, 98765} {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {

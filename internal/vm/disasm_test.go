@@ -1,0 +1,73 @@
+package vm
+
+import (
+	"testing"
+
+	"halo/internal/isa"
+	"halo/internal/prog"
+)
+
+// goldenDisasmProgram deterministically triggers one of each rendering
+// shape: a fused triple, a fused pair, and an inlined lib call.
+func goldenDisasmProgram() *isa.Program {
+	b := prog.NewBuilder("golden")
+
+	inc := b.LibFunc("inc", 1) // inline-eligible leaf
+	r := inc.Reg()
+	inc.AddImm(r, inc.Param(0), 1)
+	inc.Ret(r)
+
+	f := b.Func("main", 0)
+	sz := f.ConstReg(64)
+	buf := f.Malloc(sz)
+	x := f.Reg()
+	y := f.Reg()
+	// addi+load+add three times: the trigram is hot, every site fuses.
+	for i := 0; i < 3; i++ {
+		f.AddImm(x, buf, int64(8*i))
+		f.Load(y, buf, int64(8*i), 8)
+		f.Add(x, x, y)
+	}
+	// const+store twice: a hot pair.
+	v := f.Reg()
+	f.Const(v, 7)
+	f.Store(buf, 0, v, 8)
+	f.Const(v, 9)
+	f.Store(buf, 8, v, 8)
+	f.Mov(x, f.Call("inc", x))
+	f.Ret(x)
+	return b.MustBuild()
+}
+
+const goldenDisasm = `; program "golden"  entry=main  globals=0  fused=2/20  triples=3  inlined=1
+
+func inc(1) [lib] [inline]  ; #0, 2 regs, 0 fused, 0 triples, 0 inlined
+     0: addi r1, r0, 1
+     1: ret r1
+
+func main(0)  ; #1, 6 regs, 2 fused, 3 triples, 1 inlined
+     0: const r0, 64
+     1: call r1, malloc(r0:1)
+     2: fuse[addi.load.add] {addi r2, r1, 0 ; load8 r3, [r1+0] ; add r2, r2, r3}
+     5: fuse[addi.load.add] {addi r2, r1, 8 ; load8 r3, [r1+8] ; add r2, r2, r3}
+     8: fuse[addi.load.add] {addi r2, r1, 16 ; load8 r3, [r1+16] ; add r2, r2, r3}
+    11: fuse[const.store] {const r4, 7 ; store8 [r1+0], r4}
+    13: fuse[const.store] {const r4, 9 ; store8 [r1+8], r4}
+    15: call r5, inc(r2:1)  ; inlined -> inc
+    16: mov r2, r5
+    17: ret r2
+`
+
+func TestDisasmFusedGolden(t *testing.T) {
+	got := DisasmFused(goldenDisasmProgram())
+	if got != goldenDisasm {
+		t.Errorf("disasm diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", got, goldenDisasm)
+	}
+	// The program must keep exercising all three rendering shapes, or the
+	// golden is vacuous.
+	dp := Predecode(goldenDisasmProgram())
+	if dp.FusedSites() == 0 || dp.TripleSites() == 0 || dp.InlinedSites() == 0 {
+		t.Fatalf("golden program lost a shape: pairs=%d triples=%d inlined=%d",
+			dp.FusedSites(), dp.TripleSites(), dp.InlinedSites())
+	}
+}

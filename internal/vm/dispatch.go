@@ -150,23 +150,76 @@ func hGroupClr(v *VM, in *dinst, regs []int64, pc int) (int, error) {
 
 const pageMask = mem.PageSize - 1
 
-// loadFast reads size bytes at addr through the dispatcher's one-entry
+// Direct-mapped software TLB geometry: 1<<tlbBits entries indexed by the
+// low page-number bits. 16 entries covers the working sets of the
+// pointer-chasing workloads (omnetpp's event lists walk several pages per
+// loop iteration, which thrashed the previous one-entry cache); the sweep
+// in EXPERIMENTS.md pins the choice.
+const (
+	tlbBits = 4
+	tlbSize = 1 << tlbBits
+)
+
+// tlbEntry caches one resolved page. tag is the page number + 1 (0 =
+// empty). Entries are only ever installed for materialised pages, so
+// page is non-nil whenever tag != 0 — a tag match grants both read and
+// write without a nil re-check on the store path. Reads of untouched
+// pages return zeros without installing anything; the first store to such
+// a page misses, materialises it via PageFor(create), and installs it.
+type tlbEntry struct {
+	tag  uint64 // page number + 1 (0 = empty)
+	gen  uint64 // flush generation the entry was installed in
+	page *[mem.PageSize]byte
+}
+
+// tlbFlush invalidates the MRU filter and every direct-mapped entry.
+// Called at run start and after every extern, since allocators can unmap,
+// purge or recreate pages. Externs are frequent (every malloc/free), so
+// the array is invalidated in O(1) by bumping the generation stamp instead
+// of zeroing it; entries from older generations simply fail the gen check
+// in tlbFill.
+func (v *VM) tlbFlush() {
+	v.tlbID, v.tlbPage = 0, nil
+	v.tlbGen++
+}
+
+// tlbFill is the shared fill path behind the MRU filter: it consults the
+// direct-mapped array and, on a true miss, resolves the page through
+// Memory.PageFor. A nil return means a load touched a page that was never
+// written (reads as zeros; nothing is installed, preserving the non-nil
+// invariant). write fills always materialise and never return nil. On
+// success both the array entry and the MRU filter point at the page.
+func (v *VM) tlbFill(addr, pn1 uint64, write bool) *[mem.PageSize]byte {
+	e := &v.tlb[(pn1-1)&(tlbSize-1)]
+	if e.tag != pn1 || e.gen != v.tlbGen {
+		v.tlbMiss++
+		p := v.mem.PageFor(addr, write)
+		if p == nil {
+			return nil
+		}
+		e.tag, e.gen, e.page = pn1, v.tlbGen, p
+	}
+	v.tlbID, v.tlbPage = pn1, e.page
+	return e.page
+}
+
+// loadFast reads size bytes at addr through the dispatcher's direct-mapped
 // software TLB, turning the per-byte page-map lookups of Memory.Read into
 // a single in-page little-endian load on the (overwhelmingly common) hit
-// path. Page-straddling and non-power-of-two accesses fall back to the
-// reference path, which keeps the byte semantics identical.
+// path. Page-straddling accesses fall back to the reference byte path,
+// which keeps the semantics identical.
 func (v *VM) loadFast(addr uint64, size uint8) uint64 {
 	off := addr & pageMask
 	if off+uint64(size) > mem.PageSize {
+		v.tlbBypass++
 		return v.mem.Read(addr, size)
 	}
-	if id := (addr >> mem.PageShift) + 1; id != v.tlbID {
-		v.tlbPage = v.mem.PageFor(addr, false)
-		v.tlbID = id
-	}
+	pn1 := (addr >> mem.PageShift) + 1
 	p := v.tlbPage
-	if p == nil {
-		return 0 // untouched page: reads as zeros
+	if pn1 != v.tlbID {
+		if p = v.tlbFill(addr, pn1, false); p == nil {
+			return 0 // untouched page reads as zeros; never cached
+		}
 	}
 	switch size {
 	case 8:
@@ -178,23 +231,26 @@ func (v *VM) loadFast(addr uint64, size uint8) uint64 {
 	case 1:
 		return uint64(p[off])
 	default:
-		return v.mem.Read(addr, size)
+		return v.mem.Read(addr, size) // unreachable for validated programs
 	}
 }
 
-// storeFast is the store-side TLB path; see loadFast. Stores materialise
-// the page, exactly as Memory.Write does.
+// storeFast is the store-side TLB path; see loadFast. Store misses
+// materialise the page, exactly as Memory.Write does; store hits write
+// straight through the entry — the non-nil invariant makes the old
+// per-store nil re-check unnecessary.
 func (v *VM) storeFast(addr uint64, size uint8, val uint64) {
 	off := addr & pageMask
 	if off+uint64(size) > mem.PageSize {
+		v.tlbBypass++
 		v.mem.Write(addr, size, val)
 		return
 	}
-	if id := (addr >> mem.PageShift) + 1; id != v.tlbID || v.tlbPage == nil {
-		v.tlbPage = v.mem.PageFor(addr, true)
-		v.tlbID = id
-	}
+	pn1 := (addr >> mem.PageShift) + 1
 	p := v.tlbPage
+	if pn1 != v.tlbID {
+		p = v.tlbFill(addr, pn1, true) // write fills always materialise
+	}
 	switch size {
 	case 8:
 		binary.LittleEndian.PutUint64(p[off:], val)
@@ -205,7 +261,7 @@ func (v *VM) storeFast(addr uint64, size uint8, val uint64) {
 	case 1:
 		p[off] = byte(val)
 	default:
-		v.mem.Write(addr, size, val)
+		v.mem.Write(addr, size, val) // unreachable for validated programs
 	}
 }
 
@@ -218,7 +274,10 @@ func (v *VM) runThreaded(dp *Decoded) (res int64, err error) {
 	fused := v.fused
 	// Counter writeback on every exit path; break inner only re-enters the
 	// outer loop, which never reads them.
-	sync := func() { v.steps, v.loads, v.stores, v.fused = steps, loads, stores, fused }
+	sync := func() {
+		v.steps, v.loads, v.stores = steps, loads, stores
+		v.fused = fused
+	}
 
 	for {
 		if len(v.frames) == 0 {
@@ -415,6 +474,111 @@ func (v *VM) runThreaded(dp *Decoded) (res int64, err error) {
 				regs[in.a2] = regs[in.b2] + regs[in.c2]
 				pc += 2
 
+			// ---- triple superinstructions ----
+			// Same budget contract as the pairs, applied twice: on expiry
+			// execution resumes at the next unexecuted component's pc, which
+			// holds that component's original decoded form. The third
+			// component is read live from code[pc+2] (its slot is never
+			// consumed by another fusion).
+			case dConstAddLoad:
+				regs[in.a] = in.imm
+				if steps >= limit {
+					pc++
+					continue
+				}
+				steps++
+				fused++
+				regs[in.a2] = regs[in.b2] + regs[in.c2]
+				if steps >= limit {
+					pc += 2
+					continue
+				}
+				steps++
+				fused++
+				in3 := &code[pc+2]
+				addr := uint64(regs[in3.b] + in3.imm)
+				if sinkOn {
+					v.events = append(v.events, Event{Kind: EvAccess, Addr: addr, Size: in3.size})
+					if len(v.events) == cap(v.events) {
+						v.flushEvents()
+					}
+				}
+				loads++
+				regs[in3.a] = int64(v.loadFast(addr, in3.size))
+				pc += 3
+			case dLoadCmpBr:
+				addr := uint64(regs[in.b] + in.imm)
+				if sinkOn {
+					v.events = append(v.events, Event{Kind: EvAccess, Addr: addr, Size: in.size})
+					if len(v.events) == cap(v.events) {
+						v.flushEvents()
+					}
+				}
+				loads++
+				regs[in.a] = int64(v.loadFast(addr, in.size))
+				if steps >= limit {
+					pc++
+					continue
+				}
+				steps++
+				fused++
+				x, y := regs[in.b2], regs[in.c2]
+				var r int64
+				switch in.ck {
+				case ckEq:
+					r = b2i(x == y)
+				case ckNe:
+					r = b2i(x != y)
+				case ckLt:
+					r = b2i(x < y)
+				default:
+					r = b2i(x <= y)
+				}
+				regs[in.a2] = r
+				if steps >= limit {
+					pc += 2
+					continue
+				}
+				steps++
+				fused++
+				in3 := &code[pc+2]
+				cond := regs[in3.a]
+				take := cond != 0
+				if in3.op == dBz {
+					take = cond == 0
+				}
+				if take {
+					pc = int(in3.imm)
+				} else {
+					pc += 3
+				}
+			case dAddiLoadAdd:
+				regs[in.a] = regs[in.b] + in.imm
+				if steps >= limit {
+					pc++
+					continue
+				}
+				steps++
+				fused++
+				addr := uint64(regs[in.b2] + in.imm2)
+				if sinkOn {
+					v.events = append(v.events, Event{Kind: EvAccess, Addr: addr, Size: in.size2})
+					if len(v.events) == cap(v.events) {
+						v.flushEvents()
+					}
+				}
+				loads++
+				regs[in.a2] = int64(v.loadFast(addr, in.size2))
+				if steps >= limit {
+					pc += 2
+					continue
+				}
+				steps++
+				fused++
+				in3 := &code[pc+2]
+				regs[in3.a] = regs[in3.b] + regs[in3.c]
+				pc += 3
+
 			// ---- control transfers ----
 			case dRet:
 				val := regs[in.a]
@@ -473,12 +637,25 @@ func (v *VM) runThreaded(dp *Decoded) (res int64, err error) {
 					v.emit(Event{Kind: EvCall, Site: in.addr, Fn: target})
 				}
 				break inner
+			case dCallInline:
+				// A lib call whose callee body was inlined at predecode. The
+				// case mirrors dCallExt's shape — sync, one outlined call,
+				// counter reload — so the replay machinery (including the
+				// oracle's frame-depth trap) stays entirely off the hot
+				// loop's code path.
+				f.pc = pc
+				sync()
+				if err := v.replayInline(in, dp, regs); err != nil {
+					return 0, err
+				}
+				steps, loads, stores = v.steps, v.loads, v.stores
+				pc++
 			case dCallExt:
 				f.pc = pc
 				sync()
 				res, err := v.callExtern(f, in.addr, in.b, in.c, regs, isa.Extern(in.fn))
 				// The extern may have unmapped, purged or recreated pages.
-				v.tlbID, v.tlbPage = 0, nil
+				v.tlbFlush()
 				if err != nil {
 					return 0, err
 				}
@@ -501,4 +678,106 @@ func (v *VM) runThreaded(dp *Decoded) (res int64, err error) {
 			}
 		}
 	}
+}
+
+// replayInline retires a predecode-inlined lib call: it executes the
+// snapshot body against a zeroed scratch window, charging the exact steps,
+// loads, stores and events the oracle's frame push/pop would, without
+// growing v.frames or v.regs. The caller syncs the hot-loop counters into
+// the VM before the call and reloads them after; every state transition
+// here goes through v directly. Returns ErrMaxSteps when the budget
+// expired mid-body and the oracle's depth trap when the frame stack is
+// full. Kept out of runThreaded so the rare inline path does not bloat the
+// hot loop's code footprint.
+func (v *VM) replayInline(in *dinst, dp *Decoded, regs []int64) error {
+	if len(v.frames) >= v.cfg.MaxDepth {
+		return v.trap(v.frames[len(v.frames)-1], "call stack overflow (%d frames)", len(v.frames))
+	}
+	v.inlined++
+	limit := v.cfg.MaxSteps
+	sinkOn := v.sink != nil
+	steps, loads, stores := v.steps, v.loads, v.stores
+	defer func() { v.steps, v.loads, v.stores = steps, loads, stores }()
+	body := dp.inlineBodies[in.fn]
+	// Scratch register window for the inlined callee, zeroed below to match
+	// the oracle's fresh frame; lives on this cold frame so runThreaded's
+	// hot frame stays small.
+	var inlineRegs [isa.MaxRegs]int64
+	scratch := inlineRegs[:dp.funcs[in.fn].nregs]
+	for i := 0; i < int(in.c); i++ {
+		scratch[i] = regs[int(in.b)+i]
+	}
+	if sinkOn {
+		v.emit(Event{Kind: EvCall, Site: in.addr, Fn: in.fn})
+	}
+	for bi := 0; bi < len(body); bi++ {
+		if steps >= limit {
+			return ErrMaxSteps
+		}
+		bin := &body[bi]
+		steps++
+		switch bin.op {
+		case dConst:
+			scratch[bin.a] = bin.imm
+		case dMov:
+			scratch[bin.a] = scratch[bin.b]
+		case dAdd:
+			scratch[bin.a] = scratch[bin.b] + scratch[bin.c]
+		case dSub:
+			scratch[bin.a] = scratch[bin.b] - scratch[bin.c]
+		case dMul:
+			scratch[bin.a] = scratch[bin.b] * scratch[bin.c]
+		case dAnd:
+			scratch[bin.a] = scratch[bin.b] & scratch[bin.c]
+		case dOr:
+			scratch[bin.a] = scratch[bin.b] | scratch[bin.c]
+		case dXor:
+			scratch[bin.a] = scratch[bin.b] ^ scratch[bin.c]
+		case dShl:
+			scratch[bin.a] = scratch[bin.b] << (uint64(scratch[bin.c]) & 63)
+		case dShr:
+			scratch[bin.a] = int64(uint64(scratch[bin.b]) >> (uint64(scratch[bin.c]) & 63))
+		case dAddImm:
+			scratch[bin.a] = scratch[bin.b] + bin.imm
+		case dEq:
+			scratch[bin.a] = b2i(scratch[bin.b] == scratch[bin.c])
+		case dNe:
+			scratch[bin.a] = b2i(scratch[bin.b] != scratch[bin.c])
+		case dLt:
+			scratch[bin.a] = b2i(scratch[bin.b] < scratch[bin.c])
+		case dLe:
+			scratch[bin.a] = b2i(scratch[bin.b] <= scratch[bin.c])
+		case dLoad:
+			addr := uint64(scratch[bin.b] + bin.imm)
+			if sinkOn {
+				v.events = append(v.events, Event{Kind: EvAccess, Addr: addr, Size: bin.size})
+				if len(v.events) == cap(v.events) {
+					v.flushEvents()
+				}
+			}
+			loads++
+			scratch[bin.a] = int64(v.loadFast(addr, bin.size))
+		case dStore:
+			addr := uint64(scratch[bin.b] + bin.imm)
+			if sinkOn {
+				v.events = append(v.events, Event{Kind: EvAccess, Addr: addr, Size: bin.size, Write: true})
+				if len(v.events) == cap(v.events) {
+					v.flushEvents()
+				}
+			}
+			stores++
+			v.storeFast(addr, bin.size, uint64(scratch[bin.a]))
+		case dGroupSet:
+			v.group.Set(int(bin.imm))
+		case dGroupClr:
+			v.group.Clear(int(bin.imm))
+		case dRet:
+			if sinkOn {
+				v.emit(Event{Kind: EvReturn, Fn: in.fn})
+			}
+			regs[in.a] = scratch[bin.a]
+		default: // dNop; anything else is excluded by inlineBody
+		}
+	}
+	return nil
 }

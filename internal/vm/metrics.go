@@ -20,4 +20,10 @@ var (
 		"Predecode calls served from the per-program decode cache")
 	mPredecodeMisses = obs.Default.Counter("halo_vm_predecode_cache_misses_total",
 		"Predecode calls that lowered a program from scratch")
+	mTLBHits = obs.Default.Counter("halo_vm_tlb_hits_total",
+		"software-TLB hits in the threaded dispatcher (recorded once per run)")
+	mTLBMisses = obs.Default.Counter("halo_vm_tlb_misses_total",
+		"software-TLB misses in the threaded dispatcher (recorded once per run)")
+	mInlinedCalls = obs.Default.Counter("halo_vm_inlined_calls_total",
+		"lib calls executed through a predecode-inlined body (recorded once per run)")
 )

@@ -58,6 +58,7 @@ const (
 	dGroupSet
 	dGroupClr
 	dHalt
+	dCallInline // direct lib call with the callee body inlined at predecode
 
 	// Superinstructions: one decoded record executing two retired
 	// instructions. The second component's original decoded form stays at
@@ -69,6 +70,17 @@ const (
 	dLoadAdd    // load(size) a, [b + imm] ; add a2, b2, c2
 	dConstStore // const a, imm ; store(size2) [b2 + imm2], a2
 	dLoadStore  // load(size) a, [b + imm] ; store(size2) [b2 + imm2], a2
+
+	// Triple superinstructions: one decoded record executing three retired
+	// instructions. Components two and three keep their original decoded
+	// forms at pc+1 and pc+2 (branch-ins and budget expiry land there); the
+	// third component's operands are read live from code[pc+2] at execution
+	// time, which is what keeps dinst at 40 bytes. The fuser never starts
+	// another fusion at pc+1 or pc+2, so the live read always sees the
+	// original single-instruction record.
+	dConstAddLoad // const a, imm ; add a2, b2, c2 ; load @pc+2
+	dLoadCmpBr    // load(size) a, [b + imm] ; cmp[ck] a2, b2, c2 ; bz/bnz @pc+2
+	dAddiLoadAdd  // addi a, b, imm ; load(size2) a2, [b2 + imm2] ; add @pc+2
 
 	dopCount
 )
@@ -105,19 +117,33 @@ type dfunc struct {
 	code    []dinst
 	nregs   int
 	nparams int
-	fused   int // fused pairs in this function
+	fused   int // fused pair sites in this function
+	triples int // fused triple sites in this function
+	inlined int // call sites inlined in this function
 }
 
 // Decoded is a program lowered for the threaded dispatcher. Instances are
 // immutable after construction and shared freely between VMs.
 type Decoded struct {
-	funcs []dfunc
-	fused int // fused pairs program-wide
-	insts int // decoded slots program-wide
+	funcs   []dfunc
+	fused   int // fused pair sites program-wide
+	triples int // fused triple sites program-wide
+	inlined int // inlined call sites program-wide
+	insts   int // decoded slots program-wide
+	// inlineBodies[fn] is the unfused straight-line decoded body (ret
+	// included) of an inline-eligible lib function, nil otherwise. Call
+	// sites lowered to dCallInline replay it without a dispatch frame.
+	inlineBodies [][]dinst
 }
 
 // FusedSites reports how many instruction pairs were fused program-wide.
 func (d *Decoded) FusedSites() int { return d.fused }
+
+// TripleSites reports how many instruction triples were fused program-wide.
+func (d *Decoded) TripleSites() int { return d.triples }
+
+// InlinedSites reports how many call sites were inlined program-wide.
+func (d *Decoded) InlinedSites() int { return d.inlined }
 
 // Insts reports the total decoded instruction count.
 func (d *Decoded) Insts() int { return d.insts }
@@ -125,6 +151,12 @@ func (d *Decoded) Insts() int { return d.insts }
 // fuseMinCount is the hot-digram threshold: a static opcode pair must recur
 // at least this often (SEQUITUR rule weight) before its occurrences fuse.
 const fuseMinCount = 2
+
+// tripleMinCount is the hot-trigram threshold: a static opcode triple must
+// recur at least this often (SEQUITUR rule weight over length-3 windows)
+// before its occurrences fuse. Triples are tried before pairs — greedy
+// longest match.
+const tripleMinCount = 2
 
 // Predecode returns the program's decoded form, lowering it on first use
 // and caching the result on the program. Safe for concurrent use: racing
@@ -187,11 +219,13 @@ func decodeInst(in isa.Inst) dinst {
 	return d
 }
 
-// decodeProgram lowers every function, then fuses hot digrams. Fully
+// decodeProgram lowers every function, inlines tiny leaf lib callees, then
+// fuses hot trigrams and digrams (longest match first). Fully
 // deterministic: the same program always decodes to the same Decoded.
 func decodeProgram(p *isa.Program) *Decoded {
 	d := &Decoded{funcs: make([]dfunc, len(p.Funcs))}
 	counter := sequitur.NewDigramCounter()
+	tri := sequitur.NewTriCounter()
 	stream := make([]int64, 0, 256)
 	for fi, f := range p.Funcs {
 		code := make([]dinst, len(f.Code))
@@ -202,28 +236,52 @@ func decodeProgram(p *isa.Program) *Decoded {
 		}
 		// One grammar per function: digrams never straddle functions.
 		counter.Observe(stream)
+		tri.Observe(stream)
 		d.funcs[fi] = dfunc{code: code, nregs: f.NRegs, nparams: f.NParams}
 		d.insts += len(code)
+	}
+	// Inlining runs before fusion: the snapshot of each eligible callee's
+	// body must be the plain unfused decode, and rewriting dCall records to
+	// dCallInline must not disturb fusion windows (calls never fuse).
+	d.inlineBodies = make([][]dinst, len(p.Funcs))
+	for fi, f := range p.Funcs {
+		if body, ok := inlineBody(d.funcs[fi].code, f); ok {
+			d.inlineBodies[fi] = body
+		}
+	}
+	for fi := range p.Funcs {
+		n := inlineCalls(d.funcs[fi].code, d.inlineBodies, d.funcs)
+		d.funcs[fi].inlined = n
+		d.inlined += n
 	}
 	hot := make(map[[2]int64]bool)
 	for _, dg := range counter.Hot(fuseMinCount) {
 		hot[[2]int64{dg.A, dg.B}] = true
 	}
+	hot3 := make(map[[3]int64]bool)
+	for _, tg := range tri.Hot(tripleMinCount) {
+		hot3[[3]int64{tg.A, tg.B, tg.C}] = true
+	}
 	for fi, f := range p.Funcs {
-		n := fuseFunc(d.funcs[fi].code, f.Code, hot)
-		d.funcs[fi].fused = n
-		d.fused += n
+		pairs, triples := fuseFunc(d.funcs[fi].code, f.Code, hot, hot3)
+		d.funcs[fi].fused = pairs
+		d.funcs[fi].triples = triples
+		d.fused += pairs
+		d.triples += triples
 	}
 	return d
 }
 
-// fuseFunc rewrites fusable hot pairs in place. A pair (i, i+1) fuses only
-// when no branch targets i+1 — entering mid-pair must still execute just
-// the second component, which keeps its original decoded form at i+1.
-// Greedy left to right, pairs never overlap.
-func fuseFunc(code []dinst, src []isa.Inst, hot map[[2]int64]bool) int {
+// fuseFunc rewrites fusable hot triples and pairs in place, longest match
+// first. A fusion starting at i consumes slots i..i+k-1; the trailing
+// components keep their original decoded forms (branch targets may enter
+// there, and the step budget can expire mid-fusion), so a fusion is blocked
+// when any interior slot is a branch target, and the greedy skip guarantees
+// no later fusion starts inside a consumed window — which triples rely on
+// to read their third component live from code[pc+2].
+func fuseFunc(code []dinst, src []isa.Inst, hot map[[2]int64]bool, hot3 map[[3]int64]bool) (pairs, triples int) {
 	if len(src) < 2 {
-		return 0
+		return 0, 0
 	}
 	target := make([]bool, len(src))
 	for _, in := range src {
@@ -233,21 +291,37 @@ func fuseFunc(code []dinst, src []isa.Inst, hot map[[2]int64]bool) int {
 			}
 		}
 	}
-	fused := 0
 	for i := 0; i+1 < len(src); i++ {
+		// Inlined call sites must keep their dCallInline record (the slot
+		// no longer mirrors src), and calls never fuse anyway.
+		if code[i].op == dCallInline {
+			continue
+		}
 		if target[i+1] {
 			continue
+		}
+		if i+2 < len(src) && !target[i+2] && code[i+2].op != dCallInline &&
+			hot3[[3]int64{int64(src[i].Op), int64(src[i+1].Op), int64(src[i+2].Op)}] {
+			if f, ok := fuseTriple(src[i], src[i+1], src[i+2]); ok {
+				code[i] = f
+				triples++
+				i += 2 // slots i+1, i+2 keep their original forms
+				continue
+			}
 		}
 		if !hot[[2]int64{int64(src[i].Op), int64(src[i+1].Op)}] {
 			continue
 		}
+		if code[i+1].op == dCallInline {
+			continue
+		}
 		if f, ok := fusePair(src[i], src[i+1]); ok {
 			code[i] = f
-			fused++
+			pairs++
 			i++ // the pair is consumed; slot i+1 keeps its original form
 		}
 	}
-	return fused
+	return pairs, triples
 }
 
 // isCmpOp reports whether the opcode is a fusable comparison.
@@ -300,5 +374,84 @@ func fusePair(a, b isa.Inst) (dinst, bool) {
 	return dinst{}, false
 }
 
+// inlineMaxInsts caps the decoded body length of an inline-eligible
+// callee: big enough for the accessor/combinator shapes lib functions take
+// in the workloads, small enough that the per-site replay loop stays in
+// the dispatch loop's instruction cache footprint.
+const inlineMaxInsts = 8
+
+// inlineBody reports whether f is an inline-eligible leaf and returns a
+// snapshot of its unfused decoded body (ret included). Eligible means: a
+// lib function, straight-line (no branches, no calls, no externs), at most
+// inlineMaxInsts decoded records, free of trapping ops (div/mod would
+// report the callee's frame, which an inlined execution no longer has),
+// and ending in its only ret.
+func inlineBody(code []dinst, f *isa.Func) ([]dinst, bool) {
+	if !f.Lib || len(code) == 0 || len(code) > inlineMaxInsts {
+		return nil, false
+	}
+	for i, in := range code {
+		last := i == len(code)-1
+		switch in.op {
+		case dNop, dConst, dMov, dAdd, dSub, dMul, dAnd, dOr, dXor,
+			dShl, dShr, dAddImm, dEq, dNe, dLt, dLe, dLoad, dStore,
+			dGroupSet, dGroupClr:
+			if last {
+				return nil, false // must end in ret
+			}
+		case dRet:
+			if !last {
+				return nil, false
+			}
+		default:
+			return nil, false
+		}
+	}
+	body := make([]dinst, len(code))
+	copy(body, code)
+	return body, true
+}
+
+// inlineCalls rewrites direct calls to inline-eligible callees as
+// dCallInline records (same operand layout as dCall). Only well-formed
+// sites are rewritten — an argc mismatch keeps the dCall path so the
+// oracle's trap still fires at runtime.
+func inlineCalls(code []dinst, bodies [][]dinst, funcs []dfunc) int {
+	n := 0
+	for i := range code {
+		in := &code[i]
+		if in.op != dCall || bodies[in.fn] == nil {
+			continue
+		}
+		if int(in.c) != funcs[in.fn].nparams {
+			continue
+		}
+		in.op = dCallInline
+		n++
+	}
+	return n
+}
+
+// fuseTriple builds the superinstruction for a supported opcode triple. The
+// record carries the first two components' operands; the third is read live
+// from code[pc+2], whose slot always keeps the original decoded form.
+func fuseTriple(a, b, c isa.Inst) (dinst, bool) {
+	switch {
+	case a.Op == isa.OpConst && b.Op == isa.OpAdd && c.Op == isa.OpLoad:
+		return dinst{op: dConstAddLoad, a: a.A, imm: a.Imm,
+			a2: b.A, b2: b.B, c2: b.C, addr: a.Addr}, true
+	case a.Op == isa.OpLoad && isCmpOp(b.Op) && (c.Op == isa.OpBz || c.Op == isa.OpBnz):
+		return dinst{op: dLoadCmpBr, a: a.A, b: a.B, imm: a.Imm, size: a.Size,
+			ck: cmpKindOf(b.Op), a2: b.A, b2: b.B, c2: b.C, addr: a.Addr}, true
+	case a.Op == isa.OpAddImm && b.Op == isa.OpLoad && c.Op == isa.OpAdd:
+		return dinst{op: dAddiLoadAdd, a: a.A, b: a.B, imm: a.Imm,
+			a2: b.A, b2: b.B, imm2: b.Imm, size2: b.Size, addr: a.Addr}, true
+	}
+	return dinst{}, false
+}
+
 // isFused reports whether the decoded opcode is a superinstruction.
 func (op dop) isFused() bool { return op >= dConstAdd && op < dopCount }
+
+// isTriple reports whether the decoded opcode fuses three components.
+func (op dop) isTriple() bool { return op >= dConstAddLoad && op < dopCount }

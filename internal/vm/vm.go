@@ -154,17 +154,29 @@ type VM struct {
 	regs   []int64 // register stack; frames are windows into it
 	frames []frame
 
-	steps  uint64
-	loads  uint64
-	stores uint64
-	fused  uint64 // superinstruction pairs fully retired
-	halted bool
+	steps   uint64
+	loads   uint64
+	stores  uint64
+	fused   uint64 // superinstruction components fused away (pairs count 1, triples 2)
+	inlined uint64 // lib calls executed through a predecode-inlined body
+	halted  bool
 
-	// Software TLB for the threaded dispatcher: the last page touched by a
-	// load or store, keyed by page id + 1 (0 = empty). Dropped whenever an
-	// extern runs — allocators can unmap, purge or recreate pages.
-	tlbID   uint64
-	tlbPage *[mem.PageSize]byte
+	// Direct-mapped software TLB for the threaded dispatcher: tlbSize
+	// recently touched pages indexed by the low page-number bits, fronted
+	// by a one-entry MRU filter (tlbID/tlbPage) so the common same-page-
+	// again access costs a single compare, exactly like the previous
+	// one-entry design — the array only makes the filter's misses cheaper.
+	// Both levels only ever hold materialised (non-nil) pages — a read of
+	// an untouched page returns zeros without installing anything — so a
+	// tag match is sufficient permission for both loads and stores.
+	// Flushed whenever an extern runs: allocators can unmap, purge or
+	// recreate pages.
+	tlbID     uint64 // MRU filter tag: page number + 1 (0 = empty)
+	tlbPage   *[mem.PageSize]byte
+	tlb       [tlbSize]tlbEntry
+	tlbGen    uint64 // current flush generation; stale entries fail the gen check
+	tlbMiss   uint64 // lookups that missed both levels (PageFor taken)
+	tlbBypass uint64 // accesses that skipped the TLB (page straddle)
 }
 
 type frame struct {
@@ -232,9 +244,23 @@ func (v *VM) Loads() uint64 { return v.loads }
 // Stores reports executed store instructions.
 func (v *VM) Stores() uint64 { return v.stores }
 
-// Fused reports superinstruction pairs fully retired by the threaded
-// dispatcher; always zero under DispatchSwitch.
+// Fused reports instruction slots folded into retired superinstructions by
+// the threaded dispatcher (one per pair, two per triple); always zero under
+// DispatchSwitch.
 func (v *VM) Fused() uint64 { return v.fused }
+
+// Inlined reports lib calls executed through a body inlined at predecode
+// time; always zero under DispatchSwitch.
+func (v *VM) Inlined() uint64 { return v.inlined }
+
+// TLBMisses reports software-TLB misses in the threaded dispatcher: loads
+// or stores that had to resolve their page through the memory page map.
+func (v *VM) TLBMisses() uint64 { return v.tlbMiss }
+
+// TLBBypasses reports accesses that skipped the TLB entirely
+// (page-straddling accesses served by the byte path). TLB hits are derived:
+// Loads()+Stores()−TLBMisses()−TLBBypasses().
+func (v *VM) TLBBypasses() uint64 { return v.tlbBypass }
 
 // ErrMaxSteps is returned when the step budget is exhausted.
 var ErrMaxSteps = errors.New("vm: step budget exhausted")
@@ -268,16 +294,28 @@ func (v *VM) Run() (int64, error) {
 	v.frames = v.frames[:0]
 	v.frames = append(v.frames, frame{fn: v.prog.Entry, base: 0, entry: true})
 	v.halted = false
-	v.tlbID, v.tlbPage = 0, nil
+	v.tlbFlush()
 
 	if v.cfg.Dispatch == DispatchSwitch {
 		return v.runSwitch()
 	}
-	startFused := v.fused
+	startFused, startInlined := v.fused, v.inlined
+	startAcc := v.loads + v.stores
+	startMiss, startBypass := v.tlbMiss, v.tlbBypass
 	res, err := v.runThreaded(Predecode(v.prog))
 	if obs.Enabled() {
 		if d := v.fused - startFused; d > 0 {
 			mFusedInsts.Add(d)
+		}
+		if d := v.inlined - startInlined; d > 0 {
+			mInlinedCalls.Add(d)
+		}
+		miss := v.tlbMiss - startMiss
+		if miss > 0 {
+			mTLBMisses.Add(miss)
+		}
+		if hits := (v.loads + v.stores - startAcc) - miss - (v.tlbBypass - startBypass); hits > 0 {
+			mTLBHits.Add(hits)
 		}
 	}
 	return res, err

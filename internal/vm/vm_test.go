@@ -503,3 +503,82 @@ func TestCallocOverflowReturnsNull(t *testing.T) {
 		}
 	}
 }
+
+func TestTLBLoadThenStoreFreshPage(t *testing.T) {
+	// Regression: a load from an untouched (never-written) page must not
+	// poison the TLB for the store that follows. The old one-entry cache
+	// kept a nil page pointer with a matching tag after such a load, and
+	// storeFast had to re-check for nil on every store to survive; the
+	// direct-mapped TLB never installs unmaterialised pages, so a tag
+	// match is proof of a writable page. The load must read 0, the store
+	// must materialise the page, and the re-load must see the stored value.
+	res, v := run(t, func(b *prog.Builder) {
+		f := b.Func("main", 0)
+		p := f.Malloc(f.ConstReg(64))
+		first := f.Reg()
+		f.LoadWord(first, p, 0) // fresh page: reads 0, must not cache nil
+		f.StoreWord(p, 0, f.ConstReg(77))
+		got := f.Reg()
+		f.LoadWord(got, p, 0)
+		r := f.Reg()
+		f.Add(r, got, first)
+		f.Ret(r)
+	}, Config{})
+	if res != 77 {
+		t.Fatalf("load-store-load on fresh page = %d, want 77", res)
+	}
+	if v.TLBMisses() == 0 {
+		t.Fatalf("no TLB misses recorded")
+	}
+}
+
+func TestTLBIndexCollision(t *testing.T) {
+	// Two pages tlbSize pages apart map to the same direct-mapped slot.
+	// Alternating stores and loads across them must stay correct while the
+	// entries evict each other.
+	const stride = tlbSize * mem.PageSize
+	res, v := run(t, func(b *prog.Builder) {
+		f := b.Func("main", 0)
+		p := f.Malloc(f.ConstReg(stride + 64))
+		q := f.Reg()
+		f.AddImm(q, p, stride) // same slot as p, different tag
+		f.StoreWord(p, 0, f.ConstReg(40))
+		f.StoreWord(q, 0, f.ConstReg(2))
+		a := f.Reg()
+		f.LoadWord(a, p, 0)
+		c := f.Reg()
+		f.LoadWord(c, q, 0)
+		r := f.Reg()
+		f.Add(r, a, c)
+		f.Ret(r)
+	}, Config{})
+	if res != 42 {
+		t.Fatalf("colliding-slot sum = %d, want 42", res)
+	}
+	if v.TLBMisses() < 2 {
+		t.Fatalf("TLB misses = %d, want >= 2 (conflicting tags must evict)", v.TLBMisses())
+	}
+}
+
+func TestTLBHitAccounting(t *testing.T) {
+	// hits = loads + stores - misses - bypasses must come out positive and
+	// consistent on a loop that re-touches one page.
+	_, v := run(t, func(b *prog.Builder) {
+		f := b.Func("main", 0)
+		p := f.Malloc(f.ConstReg(256))
+		f.LoopN(100, func(i prog.Reg) {
+			f.StoreWord(p, 0, i)
+			r := f.Reg()
+			f.LoadWord(r, p, 0)
+		})
+		f.RetConst(0)
+	}, Config{})
+	acc := v.Loads() + v.Stores()
+	if acc == 0 {
+		t.Fatal("no accesses")
+	}
+	hits := acc - v.TLBMisses() - v.TLBBypasses()
+	if hits < acc*9/10 {
+		t.Fatalf("hits %d of %d accesses; one-page loop should hit nearly always", hits, acc)
+	}
+}
