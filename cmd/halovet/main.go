@@ -1,0 +1,19 @@
+// halovet is the repo's custom static-analysis suite, run through the
+// go vet driver:
+//
+//	go build -o halovet ./cmd/halovet
+//	go vet -vettool=$PWD/halovet ./...
+//
+// It enforces four invariants the golden tests otherwise only catch
+// after the fact: byte-determinism of the pipeline packages
+// (determinism), allocation-free //halo:hot functions (hotalloc),
+// obs.Enabled() gating of metric mutations on hot paths (obsgate), and
+// %w error wrapping plus panic confinement (errfmt). See DESIGN.md
+// "Static analysis".
+package main
+
+import "halo/internal/analysis"
+
+func main() {
+	analysis.Main(analysis.All...)
+}

@@ -97,7 +97,7 @@ func measure(name string, mode vm.DispatchMode) (Result, error) {
 	v := vm.New(p, m, newBump(m), sink, vm.Config{Seed: 1000, Dispatch: mode})
 	start := time.Now()
 	if _, err := v.Run(); err != nil {
-		return Result{}, fmt.Errorf("%s: %v", name, err)
+		return Result{}, fmt.Errorf("%s: %w", name, err)
 	}
 	ns := time.Since(start).Nanoseconds()
 	sec := float64(ns) / 1e9

@@ -97,6 +97,8 @@ func (g *Graph) slot(c Ctx) int {
 }
 
 // AddAccess records one macro access to an object of the given context.
+//
+//halo:hot
 func (g *Graph) AddAccess(c Ctx) {
 	i := g.slot(c)
 	g.acc[i]++
@@ -105,6 +107,8 @@ func (g *Graph) AddAccess(c Ctx) {
 
 // AddEdge increments the affinity weight between two contexts, registering
 // the endpoints as nodes if they have not been seen yet.
+//
+//halo:hot
 func (g *Graph) AddEdge(a, b Ctx, w uint64) {
 	g.slot(a)
 	g.slot(b)
@@ -328,6 +332,8 @@ func mix(k uint64) uint64 {
 }
 
 // add increments the weight stored under k, inserting it if absent.
+//
+//halo:hot
 func (t *edgeTable) add(k, w uint64) {
 	if t.n*4 >= len(t.keys)*3 {
 		t.grow()
@@ -348,6 +354,8 @@ func (t *edgeTable) add(k, w uint64) {
 }
 
 // get returns the weight stored under k, or zero.
+//
+//halo:hot
 func (t *edgeTable) get(k uint64) uint64 {
 	if t.n == 0 {
 		return 0

@@ -101,7 +101,7 @@ func (a *BoundaryTag) binRemove(c *btChunk) {
 		a.bins[b] = append(lst[:i], lst[i+1:]...)
 		return
 	}
-	panic(fmt.Sprintf("alloc: chunk %#x missing from bin %d", c.base, b))
+	panic(fmt.Sprintf("alloc: chunk %#x missing from bin %d", c.base, b)) //halo:errfmt-ok corruption trap: free-list invariant broken means the heap metadata is already damaged
 }
 
 // findFit searches the bins for the first address-ordered chunk that fits,
@@ -178,7 +178,7 @@ func (a *BoundaryTag) Free(ptr uint64) {
 	base := ptr - headerSize
 	c := a.chunks[base]
 	if c == nil || c.free {
-		panic(fmt.Sprintf("alloc: bad free of %#x", ptr))
+		panic(fmt.Sprintf("alloc: bad free of %#x", ptr)) //halo:errfmt-ok corruption trap: bad free must halt before metadata damage spreads
 	}
 	a.onFree(c.req)
 	c.free = true
@@ -226,7 +226,7 @@ func (a *BoundaryTag) Realloc(ptr, size uint64) uint64 {
 	}
 	c := a.chunks[ptr-headerSize]
 	if c == nil || c.free {
-		panic(fmt.Sprintf("alloc: realloc of unknown pointer %#x", ptr))
+		panic(fmt.Sprintf("alloc: realloc of unknown pointer %#x", ptr)) //halo:errfmt-ok corruption trap: realloc of unknown pointer is caller heap misuse
 	}
 	if chunkSizeFor(size) <= c.size {
 		a.stats.LiveBytes += size - c.req

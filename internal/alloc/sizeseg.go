@@ -71,7 +71,7 @@ func (r *run) allocRegion() int {
 func (r *run) freeRegion(idx int) {
 	w, b := idx/64, uint(idx%64)
 	if r.bitmap[w]&(1<<b) == 0 {
-		panic(fmt.Sprintf("alloc: double free of region %d in run %#x", idx, r.base))
+		panic(fmt.Sprintf("alloc: double free of region %d in run %#x", idx, r.base)) //halo:errfmt-ok corruption trap: double free must halt before metadata damage spreads
 	}
 	r.bitmap[w] &^= 1 << b
 	r.free++
@@ -199,7 +199,7 @@ func (a *SizeSeg) Malloc(size uint64) uint64 {
 	}
 	idx := r.allocRegion()
 	if idx < 0 {
-		panic("alloc: partial run with no free region")
+		panic("alloc: partial run with no free region") //halo:errfmt-ok corruption trap: partial-run bitmap disagrees with the run lists
 	}
 	if r.free == 0 {
 		a.removePartial(class, r)
@@ -226,7 +226,7 @@ func (a *SizeSeg) Free(ptr uint64) {
 		delete(a.large, ptr)
 		rounded := (size + mem.PageSize - 1) &^ uint64(mem.PageSize-1)
 		if err := a.os.Unmap(mem.Region{Base: ptr, Size: rounded}); err != nil {
-			panic(err)
+			panic(err) //halo:errfmt-ok corruption trap: unmap failure mid-free leaves the page map inconsistent
 		}
 		a.stats.Resident -= rounded
 		a.onFree(size)
@@ -234,12 +234,12 @@ func (a *SizeSeg) Free(ptr uint64) {
 	}
 	r := a.pageMap[ptr>>mem.PageShift]
 	if r == nil {
-		panic(fmt.Sprintf("alloc: free of unknown pointer %#x", ptr))
+		panic(fmt.Sprintf("alloc: free of unknown pointer %#x", ptr)) //halo:errfmt-ok corruption trap: free of unknown pointer is caller heap misuse
 	}
 	cls := SizeClasses[r.class]
 	off := ptr - r.base
 	if off%cls != 0 {
-		panic(fmt.Sprintf("alloc: free of interior pointer %#x (run %#x, class %d)", ptr, r.base, cls))
+		panic(fmt.Sprintf("alloc: free of interior pointer %#x (run %#x, class %d)", ptr, r.base, cls)) //halo:errfmt-ok corruption trap: interior-pointer free is caller heap misuse
 	}
 	wasFull := r.free == 0
 	r.freeRegion(int(off / cls))
@@ -285,7 +285,7 @@ func (a *SizeSeg) Realloc(ptr, size uint64) uint64 {
 	}
 	old := a.SizeOf(ptr)
 	if old == 0 {
-		panic(fmt.Sprintf("alloc: realloc of unknown pointer %#x", ptr))
+		panic(fmt.Sprintf("alloc: realloc of unknown pointer %#x", ptr)) //halo:errfmt-ok corruption trap: realloc of unknown pointer is caller heap misuse
 	}
 	if size <= old && classIndex(size) == classIndex(old) {
 		return ptr // same underlying region suffices

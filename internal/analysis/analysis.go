@@ -1,0 +1,277 @@
+// Package analysis is halovet's static-analysis substrate: a small,
+// dependency-free reimplementation of the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, diagnostics) plus the
+// repo-specific machinery the four HALO analyzers share — `//halo:`
+// directive parsing, per-analyzer suppression comments with audited
+// reasons, and `//halo:hot` function detection.
+//
+// The module vendors nothing, so the framework is built entirely on the
+// standard library: go/ast + go/types for the analyses themselves,
+// unitchecker.go for the `go vet -vettool` driver protocol, and
+// analysistest for fixture-based analyzer tests.
+//
+// The contract enforced by the suite (see DESIGN.md "Static analysis"):
+//
+//   - determinism: the deterministic-pipeline packages must not observe
+//     wall clocks, process-global randomness, the environment, or map
+//     iteration order that escapes into outputs.
+//   - hotalloc: functions annotated `//halo:hot` must not contain
+//     allocation-introducing constructs.
+//   - obsgate: obs metric mutations reachable from `//halo:hot` functions
+//     must be gated by obs.Enabled().
+//   - errfmt: received errors are wrapped with %w, and panic is reserved
+//     for halloc's documented corruption traps.
+//
+// Every analyzer supports a `//halo:<name>-ok <reason>` suppression
+// directive (determinism uses the historical `nondeterminism-ok` key) on
+// the flagged line or the line above. The reason is mandatory: a bare
+// directive is itself a diagnostic, so intentional violations stay
+// audited rather than hidden.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ModulePath is the module all analyzers scope themselves to. Packages
+// outside it (the stdlib, when driven by go vet) are never analyzed.
+const ModulePath = "halo"
+
+// ModulePackage reports whether path names a package inside this module.
+func ModulePackage(path string) bool {
+	return path == ModulePath || strings.HasPrefix(path, ModulePath+"/")
+}
+
+// An Analyzer is one named static check.
+type Analyzer struct {
+	Name string // command-line toggle and diagnostic tag
+	Doc  string // one-line description (shown by -flags consumers and usage)
+
+	// Suppress is the //halo:<Suppress> directive key that silences one
+	// diagnostic of this analyzer with a mandatory audited reason.
+	Suppress string
+
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, already positioned for printing.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	directives directiveIndex
+	diags      *[]Diagnostic
+}
+
+// directive is one parsed //halo:<key> <reason> comment.
+type directive struct {
+	key    string
+	reason string
+	pos    token.Position
+}
+
+// directiveIndex maps filename -> line -> directives starting that line.
+type directiveIndex map[string]map[int][]directive
+
+const directivePrefix = "//halo:"
+
+// parseDirectives indexes every //halo: comment in the package.
+func parseDirectives(fset *token.FileSet, files []*ast.File) directiveIndex {
+	idx := make(directiveIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := text[len(directivePrefix):]
+				key := rest
+				reason := ""
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					key, reason = rest[:i], strings.TrimSpace(rest[i+1:])
+				}
+				posn := fset.Position(c.Pos())
+				byLine := idx[posn.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]directive)
+					idx[posn.Filename] = byLine
+				}
+				byLine[posn.Line] = append(byLine[posn.Line], directive{key: key, reason: reason, pos: posn})
+			}
+		}
+	}
+	return idx
+}
+
+// suppressionAt looks for this analyzer's suppression directive on the
+// given line or the line immediately above it.
+func (p *Pass) suppressionAt(posn token.Position) (directive, bool) {
+	byLine := p.directives[posn.Filename]
+	if byLine == nil {
+		return directive{}, false
+	}
+	for _, line := range [2]int{posn.Line, posn.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.key == p.Analyzer.Suppress {
+				return d, true
+			}
+		}
+	}
+	return directive{}, false
+}
+
+// Reportf records a diagnostic at pos unless a suppression directive with
+// a reason covers that line. A suppression without a reason is converted
+// into its own diagnostic so it cannot silently hide findings.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	posn := p.Fset.Position(pos)
+	if d, ok := p.suppressionAt(posn); ok {
+		if d.reason == "" {
+			p.report(posn, "//halo:%s directive is missing a reason (suppressed: %s)",
+				p.Analyzer.Suppress, fmt.Sprintf(format, args...))
+		}
+		return
+	}
+	p.report(posn, format, args...)
+}
+
+// report appends a diagnostic bypassing suppression (used for the
+// missing-reason finding itself).
+func (p *Pass) report(posn token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      posn,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file is a _test.go file; the determinism,
+// obsgate and errfmt analyzers exempt tests.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// HotDirective is the annotation that marks a function as a proven hot
+// path, opting it into the hotalloc and obsgate contracts.
+const HotDirective = "//halo:hot"
+
+// IsHot reports whether fd carries a //halo:hot annotation in its doc
+// comment.
+func IsHot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == HotDirective || strings.HasPrefix(c.Text, HotDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// CalleeObject resolves the called function or method object of call, or
+// nil for builtins, conversions and indirect calls through variables.
+func (p *Pass) CalleeObject(call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := p.TypesInfo.Uses[fun]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := p.TypesInfo.Uses[fun.Sel]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// CalleePkgFunc resolves call to (package path, function name) when it is
+// a direct call of a package-level function, as in time.Now().
+func (p *Pass) CalleePkgFunc(call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	obj := p.CalleeObject(call)
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	if fn, isFn := obj.(*types.Func); isFn && fn.Type().(*types.Signature).Recv() != nil {
+		return "", "", false
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}
+
+// Builtin reports whether call invokes the named builtin (append, delete,
+// make, new, ...).
+func (p *Pass) Builtin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := p.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// All is the halovet analyzer suite in reporting order.
+var All = []*Analyzer{Determinism, Hotalloc, Obsgate, Errfmt}
+
+// RunPackage runs the given analyzers over one type-checked package and
+// returns the surviving diagnostics sorted by position. It is the shared
+// core of the unitchecker driver and the analysistest harness.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	directives := parseDirectives(fset, files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			directives: directives,
+			diags:      &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

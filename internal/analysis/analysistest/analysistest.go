@@ -1,0 +1,206 @@
+// Package analysistest runs halovet analyzers over fixture packages and
+// checks their diagnostics against `// want "regexp"` expectations, the
+// same convention as golang.org/x/tools/go/analysis/analysistest (which
+// the module cannot vendor).
+//
+// Fixtures live under testdata/src/<import path> relative to the calling
+// test's package directory. Imports of other fixture packages resolve
+// through the same tree; everything else (the standard library) is
+// type-checked from GOROOT source via go/importer's "source" compiler,
+// so no compiled export data is needed.
+//
+// A `// want` comment expects one diagnostic per quoted regexp on the
+// same line; lines without a want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"halo/internal/analysis"
+)
+
+// Run loads each fixture package, runs the analyzer over it, and reports
+// any mismatch between diagnostics and want expectations as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join("testdata", "src"))
+	for _, path := range pkgpaths {
+		t.Run(path, func(t *testing.T) {
+			pkg, files, info, err := l.loadTarget(path)
+			if err != nil {
+				t.Fatalf("loading %s: %v", path, err)
+			}
+			diags, err := analysis.RunPackage(l.fset, files, pkg, info, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, path, err)
+			}
+			expects, err := parseExpectations(l.fset, files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, diags, expects)
+		})
+	}
+}
+
+// check matches diagnostics against expectations one-to-one by file, line
+// and regexp.
+func check(t *testing.T, diags []analysis.Diagnostic, expects []*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		matched := false
+		for _, e := range expects {
+			if !e.matched && e.file == d.Pos.Filename && e.line == d.Pos.Line && e.re.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.re)
+		}
+	}
+}
+
+// expectation is one `// want "re"` entry, anchored to its line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseExpectations extracts want expectations from every comment in the
+// fixture files. Each quoted string after `want` expects one diagnostic.
+func parseExpectations(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text != "want" && !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+				posn := fset.Position(c.Pos())
+				if rest == "" {
+					return nil, fmt.Errorf("%s: want comment has no expectations", posn)
+				}
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s: malformed want comment %q: %w", posn, c.Text, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: unquoting %s: %w", posn, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: compiling %q: %w", posn, pat, err)
+					}
+					out = append(out, &expectation{file: posn.Filename, line: posn.Line, re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// loader type-checks fixture packages, resolving fixture-to-fixture
+// imports through the testdata tree and everything else from GOROOT
+// source.
+type loader struct {
+	fset *token.FileSet
+	root string
+	pkgs map[string]*types.Package
+	std  types.ImporterFrom
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset: fset,
+		root: root,
+		pkgs: make(map[string]*types.Package),
+		std:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+func (l *loader) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if fi, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil && fi.IsDir() {
+		pkg, _, _, err := l.load(path, false)
+		return pkg, err
+	}
+	return l.std.ImportFrom(path, dir, 0)
+}
+
+// loadTarget loads the package under test, including its _test.go fixture
+// files (analyzers must prove they exempt them).
+func (l *loader) loadTarget(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	return l.load(path, true)
+}
+
+func (l *loader) load(path string, includeTests bool) (*types.Package, []*ast.File, *types.Info, error) {
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: l, GoVersion: "go1.24"}
+	info := analysis.NewTypesInfo()
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, files, info, nil
+}

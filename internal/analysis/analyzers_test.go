@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"halo/internal/analysis"
+	"halo/internal/analysis/analysistest"
+)
+
+// The fixture packages live under testdata/src and use the same module
+// paths as the real code so the analyzers' package scoping applies:
+// halo/internal/hds is a deterministic pipeline package, halo/internal/
+// service is not, and halo/internal/halloc is the sanctioned panic site.
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysis.Determinism,
+		"halo/internal/hds",
+		"halo/internal/service",
+	)
+}
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, analysis.Hotalloc, "halo/fix/hot")
+}
+
+func TestObsgate(t *testing.T) {
+	analysistest.Run(t, analysis.Obsgate, "halo/fix/obsuser")
+}
+
+func TestErrfmt(t *testing.T) {
+	analysistest.Run(t, analysis.Errfmt,
+		"halo/fix/errs",
+		"halo/internal/halloc",
+	)
+}

@@ -1,0 +1,563 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// deterministicPackages are the pipeline packages whose outputs are pinned
+// byte-for-byte by golden fingerprints: content-addressed cache keys,
+// order-independent profile merges and policy/artifact encodings all flow
+// through them. Inside these packages the determinism analyzer forbids
+// wall clocks, process-global randomness, environment reads, and map
+// iteration order escaping into output-affecting values.
+var deterministicPackages = map[string]bool{
+	"halo/internal/profile":   true,
+	"halo/internal/affinity":  true,
+	"halo/internal/hds":       true,
+	"halo/internal/group":     true,
+	"halo/internal/identify":  true,
+	"halo/internal/policy":    true,
+	"halo/internal/rewrite":   true,
+	"halo/internal/sequitur":  true,
+	"halo/internal/profstore": true,
+	"halo/internal/vm":        true,
+}
+
+// randConstructors are the math/rand(/v2) functions that build an
+// explicitly seeded generator; everything else in those packages draws
+// from the process-global source and is forbidden.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Determinism enforces the byte-determinism contract of the pipeline
+// packages (see deterministicPackages).
+var Determinism = &Analyzer{
+	Name:     "determinism",
+	Doc:      "forbid wall clocks, global randomness, env reads and escaping map iteration order in the deterministic pipeline packages",
+	Suppress: "nondeterminism-ok",
+	Run:      runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !deterministicPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkForbiddenCall(pass, n)
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						checkMapRange(pass, f, n)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkForbiddenCall(pass *Pass, call *ast.CallExpr) {
+	pkg, name, ok := pass.CalleePkgFunc(call)
+	if !ok {
+		return
+	}
+	switch pkg {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "wall-clock read time.%s in deterministic package %s", name, pass.Pkg.Path())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[name] {
+			pass.Reportf(call.Pos(), "process-global math/rand call %s.%s in deterministic package %s; use an explicitly seeded rand.New", pathBase(pkg), name, pass.Pkg.Path())
+		}
+	case "os":
+		switch name {
+		case "Getenv", "LookupEnv", "Environ":
+			pass.Reportf(call.Pos(), "environment read os.%s in deterministic package %s; thread configuration through core.Config instead", name, pass.Pkg.Path())
+		}
+	}
+}
+
+func pathBase(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}
+
+// rangeChecker classifies the body of one `range` over a map. The rules
+// describe effects whose result does not depend on iteration order:
+//
+//   - writes through the iteration variables themselves (per-entry state)
+//   - index-addressed writes whose index involves a loop-scoped variable
+//   - commutative integer accumulation (+= -= *= |= &= ^=, ++ --)
+//   - a single distinct constant assigned to an outer variable
+//   - appends into an outer slice that is sorted later in the function
+//   - delete, continue, and break (the latter only when nothing was
+//     collected into an ordered sink)
+//
+// Everything else — last-write-wins assignments, float/string
+// accumulation, calls with side effects, sends, returns of loop-derived
+// values — makes iteration order observable and is flagged.
+type rangeChecker struct {
+	pass     *Pass
+	rs       *ast.RangeStmt
+	fn       *ast.FuncDecl // enclosing function, for sorted-later scans
+	loopObjs map[types.Object]bool
+	sinks    map[types.Object]token.Pos // outer append targets, in first-seen order
+	sinkList []types.Object
+	constVal map[types.Object]string
+	breaks   bool
+
+	// loop-level suppression state
+	suppressed    bool
+	missingReason bool
+	reportedBare  bool
+}
+
+func checkMapRange(pass *Pass, f *ast.File, rs *ast.RangeStmt) {
+	c := &rangeChecker{
+		pass:     pass,
+		rs:       rs,
+		fn:       enclosingFuncDecl(f, rs.Pos()),
+		loopObjs: make(map[types.Object]bool),
+		sinks:    make(map[types.Object]token.Pos),
+		constVal: make(map[types.Object]string),
+	}
+	if d, ok := pass.suppressionAt(pass.Fset.Position(rs.Pos())); ok {
+		c.suppressed = true
+		c.missingReason = d.reason == ""
+	}
+
+	if rs.Tok == token.ASSIGN {
+		c.flag(rs.Pos(), "map range writes its iteration variables to outer variables; the values after the loop depend on map order")
+	}
+
+	// Every object defined inside the range statement (including the
+	// key/value variables) is loop-scoped: writes through it are
+	// per-iteration state, not escaping order.
+	ast.Inspect(rs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				c.loopObjs[obj] = true
+			}
+		}
+		return true
+	})
+
+	for _, s := range rs.Body.List {
+		c.stmt(s)
+	}
+
+	for _, obj := range c.sinkList {
+		pos := c.sinks[obj]
+		switch {
+		case c.breaks:
+			c.flag(pos, "%s collects map-range values but the loop can break early; the collected subset depends on map order", obj.Name())
+		case !c.sortedAfter(obj):
+			c.flag(pos, "%s collects values from a map range and is never sorted afterwards; its element order depends on map order", obj.Name())
+		}
+	}
+}
+
+// flag reports one order-escape finding, honouring a suppression
+// directive placed on the `for` line of the range statement as covering
+// the whole loop.
+func (c *rangeChecker) flag(pos token.Pos, format string, args ...any) {
+	if c.suppressed {
+		if c.missingReason && !c.reportedBare {
+			c.reportedBare = true
+			c.pass.report(c.pass.Fset.Position(c.rs.Pos()),
+				"//halo:%s directive on map range is missing a reason", c.pass.Analyzer.Suppress)
+		}
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+func (c *rangeChecker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.IncDecStmt:
+		// x++ / x-- commute.
+	case *ast.DeclStmt, *ast.EmptyStmt:
+		// local declarations are loop-scoped (collected in the prepass)
+	case *ast.ExprStmt:
+		c.exprStmt(s)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.block(s.Body)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		c.block(s)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Post != nil {
+			c.stmt(s.Post)
+		}
+		c.block(s.Body)
+	case *ast.RangeStmt:
+		// A nested map range gets its own checker from the file walk;
+		// here we only classify its body's effects on outer state.
+		c.block(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		for _, cc := range s.Body.List {
+			for _, cs := range cc.(*ast.CaseClause).Body {
+				c.stmt(cs)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		for _, cc := range s.Body.List {
+			for _, cs := range cc.(*ast.CaseClause).Body {
+				c.stmt(cs)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			if c.usesLoopObj(res) {
+				c.flag(s.Pos(), "return of a value derived from map iteration; which entry is seen first depends on map order")
+				break
+			}
+		}
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			c.breaks = true
+		case token.CONTINUE:
+			// fine
+		default:
+			c.flag(s.Pos(), "%s inside a map range makes control flow depend on map order", s.Tok)
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	default:
+		// go, defer, send, select, ...
+		c.flag(s.Pos(), "statement inside a map range has order-dependent effects")
+	}
+}
+
+func (c *rangeChecker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		c.stmt(s)
+	}
+}
+
+func (c *rangeChecker) assign(s *ast.AssignStmt) {
+	if s.Tok == token.DEFINE {
+		return // defines loop-scoped variables
+	}
+
+	// x = append(x, ...) into an outer slice: an ordered sink, judged
+	// after the loop by whether it is sorted.
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok && c.pass.Builtin(call, "append") {
+			obj := c.rootObj(s.Lhs[0])
+			if obj != nil && c.loopObjs[obj] {
+				return
+			}
+			if obj != nil && s.Tok == token.ASSIGN {
+				if _, seen := c.sinks[obj]; !seen {
+					c.sinks[obj] = s.Pos()
+					c.sinkList = append(c.sinkList, obj)
+				}
+				return
+			}
+		}
+	}
+
+	if s.Tok != token.ASSIGN {
+		// Compound assignment: commutative integer updates are
+		// order-independent; float rounding, string concatenation and
+		// shifts are not.
+		lhs := s.Lhs[0]
+		if obj := c.rootObj(lhs); obj != nil && c.loopObjs[obj] {
+			return
+		}
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+			token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+			if t := c.pass.TypeOf(lhs); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+					return
+				}
+				c.flag(s.Pos(), "non-integer %s accumulation in map range is order-dependent (float rounding / string order)", s.Tok)
+				return
+			}
+		}
+		c.flag(s.Pos(), "order-dependent compound assignment %s in map range", s.Tok)
+		return
+	}
+
+	for i, lhs := range s.Lhs {
+		lhs = ast.Unparen(lhs)
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		obj := c.rootObj(lhs)
+		if obj != nil && c.loopObjs[obj] {
+			continue // per-entry state via the iteration variables
+		}
+		if ix, ok := lhs.(*ast.IndexExpr); ok && c.usesLoopObj(ix.Index) {
+			continue // index-addressed write keyed by the iteration variable
+		}
+		if len(s.Lhs) == len(s.Rhs) && c.isMinMaxUpdate(s, i) {
+			continue // strict min/max tracking is order-independent
+		}
+		if len(s.Lhs) == len(s.Rhs) {
+			if v := c.constValue(s.Rhs[i]); v != "" && obj != nil {
+				if prev, seen := c.constVal[obj]; !seen {
+					c.constVal[obj] = v
+					continue
+				} else if prev == v {
+					continue
+				}
+				c.flag(s.Pos(), "conflicting constant writes to %s in map range; the surviving value depends on map order", obj.Name())
+				continue
+			}
+		}
+		c.flag(s.Pos(), "assignment in map range is overwritten on every iteration; the surviving value depends on map order")
+	}
+}
+
+func (c *rangeChecker) exprStmt(s *ast.ExprStmt) {
+	call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	switch {
+	case c.pass.Builtin(call, "delete"), c.pass.Builtin(call, "clear"):
+		return
+	case c.pass.Builtin(call, "copy"):
+		if len(call.Args) > 0 && c.loopRooted(call.Args[0]) {
+			return
+		}
+	default:
+		// A method call whose receiver is loop-scoped mutates only the
+		// current entry.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && c.loopRooted(sel.X) {
+			return
+		}
+		// Sorting per-entry state (sort.Slice(adj[c], ...)) commutes.
+		if c.isSortCall(call) && len(call.Args) > 0 && c.loopRooted(call.Args[0]) {
+			return
+		}
+	}
+	c.flag(s.Pos(), "call with potential side effects inside a map range observes iteration order")
+}
+
+// rootObj walks an lvalue chain (x, x.f, x[i], *x, (x)) to its base
+// identifier's object.
+func (c *rangeChecker) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := c.pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return c.pass.TypesInfo.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (c *rangeChecker) loopRooted(e ast.Expr) bool {
+	obj := c.rootObj(e)
+	return obj != nil && c.loopObjs[obj]
+}
+
+func (c *rangeChecker) usesLoopObj(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !found {
+			if obj := c.pass.TypesInfo.Uses[id]; obj != nil && c.loopObjs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isMinMaxUpdate recognises the strict running-extremum idiom
+//
+//	if v > max { max = v }   (likewise <, and flipped operand order)
+//
+// whose result does not depend on iteration order: values are totally
+// ordered and only the extremum survives. The assigned expression must be
+// syntactically identical to the compared one, and the comparison must be
+// strict (>=/<= would let iteration order pick among ties for expressions
+// with equal keys, which matters when the loop also records a companion
+// value — that form stays flagged because the companion write won't match
+// this pattern).
+func (c *rangeChecker) isMinMaxUpdate(s *ast.AssignStmt, i int) bool {
+	// The assignment must be the sole statement of an if with a strict
+	// comparison and no else.
+	ifStmt, ok := c.enclosingIf(s)
+	if !ok || ifStmt.Else != nil || len(ifStmt.Body.List) != 1 {
+		return false
+	}
+	cmp, ok := ast.Unparen(ifStmt.Cond).(*ast.BinaryExpr)
+	if !ok || (cmp.Op != token.LSS && cmp.Op != token.GTR) {
+		return false
+	}
+	lhs, rhs := ast.Unparen(s.Lhs[i]), ast.Unparen(s.Rhs[i])
+	x, y := ast.Unparen(cmp.X), ast.Unparen(cmp.Y)
+	return (c.sameExpr(rhs, x) && c.sameExpr(lhs, y)) ||
+		(c.sameExpr(rhs, y) && c.sameExpr(lhs, x))
+}
+
+// enclosingIf reports the if statement whose body consists of s, by
+// re-walking the range body (cheap at these sizes).
+func (c *rangeChecker) enclosingIf(s ast.Stmt) (*ast.IfStmt, bool) {
+	var found *ast.IfStmt
+	ast.Inspect(c.rs.Body, func(n ast.Node) bool {
+		if ifStmt, ok := n.(*ast.IfStmt); ok && found == nil {
+			if len(ifStmt.Body.List) == 1 && ifStmt.Body.List[0] == s {
+				found = ifStmt
+				return false
+			}
+		}
+		return found == nil
+	})
+	return found, found != nil
+}
+
+// sameExpr reports syntactic identity for the identifier/selector chains
+// the min/max idiom uses.
+func (c *rangeChecker) sameExpr(a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao := c.rootObj(a)
+		return ao != nil && ao == c.rootObj(b)
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && c.sameExpr(ast.Unparen(a.X), ast.Unparen(b.X))
+	case *ast.IndexExpr:
+		b, ok := b.(*ast.IndexExpr)
+		return ok && c.sameExpr(ast.Unparen(a.X), ast.Unparen(b.X)) &&
+			c.sameExpr(ast.Unparen(a.Index), ast.Unparen(b.Index))
+	}
+	return false
+}
+
+// constValue returns a canonical string for a compile-time constant
+// expression, or "".
+func (c *rangeChecker) constValue(e ast.Expr) string {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return tv.Value.ExactString()
+	}
+	// `true` and `false` are Values in go/types, handled above; nil is not.
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name == "nil" {
+		if _, isNil := c.pass.TypesInfo.Uses[id].(*types.Nil); isNil {
+			return "nil"
+		}
+	}
+	return ""
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices call (or a
+// *Sort* method) after the range loop within the same function.
+func (c *rangeChecker) sortedAfter(obj types.Object) bool {
+	if c.fn == nil || c.fn.Body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < c.rs.End() {
+			return true
+		}
+		if !c.isSortCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if c.usesObj(arg, obj) {
+				sorted = true
+				return false
+			}
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && c.usesObj(sel.X, obj) {
+			sorted = true
+			return false
+		}
+		return true
+	})
+	return sorted
+}
+
+func (c *rangeChecker) isSortCall(call *ast.CallExpr) bool {
+	if pkg, _, ok := c.pass.CalleePkgFunc(call); ok && (pkg == "sort" || pkg == "slices") {
+		return true
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return strings.Contains(strings.ToLower(sel.Sel.Name), "sort")
+	}
+	return false
+}
+
+func (c *rangeChecker) usesObj(e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !found {
+			if c.pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingFuncDecl finds the function declaration containing pos.
+func enclosingFuncDecl(f *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos < fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// hallocPkgPath hosts the allocator's documented corruption traps — the
+// only place the repo panics by design (double free, invalid free,
+// neighbour-chunk overwrite).
+const hallocPkgPath = "halo/internal/halloc"
+
+// Errfmt enforces the error-handling conventions: a received error passed
+// to fmt.Errorf must be wrapped with %w (so errors.Is/As keep working
+// across the service and pipeline layers), and panic is reserved for
+// halloc's documented heap-corruption traps; any other intentional panic
+// needs an audited //halo:errfmt-ok reason.
+var Errfmt = &Analyzer{
+	Name:     "errfmt",
+	Doc:      "require %w when wrapping errors with fmt.Errorf, and confine panic to halloc's corruption traps",
+	Suppress: "errfmt-ok",
+	Run:      runErrfmt,
+}
+
+func runErrfmt(pass *Pass) error {
+	if !ModulePackage(pass.Pkg.Path()) {
+		return nil
+	}
+	errorType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pass.Builtin(call, "panic") {
+				if pass.Pkg.Path() != hallocPkgPath {
+					pass.Reportf(call.Pos(), "panic outside halloc's documented corruption traps; return an error instead")
+				}
+				return true
+			}
+			if pkg, name, ok := pass.CalleePkgFunc(call); ok && pkg == "fmt" && name == "Errorf" {
+				checkErrorf(pass, call, errorType)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrorf(pass *Pass, call *ast.CallExpr, errorType types.Type) {
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := constStringValue(pass, call.Args[0])
+	if !ok {
+		return // dynamic format string; nothing to prove
+	}
+	if countVerb(format, 'w') > 0 {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if types.AssignableTo(t, errorType) && !isNilExpr(pass, arg) {
+			pass.Reportf(call.Pos(), "fmt.Errorf formats a received error without %%w; wrap it so errors.Is/As see through the message")
+			return
+		}
+	}
+}
+
+func constStringValue(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func isNilExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// countVerb counts occurrences of %<verb> in a format string, skipping
+// %% escapes and flag/width characters between % and the verb.
+func countVerb(format string, verb byte) int {
+	n := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		j := i + 1
+		for j < len(format) && strings.IndexByte("+-# 0123456789.*[]", format[j]) >= 0 {
+			j++
+		}
+		if j < len(format) {
+			if format[j] == verb {
+				n++
+			}
+			i = j
+		}
+	}
+	return n
+}

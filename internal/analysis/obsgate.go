@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// obsPkgPath is the observability substrate whose metric mutations must be
+// gated on hot paths.
+const obsPkgPath = "halo/internal/obs"
+
+// metricMethods are the mutation entry points of the obs metric types.
+var metricMethods = map[string]map[string]bool{
+	"Counter":   {"Inc": true, "Add": true},
+	"Gauge":     {"Set": true, "Add": true},
+	"Histogram": {"Observe": true},
+}
+
+// Obsgate verifies that every obs.Counter/Gauge/Histogram mutation that is
+// statically reachable from a //halo:hot function (through same-package
+// calls) is dominated by an obs.Enabled() check — either an enclosing
+// `if obs.Enabled() { ... }` or an `if !obs.Enabled() { return }` earlier
+// in the same function. The hot loops record at batch grain, so a
+// mutation that runs unconditionally on a hot path is either a perf bug
+// or needs an audited //halo:obsgate-ok reason.
+var Obsgate = &Analyzer{
+	Name:     "obsgate",
+	Doc:      "require obs.Enabled() gating for metric mutations reachable from //halo:hot functions",
+	Suppress: "obsgate-ok",
+	Run:      runObsgate,
+}
+
+func runObsgate(pass *Pass) error {
+	if !ModulePackage(pass.Pkg.Path()) {
+		return nil
+	}
+
+	// Collect function declarations and the same-package static call graph.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	var order []types.Object
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				decls[obj] = fd
+				order = append(order, obj)
+			}
+		}
+	}
+
+	callees := func(fd *ast.FuncDecl) []types.Object {
+		var out []types.Object
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if obj := pass.CalleeObject(call); obj != nil {
+					if _, local := decls[obj]; local {
+						out = append(out, obj)
+					}
+				}
+			}
+			return true
+		})
+		return out
+	}
+
+	// BFS from the //halo:hot roots, remembering which root reached each
+	// function for the diagnostic message.
+	hotRoot := make(map[types.Object]string)
+	var queue []types.Object
+	for _, obj := range order {
+		if IsHot(decls[obj]) {
+			hotRoot[obj] = decls[obj].Name.Name
+			queue = append(queue, obj)
+		}
+	}
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		for _, callee := range callees(decls[obj]) {
+			if _, seen := hotRoot[callee]; !seen {
+				hotRoot[callee] = hotRoot[obj]
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	for _, obj := range order {
+		if root, hot := hotRoot[obj]; hot {
+			checkGating(pass, decls[obj], root)
+		}
+	}
+	return nil
+}
+
+// metricMutation resolves call to (metric type name, method name) when it
+// mutates an obs metric.
+func metricMutation(pass *Pass, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", "", false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return "", "", false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != obsPkgPath {
+		return "", "", false
+	}
+	methods, ok := metricMethods[named.Obj().Name()]
+	if !ok || !methods[fn.Name()] {
+		return "", "", false
+	}
+	return named.Obj().Name(), fn.Name(), true
+}
+
+// isEnabledCall reports whether e contains a positive call to
+// obs.Enabled() (negations flip polarity, so `!obs.Enabled()` does not
+// count as a guard for the body it protects).
+func isEnabledCall(pass *Pass, e ast.Expr, positive bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if pkg, name, ok := pass.CalleePkgFunc(e); ok && pkg == obsPkgPath && name == "Enabled" {
+			return positive
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			return isEnabledCall(pass, e.X, !positive)
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND || e.Op == token.LOR {
+			return isEnabledCall(pass, e.X, positive) || isEnabledCall(pass, e.Y, positive)
+		}
+	}
+	return false
+}
+
+// checkGating walks fd maintaining the ancestor stack and reports
+// ungated metric mutations.
+func checkGating(pass *Pass, fd *ast.FuncDecl, root string) {
+	var stack []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		typ, method, ok := metricMutation(pass, call)
+		if !ok {
+			return true
+		}
+		if gatedByAncestor(pass, stack) || gatedByEarlyReturn(pass, fd, stack) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "obs.%s.%s() reachable from //halo:hot %s is not gated by obs.Enabled()", typ, method, root)
+		return true
+	})
+}
+
+// gatedByAncestor reports whether the innermost node of stack sits inside
+// the body of an `if` whose condition positively checks obs.Enabled().
+func gatedByAncestor(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		within := stack[i+1] == ifStmt.Body
+		if within && isEnabledCall(pass, ifStmt.Cond, true) {
+			return true
+		}
+	}
+	return false
+}
+
+// gatedByEarlyReturn reports whether a top-level `if !obs.Enabled() {
+// return }` precedes the statement containing the mutation.
+func gatedByEarlyReturn(pass *Pass, fd *ast.FuncDecl, stack []ast.Node) bool {
+	// Find the top-level statement of fd.Body on the ancestor path.
+	var top ast.Stmt
+	for i, n := range stack {
+		if n == fd.Body && i+1 < len(stack) {
+			if s, ok := stack[i+1].(ast.Stmt); ok {
+				top = s
+			}
+			break
+		}
+	}
+	if top == nil {
+		return false
+	}
+	for _, s := range fd.Body.List {
+		if s == top {
+			return false
+		}
+		ifStmt, ok := s.(*ast.IfStmt)
+		if !ok || ifStmt.Else != nil {
+			continue
+		}
+		if !isEnabledCall(pass, ifStmt.Cond, false) {
+			continue
+		}
+		if n := len(ifStmt.Body.List); n > 0 {
+			if _, isRet := ifStmt.Body.List[n-1].(*ast.ReturnStmt); isRet {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+// Package errs exercises the errfmt analyzer: received errors must be
+// wrapped with %w, and panic is confined to halloc's corruption traps.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func wrapWithV(err error) error {
+	return fmt.Errorf("load failed: %v", err) // want `fmt\.Errorf formats a received error without %w`
+}
+
+func wrapWithW(err error) error {
+	return fmt.Errorf("load failed: %w", err)
+}
+
+func noErrorArgs(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}
+
+func multiWrap(a, b error) error {
+	return fmt.Errorf("both failed: %w and %w", a, b)
+}
+
+func escapedPercent(err error) error {
+	return fmt.Errorf("100%% failure: %s", err) // want `fmt\.Errorf formats a received error without %w`
+}
+
+func nilErrArg(n int) error {
+	return fmt.Errorf("count %d: %v", n, nil)
+}
+
+func sentinel() error {
+	return fmt.Errorf("base case: %w", errBase)
+}
+
+func panics(n int) int {
+	if n < 0 {
+		panic("negative") // want `panic outside halloc's documented corruption traps`
+	}
+	return n
+}
+
+func suppressedPanic(n int) int {
+	if n < 0 {
+		panic("negative") //halo:errfmt-ok fixture: invariant documented at the call sites
+	}
+	return n
+}

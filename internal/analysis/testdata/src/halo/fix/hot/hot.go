@@ -1,0 +1,113 @@
+// Package hot exercises the hotalloc analyzer: only functions annotated
+// //halo:hot are held to the allocation-free contract.
+package hot
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Table is persistent state whose scratch buffers the hot path may grow.
+type Table struct {
+	items []int
+	buf   []int
+}
+
+var sunk any
+
+func sink(v any) { sunk = v }
+
+//halo:hot
+func (t *Table) HotAppendField(n int) {
+	t.items = append(t.items, n) // persistent struct scratch field: amortised
+}
+
+//halo:hot
+func (t *Table) HotReuseBuf(n int) {
+	t.buf = append(t.buf[:0], n) // reuses the backing array
+}
+
+//halo:hot
+func HotLocalAppend(xs []int, n int) []int {
+	xs = append(xs, n) // want `append to a local slice in //halo:hot function allocates`
+	return xs
+}
+
+//halo:hot
+func HotLiterals(n int) int {
+	m := map[int]int{}  // want `map literal in //halo:hot function allocates`
+	s := []int{n}       // want `slice literal in //halo:hot function allocates`
+	p := &Table{}       // want `address of composite literal in //halo:hot function escapes`
+	q := make([]int, n) // want `make in //halo:hot function allocates`
+	r := new(Table)     // want `new in //halo:hot function allocates`
+	return len(m) + len(s) + len(p.items) + len(q) + len(r.buf)
+}
+
+//halo:hot
+func HotFmt(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt\.Sprintf in //halo:hot function allocates`
+}
+
+//halo:hot
+func HotErr() error {
+	return errors.New("boom") // want `errors\.New in //halo:hot function allocates`
+}
+
+//halo:hot
+func HotConcat(a, b string) string {
+	return a + b // want `string concatenation in //halo:hot function allocates`
+}
+
+//halo:hot
+func HotPlusEq(parts []string) string {
+	var out string
+	for _, p := range parts {
+		out += p // want `string \+= in //halo:hot function allocates`
+	}
+	return out
+}
+
+//halo:hot
+func HotClosure(n int) func() int {
+	return func() int { return n } // want `closure in //halo:hot function allocates`
+}
+
+//halo:hot
+func HotBytes(s string) int {
+	b := []byte(s) // want `string/\[\]byte conversion in //halo:hot function copies and allocates`
+	return len(b)
+}
+
+//halo:hot
+func HotBoxArg(n int) {
+	sink(n) // want `argument boxes a int into an interface parameter`
+}
+
+//halo:hot
+func HotBoxAssign(n int) any {
+	var v any
+	v = n // want `assignment boxes a int into an interface`
+	return v
+}
+
+//halo:hot
+func HotPointerArg(t *Table) {
+	sink(t) // pointers are stored directly in interfaces: no boxing
+}
+
+// coldPath carries no annotation, so its allocations are fine.
+func coldPath(n int) []int {
+	return []int{n}
+}
+
+//halo:hot
+func HotSuppressed(n int) []int {
+	xs := []int{n} //halo:hotalloc-ok fixture: setup-time slice, measured off the steady-state path
+	return xs
+}
+
+//halo:hot
+func HotBareSuppression(a, b string) string {
+	//halo:hotalloc-ok
+	return a + b // want `//halo:hotalloc-ok directive is missing a reason`
+}

@@ -1,0 +1,53 @@
+// Package obsuser exercises the obsgate analyzer: metric mutations that
+// are statically reachable from //halo:hot functions must be dominated by
+// an obs.Enabled() check.
+package obsuser
+
+import "halo/internal/obs"
+
+type pipeline struct {
+	events  obs.Counter
+	depth   obs.Gauge
+	latency obs.Histogram
+}
+
+//halo:hot
+func (p *pipeline) hotDirect() {
+	p.events.Inc() // want `obs\.Counter\.Inc\(\) reachable from //halo:hot hotDirect is not gated by obs\.Enabled\(\)`
+}
+
+//halo:hot
+func (p *pipeline) hotGated() {
+	if obs.Enabled() {
+		p.events.Inc()
+	}
+}
+
+//halo:hot
+func (p *pipeline) hotEarlyReturn() {
+	if !obs.Enabled() {
+		return
+	}
+	p.depth.Set(1)
+}
+
+//halo:hot
+func (p *pipeline) hotViaHelper() {
+	p.helper()
+}
+
+// helper is cold in isolation, but hotViaHelper reaches it, so its
+// mutations inherit the gating requirement.
+func (p *pipeline) helper() {
+	p.latency.Observe(1) // want `obs\.Histogram\.Observe\(\) reachable from //halo:hot hotViaHelper is not gated`
+}
+
+// coldUngated is unreachable from any hot root: ungated mutation is fine.
+func (p *pipeline) coldUngated() {
+	p.events.Add(2)
+}
+
+//halo:hot
+func (p *pipeline) hotSuppressed() {
+	p.events.Inc() //halo:obsgate-ok fixture: startup-only counter, measured cold
+}

@@ -1,0 +1,14 @@
+// Package halloc is a fixture stand-in for the allocator package: its
+// corruption traps are the one sanctioned panic site, so nothing here is
+// flagged.
+package halloc
+
+func trap(msg string) {
+	panic("halloc: " + msg)
+}
+
+func checkMagic(got, want uint64) {
+	if got != want {
+		trap("neighbour chunk overwrite")
+	}
+}

@@ -1,0 +1,103 @@
+// Package hds is a determinism fixture: halo/internal/hds is one of the
+// deterministic pipeline packages, so the analyzer runs in full here.
+package hds
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func forbiddenCalls() (int64, string) {
+	t := time.Now()              // want `wall-clock read time\.Now in deterministic package halo/internal/hds`
+	n := rand.Intn(4)            // want `process-global math/rand call rand\.Intn`
+	v := os.Getenv("HALO_DEBUG") // want `environment read os\.Getenv`
+	r := rand.New(rand.NewSource(1))
+	return t.Unix() + int64(n) + int64(r.Intn(4)), v
+}
+
+func unsortedEscape(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `keys collects values from a map range and is never sorted afterwards`
+	}
+	return keys
+}
+
+func sortedAfter(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func lastWins(m map[int]int) int {
+	var last int
+	for _, v := range m {
+		last = v // want `assignment in map range is overwritten on every iteration`
+	}
+	return last
+}
+
+func accumulate(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func floatAccum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `non-integer \+= accumulation in map range is order-dependent`
+	}
+	return sum
+}
+
+func maxValue(m map[int]int) int {
+	best := -1
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func earlyReturn(m map[int]int) int {
+	for k, v := range m {
+		if v > 0 {
+			return k // want `return of a value derived from map iteration`
+		}
+	}
+	return -1
+}
+
+func perEntryWrites(m map[int]*[4]int, out map[int]int) {
+	for k, v := range m {
+		v[0]++
+		out[k] = v[1]
+	}
+}
+
+func suppressedLoop(m map[int]int) int {
+	var last int
+	//halo:nondeterminism-ok fixture: any surviving entry is acceptable here
+	for _, v := range m {
+		last = v
+	}
+	return last
+}
+
+func bareSuppressedLoop(m map[int]int) int {
+	var last int
+	//halo:nondeterminism-ok
+	for _, v := range m { // want `//halo:nondeterminism-ok directive on map range is missing a reason`
+		last = v
+	}
+	return last
+}

@@ -1,0 +1,8 @@
+package hds
+
+import "time"
+
+// _test.go files are exempt from the determinism contract: no want here.
+func testOnlyClock() int64 {
+	return time.Now().Unix()
+}

@@ -1,0 +1,25 @@
+// Package obs is a fixture double for halo/internal/obs: it declares the
+// metric types and mutation methods the obsgate analyzer resolves by
+// package path, plus the Enabled gate.
+package obs
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Inc()         { c.v++ }
+func (c *Counter) Add(n uint64) { c.v += n }
+
+type Gauge struct{ v int64 }
+
+func (g *Gauge) Set(n int64) { g.v = n }
+func (g *Gauge) Add(n int64) { g.v += n }
+
+type Histogram struct{ count uint64 }
+
+func (h *Histogram) Observe(v float64) {
+	_ = v
+	h.count++
+}
+
+var enabled bool
+
+func Enabled() bool { return enabled }

@@ -1,0 +1,24 @@
+// Package service is outside the deterministic-pipeline set; the
+// determinism analyzer must ignore it entirely, so no line here carries
+// a want expectation.
+package service
+
+import (
+	"os"
+	"time"
+)
+
+func timestamp() int64 {
+	return time.Now().Unix()
+}
+
+func debugEnv() string {
+	return os.Getenv("HALO_DEBUG")
+}
+
+func anyKey(m map[int]int) int {
+	for k := range m {
+		return k
+	}
+	return -1
+}

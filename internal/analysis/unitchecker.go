@@ -1,0 +1,322 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` driver protocol on the
+// standard library, replacing golang.org/x/tools/go/analysis/unitchecker
+// (which the module cannot vendor). The protocol, read from cmd/go's
+// internal/work and internal/vet:
+//
+//  1. go vet probes `halovet -flags` once and expects a JSON array of
+//     {Name,Bool,Usage} flag descriptions on stdout.
+//  2. go vet obtains a tool build ID from `halovet -V=full`, expecting
+//     `<progname> version devel ... buildID=<hex>`.
+//  3. For each package, go vet writes a JSON vet.cfg (absolute GoFiles,
+//     ImportMap, PackageFile export-data paths, VetxOnly/VetxOutput fact
+//     plumbing) and invokes `halovet [flags] path/to/vet.cfg`. Nonzero
+//     exit or stderr output fails the vet run.
+//
+// Facts are not implemented: the four HALO analyzers are package-local by
+// design (annotations mark cross-package contracts), so dependency
+// passes (VetxOnly) only write an empty facts file for cmd/go's cache.
+
+// Config mirrors the fields of cmd/go's vetConfig that the driver needs.
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for cmd/halovet.
+func Main(analyzers ...*Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix("halovet: ")
+
+	fs := flag.NewFlagSet("halovet", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `halovet statically enforces HALO's determinism, hot-path and observability invariants.
+
+Usage: go vet -vettool=$(command -v halovet) [-NAME] ./...
+
+Run it through go vet; it speaks the vet.cfg driver protocol and cannot
+load packages on its own. Analyzer flags select a subset (default: all):
+
+`)
+		for _, a := range analyzers {
+			fmt.Fprintf(fs.Output(), "  -%-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (go vet's probe)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON instead of text")
+	fs.Var(versionFlag{}, "V", "print version and exit (-V=full, go vet's build ID probe)")
+	for _, a := range analyzers {
+		fs.Bool(a.Name, false, a.Doc)
+	}
+	fs.Parse(os.Args[1:])
+
+	if *printFlags {
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		flags := []jsonFlag{{"json", true, "emit diagnostics as JSON"}}
+		for _, a := range analyzers {
+			flags = append(flags, jsonFlag{a.Name, true, a.Doc})
+		}
+		data, err := json.Marshal(flags)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		os.Stdout.Write([]byte("\n"))
+		os.Exit(0)
+	}
+
+	// Analyzer selection: explicitly enabled names win; with none
+	// enabled, run everything not explicitly disabled.
+	explicitTrue := map[string]bool{}
+	explicitFalse := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) {
+		for _, a := range analyzers {
+			if a.Name == f.Name {
+				if f.Value.String() == "true" {
+					explicitTrue[a.Name] = true
+				} else {
+					explicitFalse[a.Name] = true
+				}
+			}
+		}
+	})
+	var enabled []*Analyzer
+	for _, a := range analyzers {
+		switch {
+		case len(explicitTrue) > 0:
+			if explicitTrue[a.Name] {
+				enabled = append(enabled, a)
+			}
+		case !explicitFalse[a.Name]:
+			enabled = append(enabled, a)
+		}
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fs.Usage()
+		os.Exit(1)
+	}
+	diags, err := runUnitchecker(args[0], enabled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exit := 0
+	if len(diags) > 0 {
+		exit = 1
+		if *jsonOut {
+			printJSONDiagnostics(os.Stdout, diags)
+		} else {
+			for _, d := range diags {
+				fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+// versionFlag implements -V=full, the subset of cmd/internal/objabi's
+// version flag that cmd/go uses to fingerprint the tool for caching: the
+// output must be `<progname> version devel ... buildID=<hex>`, where the
+// hex digest changes whenever the binary does.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (only -V=full)", s)
+	}
+	prog, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel buildID=%x\n", prog, h.Sum(nil))
+	os.Exit(0)
+	return nil
+}
+
+func runUnitchecker(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+
+	// No facts are produced, but cmd/go caches the output file for
+	// dependency (VetxOnly) passes; write it unconditionally.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("halovet: no facts\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly || !ModulePackage(cfg.ImportPath) {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	return RunPackage(fset, files, pkg, info, analyzers)
+}
+
+// vetImporter resolves imports through the vet.cfg ImportMap to compiled
+// export data listed in PackageFile, read by the stdlib gc importer.
+type vetImporter struct {
+	cfg *Config
+	gc  types.ImporterFrom
+}
+
+func newVetImporter(fset *token.FileSet, cfg *Config) *vetImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q in vet.cfg", path)
+		}
+		return os.Open(file)
+	}
+	return &vetImporter{
+		cfg: cfg,
+		gc:  importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+	}
+}
+
+func (i *vetImporter) Import(path string) (*types.Package, error) {
+	return i.ImportFrom(path, "", 0)
+}
+
+func (i *vetImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := i.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	return i.gc.ImportFrom(path, dir, 0)
+}
+
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *Config) (*types.Package, *types.Info, error) {
+	var typeErrs []error
+	conf := types.Config{
+		Importer:  newVetImporter(fset, cfg),
+		Sizes:     types.SizesFor("gc", envOr("GOARCH", runtime.GOARCH)),
+		GoVersion: cfg.GoVersion,
+		Error:     func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := NewTypesInfo()
+	pkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for _, e := range typeErrs {
+			msgs = append(msgs, e.Error())
+		}
+		sort.Strings(msgs)
+		return nil, nil, fmt.Errorf("%s", strings.Join(msgs, "\n"))
+	}
+	return pkg, info, nil
+}
+
+// NewTypesInfo builds the types.Info map set the analyzers rely on.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// printJSONDiagnostics renders the unitchecker-compatible JSON tree:
+// {"pkgpath": {"analyzer": [{"posn": ..., "message": ...}]}}.
+func printJSONDiagnostics(w io.Writer, diags []Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    d.Pos.String(),
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(byAnalyzer)
+}

@@ -1,0 +1,133 @@
+package analysis_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolSeededViolations is the end-to-end acceptance check for the
+// halovet driver: it builds cmd/halovet, assembles a scratch module that
+// seeds the two canonical violations (an unsorted map range escaping from
+// halo/internal/hds, and an ungated obs counter in a //halo:hot function),
+// and proves that `go vet -vettool=halovet` fails on them and passes on a
+// clean package.
+func TestVettoolSeededViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds halovet and shells out to go vet")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not found: %v", err)
+	}
+
+	dir := t.TempDir()
+	tool := filepath.Join(dir, "halovet")
+	build := exec.Command(goTool, "build", "-o", tool, "./cmd/halovet")
+	build.Dir = "../.." // repo root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building halovet: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(dir, "mod")
+	files := map[string]string{
+		"go.mod": "module halo\n\ngo 1.24\n",
+		"internal/obs/obs.go": `package obs
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Inc() { c.v++ }
+
+var enabled bool
+
+func Enabled() bool { return enabled }
+`,
+		// Seeded violation 1: map iteration order escapes unsorted from a
+		// deterministic pipeline package.
+		"internal/hds/hds.go": `package hds
+
+func Keys(m map[int]int) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+`,
+		// Seeded violation 2: an ungated metric mutation in a //halo:hot
+		// function.
+		"internal/pipe/pipe.go": `package pipe
+
+import "halo/internal/obs"
+
+var events obs.Counter
+
+//halo:hot
+func Step() {
+	events.Inc()
+}
+`,
+		// Clean package: sorted-after-range and a gated counter.
+		"internal/clean/clean.go": `package clean
+
+import (
+	"sort"
+
+	"halo/internal/obs"
+)
+
+var events obs.Counter
+
+func Keys(m map[int]int) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+//halo:hot
+func Step() {
+	if obs.Enabled() {
+		events.Inc()
+	}
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(mod, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	vet := func(pkgs ...string) (string, error) {
+		cmd := exec.Command(goTool, append([]string{"vet", "-vettool=" + tool}, pkgs...)...)
+		cmd.Dir = mod
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	out, err := vet("./...")
+	if err == nil {
+		t.Fatalf("go vet passed on seeded violations; output:\n%s", out)
+	}
+	for _, wantMsg := range []string{
+		"collects values from a map range and is never sorted afterwards",
+		"is not gated by obs.Enabled()",
+	} {
+		if !strings.Contains(out, wantMsg) {
+			t.Errorf("vet output missing %q:\n%s", wantMsg, out)
+		}
+	}
+
+	if out, err := vet("./internal/clean/"); err != nil {
+		t.Errorf("go vet failed on the clean package: %v\n%s", err, out)
+	}
+}

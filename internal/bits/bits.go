@@ -30,7 +30,7 @@ func (v *Vec) Len() int { return v.n }
 
 func (v *Vec) check(i int) {
 	if i < 0 || i >= v.n {
-		panic(fmt.Sprintf("bits: index %d out of range [0, %d)", i, v.n))
+		panic(fmt.Sprintf("bits: index %d out of range [0, %d)", i, v.n)) //halo:errfmt-ok bounds violation is a programming error, mirroring the built-in slice check
 	}
 }
 
@@ -84,7 +84,7 @@ func (v *Vec) SetAll() {
 // CopyFrom overwrites v with o. The vectors must have equal capacity.
 func (v *Vec) CopyFrom(o *Vec) {
 	if v.n != o.n {
-		panic(fmt.Sprintf("bits: CopyFrom length mismatch %d != %d", v.n, o.n))
+		panic(fmt.Sprintf("bits: CopyFrom length mismatch %d != %d", v.n, o.n)) //halo:errfmt-ok length-mismatch contract violation is a programming error
 	}
 	copy(v.words, o.words)
 }
@@ -99,7 +99,7 @@ func (v *Vec) Clone() *Vec {
 // And intersects v with o in place. The vectors must have equal capacity.
 func (v *Vec) And(o *Vec) {
 	if v.n != o.n {
-		panic(fmt.Sprintf("bits: And length mismatch %d != %d", v.n, o.n))
+		panic(fmt.Sprintf("bits: And length mismatch %d != %d", v.n, o.n)) //halo:errfmt-ok length-mismatch contract violation is a programming error
 	}
 	for i := range v.words {
 		v.words[i] &= o.words[i]
@@ -121,7 +121,7 @@ func (v *Vec) Count() int {
 // capacity.
 func (v *Vec) AndCount(o *Vec) int {
 	if v.n != o.n {
-		panic(fmt.Sprintf("bits: AndCount length mismatch %d != %d", v.n, o.n))
+		panic(fmt.Sprintf("bits: AndCount length mismatch %d != %d", v.n, o.n)) //halo:errfmt-ok length-mismatch contract violation is a programming error
 	}
 	n := 0
 	for i, w := range v.words {

@@ -63,15 +63,18 @@ func (o *Objects) Lookup(serial int64) (ObjectInfo, bool) {
 // objectsFromMap converts the map form (kept for API compatibility) into
 // the dense table.
 func objectsFromMap(m map[int64]ObjectInfo) *Objects {
-	var max int64 = -1
+	serials := make([]int64, 0, len(m))
 	for serial := range m {
-		if serial > max {
-			max = serial
-		}
+		serials = append(serials, serial)
+	}
+	sort.Slice(serials, func(i, j int) bool { return serials[i] < serials[j] })
+	var max int64 = -1
+	if len(serials) > 0 {
+		max = serials[len(serials)-1]
 	}
 	o := NewObjects(max)
-	for serial, info := range m {
-		o.Add(serial, info)
+	for _, serial := range serials {
+		o.Add(serial, m[serial])
 	}
 	return o
 }

@@ -122,3 +122,31 @@ func TestTruncatedStreamPrefix(t *testing.T) {
 		t.Fatal("no truncated streams marked")
 	}
 }
+
+// TestObjectsFromMapDeterministic is the regression test for the halovet
+// determinism finding in objectsFromMap: conversion from the map form must
+// produce the same dense table regardless of map iteration order, which
+// the sorted-serials walk guarantees. Repeated conversions (each with a
+// fresh, differently-seeded map layout) must agree entry for entry.
+func TestObjectsFromMapDeterministic(t *testing.T) {
+	serials := []int64{3, 9, 1, 14, 7, 0, 11}
+	build := func() *Objects {
+		m := make(map[int64]ObjectInfo, len(serials))
+		for i, s := range serials {
+			m[s] = ObjectInfo{Site: isa.MakeAddr(1, i+1), Size: uint32(8 * (i + 1))}
+		}
+		return objectsFromMap(m)
+	}
+	ref := build()
+	for trial := 0; trial < 20; trial++ {
+		got := build()
+		for s := int64(0); s <= 15; s++ {
+			wantInfo, wantOK := ref.Lookup(s)
+			gotInfo, gotOK := got.Lookup(s)
+			if wantOK != gotOK || wantInfo != gotInfo {
+				t.Fatalf("trial %d: serial %d = (%v, %v), want (%v, %v)",
+					trial, s, gotInfo, gotOK, wantInfo, wantOK)
+			}
+		}
+	}
+}

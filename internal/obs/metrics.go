@@ -92,7 +92,7 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
-			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %v", i, bounds))
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %v", i, bounds)) //halo:errfmt-ok invalid bucket layout at construction time is a programming error
 		}
 	}
 	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}

@@ -139,10 +139,10 @@ func (r *Registry) register(s *series) {
 	defer r.mu.Unlock()
 	id := s.id()
 	if _, dup := r.byID[id]; dup {
-		panic(fmt.Sprintf("obs: duplicate series %s", id))
+		panic(fmt.Sprintf("obs: duplicate series %s", id)) //halo:errfmt-ok duplicate registration at construction time is a programming error
 	}
 	if k, ok := r.kind[s.name]; ok && k != s.kind {
-		panic(fmt.Sprintf("obs: family %s registered as both %s and %s", s.name, k, s.kind))
+		panic(fmt.Sprintf("obs: family %s registered as both %s and %s", s.name, k, s.kind)) //halo:errfmt-ok kind clash at construction time is a programming error
 	}
 	if _, ok := r.help[s.name]; !ok {
 		r.help[s.name] = s.help

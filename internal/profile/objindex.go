@@ -103,6 +103,8 @@ func granules(base, size uint64) (lo, hi uint64) {
 
 // insert adds an object. Inserting an object whose base is already present
 // replaces the previous entry (a fresh allocation reusing an address).
+//
+//halo:hot
 func (t *objIndex) insert(o object) {
 	t.remove(o.base)
 	var slot int32
@@ -121,14 +123,14 @@ func (t *objIndex) insert(o object) {
 		case slotEmpty:
 			c[g&chunkMask] = slot
 		case slotOverflow:
-			t.overflow[g] = append(t.overflow[g], slot)
+			t.overflow[g] = append(t.overflow[g], slot) //halo:hotalloc-ok overflow list is a rare sub-granule collision path, amortised by the map entry
 		default:
 			// A neighbour already covers this granule (sub-granule
 			// packing); demote the granule to the overflow list.
 			if t.overflow == nil {
-				t.overflow = make(map[uint64][]int32)
+				t.overflow = make(map[uint64][]int32) //halo:hotalloc-ok one-time lazy init of the overflow table
 			}
-			t.overflow[g] = append(t.overflow[g], prev, slot)
+			t.overflow[g] = append(t.overflow[g], prev, slot) //halo:hotalloc-ok overflow list is a rare sub-granule collision path, amortised by the map entry
 			c[g&chunkMask] = slotOverflow
 		}
 	}
@@ -136,6 +138,8 @@ func (t *objIndex) insert(o object) {
 }
 
 // slotAt returns the slot of the live object based exactly at addr, or -1.
+//
+//halo:hot
 func (t *objIndex) slotAt(addr uint64) int32 {
 	c := t.chunkFor(addr>>granuleShift, false)
 	if c == nil {
@@ -164,6 +168,8 @@ func (t *objIndex) slotAt(addr uint64) int32 {
 // remove deletes the object based exactly at addr, returning it if present.
 // The returned pointer aliases the slot slab and is only valid until the
 // next insert.
+//
+//halo:hot
 func (t *objIndex) remove(addr uint64) *object {
 	slot := t.slotAt(addr)
 	if slot < 0 {
@@ -180,7 +186,7 @@ func (t *objIndex) remove(addr uint64) *object {
 			left := t.overflow[g][:0]
 			for _, s := range t.overflow[g] {
 				if s != slot {
-					left = append(left, s)
+					left = append(left, s) //halo:hotalloc-ok left reuses overflow[g]'s backing array and only ever shrinks it
 				}
 			}
 			switch len(left) {
@@ -203,6 +209,8 @@ func (t *objIndex) remove(addr uint64) *object {
 
 // find returns the live object containing addr, or nil. The returned
 // pointer aliases the slot slab and is only valid until the next insert.
+//
+//halo:hot
 func (t *objIndex) find(addr uint64) *object {
 	g := addr >> granuleShift
 	ci := int(g>>chunkShift) - t.baseChunk

@@ -181,6 +181,8 @@ func (p *Profiler) AllocatedBetween(c affinity.Ctx, lo, hi uint64) bool {
 // ConsumeEvents implements vm.EventSink. Batch order is execution order,
 // so the shadow stack, the object index and the affinity queue observe the
 // exact sequence the per-event engine produced.
+//
+//halo:hot
 func (p *Profiler) ConsumeEvents(batch []vm.Event) {
 	if obs.Enabled() {
 		mIngestEvents.Add(uint64(len(batch)))
@@ -203,11 +205,15 @@ func (p *Profiler) ConsumeEvents(batch []vm.Event) {
 }
 
 // call pushes a shadow-stack frame for an internal call.
+//
+//halo:hot
 func (p *Profiler) call(site isa.Addr, callee int32) {
 	p.native = append(p.native, nframe{site: site, fn: callee, lib: p.prog.Funcs[callee].Lib})
 }
 
 // ret pops the shadow stack on an internal return.
+//
+//halo:hot
 func (p *Profiler) ret() {
 	if n := len(p.native); n > 0 {
 		p.native = p.native[:n-1]
@@ -249,6 +255,8 @@ func (p *Profiler) currentContext(rawSite isa.Addr) *Context {
 }
 
 // alloc tracks one intercepted memory-management call.
+//
+//halo:hot
 func (p *Profiler) alloc(ev vm.AllocEvent) {
 	switch ev.Kind {
 	case vm.KindFree:
@@ -288,6 +296,8 @@ func (p *Profiler) alloc(ev vm.AllocEvent) {
 
 // access feeds one load or store through the affinity queue and, when
 // tracing is enabled, the hot-data-streams trace recorder.
+//
+//halo:hot
 func (p *Profiler) access(addr uint64, size uint8) {
 	o := p.objects.find(addr)
 	if o == nil {

@@ -92,7 +92,7 @@ func (b *Builder) Build() (*isa.Program, error) {
 func (b *Builder) MustBuild() *isa.Program {
 	p, err := b.Build()
 	if err != nil {
-		panic(err)
+		panic(err) //halo:errfmt-ok MustBuild is the documented panicking variant for workload assembly
 	}
 	return p
 }

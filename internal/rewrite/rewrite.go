@@ -128,10 +128,18 @@ func checkSites(p *isa.Program, siteBits map[isa.Addr]int) error {
 			found[in.Addr] = true
 		}
 	}
+	// Collect and sort the missing sites so the error is deterministic:
+	// ranging the map directly would report whichever missing site Go's
+	// map iteration happened to reach first.
+	var missing []isa.Addr
 	for s := range siteBits {
 		if !found[s] {
-			return fmt.Errorf("rewrite: site %s not found in program", s)
+			missing = append(missing, s)
 		}
+	}
+	if len(missing) > 0 {
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		return fmt.Errorf("rewrite: site %s not found in program", missing[0])
 	}
 	return nil
 }

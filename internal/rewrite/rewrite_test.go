@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"strings"
 	"testing"
 
 	"halo/internal/alloc"
@@ -50,5 +51,39 @@ func TestInstrumentPreservesSemantics(t *testing.T) {
 			}
 			_ = steps1
 		})
+	}
+}
+
+// TestMissingSiteErrorDeterministic is the regression test for a real
+// nondeterminism halovet's determinism analyzer found: checkSites used to
+// report whichever missing site a `range` over the siteBits map reached
+// first, so the error text varied run to run. It must always name the
+// numerically smallest missing site.
+func TestMissingSiteErrorDeterministic(t *testing.T) {
+	w := workloads.MustGet("health")
+	p := w.Build(w.TestScale)
+	bogus := []isa.Addr{0xDEAD00, 0xDEAD10, 0xDEAD20, 0xDEAD30}
+
+	var first string
+	for i := 0; i < 50; i++ {
+		// Shuffle the declaration order too: determinism must hold for
+		// any input order, not just one.
+		sites := append([]isa.Addr(nil), bogus...)
+		sites[i%len(sites)], sites[0] = sites[0], sites[i%len(sites)]
+		_, err := Instrument(p, sites)
+		if err == nil {
+			t.Fatal("expected missing-site error")
+		}
+		if first == "" {
+			first = err.Error()
+			continue
+		}
+		if err.Error() != first {
+			t.Fatalf("error text varies across runs:\n  %s\n  %s", first, err.Error())
+		}
+	}
+	want := isa.Addr(0xDEAD00).String()
+	if !strings.Contains(first, want) {
+		t.Fatalf("error %q does not name the smallest missing site %s", first, want)
 	}
 }

@@ -77,6 +77,8 @@ func ntKey(rule int32) int64 { return -int64(rule) - 1 }
 func ruleOf(key int64) int32 { return int32(-key - 1) }
 
 // newSymbol hands out a slab node with the given key.
+//
+//halo:hot
 func (g *Grammar) newSymbol(value int64, guard bool) int32 {
 	i := g.free
 	if i != symNil {
@@ -90,6 +92,8 @@ func (g *Grammar) newSymbol(value int64, guard bool) int32 {
 }
 
 // freeSymbol recycles a node the algorithm has permanently unlinked.
+//
+//halo:hot
 func (g *Grammar) freeSymbol(i int32) {
 	g.syms[i].next = g.free
 	g.syms[i].prev = symNil
@@ -128,6 +132,8 @@ func (g *Grammar) join(left, right int32) {
 }
 
 // insertAfter inserts y after s.
+//
+//halo:hot
 func (g *Grammar) insertAfter(s, y int32) {
 	g.join(y, g.syms[s].next)
 	g.join(s, y)
@@ -156,6 +162,8 @@ func (g *Grammar) unlink(s int32) {
 
 // check enforces digram uniqueness for the digram starting at s. Returns
 // true if a substitution happened.
+//
+//halo:hot
 func (g *Grammar) check(s int32) bool {
 	n := g.syms[s].next
 	if g.syms[s].guard || g.syms[n].guard {
@@ -234,9 +242,11 @@ func (g *Grammar) expand(s int32) {
 }
 
 // Append feeds the next terminal of the input sequence.
+//
+//halo:hot
 func (g *Grammar) Append(value int64) {
 	if value < 0 {
-		panic("sequitur: terminals must be non-negative")
+		panic("sequitur: terminals must be non-negative") //halo:errfmt-ok negative terminals violate the documented Append contract
 	}
 	g.length++
 	t := g.newSymbol(value, false)

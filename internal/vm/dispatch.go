@@ -189,6 +189,8 @@ func (v *VM) tlbFlush() {
 // written (reads as zeros; nothing is installed, preserving the non-nil
 // invariant). write fills always materialise and never return nil. On
 // success both the array entry and the MRU filter point at the page.
+//
+//halo:hot
 func (v *VM) tlbFill(addr, pn1 uint64, write bool) *[mem.PageSize]byte {
 	e := &v.tlb[(pn1-1)&(tlbSize-1)]
 	if e.tag != pn1 || e.gen != v.tlbGen {
@@ -208,6 +210,8 @@ func (v *VM) tlbFill(addr, pn1 uint64, write bool) *[mem.PageSize]byte {
 // a single in-page little-endian load on the (overwhelmingly common) hit
 // path. Page-straddling accesses fall back to the reference byte path,
 // which keeps the semantics identical.
+//
+//halo:hot
 func (v *VM) loadFast(addr uint64, size uint8) uint64 {
 	off := addr & pageMask
 	if off+uint64(size) > mem.PageSize {
@@ -239,6 +243,8 @@ func (v *VM) loadFast(addr uint64, size uint8) uint64 {
 // materialise the page, exactly as Memory.Write does; store hits write
 // straight through the entry — the non-nil invariant makes the old
 // per-store nil re-check unnecessary.
+//
+//halo:hot
 func (v *VM) storeFast(addr uint64, size uint8, val uint64) {
 	off := addr & pageMask
 	if off+uint64(size) > mem.PageSize {
@@ -265,8 +271,14 @@ func (v *VM) storeFast(addr uint64, size uint8, val uint64) {
 	}
 }
 
+// errFrameUnderflow is preallocated so the dispatch loop's exit check
+// stays allocation-free.
+var errFrameUnderflow = errors.New("vm: frame stack underflow")
+
 // runThreaded executes the decoded program. Entry frame and registers have
 // been set up by Run.
+//
+//halo:hot
 func (v *VM) runThreaded(dp *Decoded) (res int64, err error) {
 	limit := v.cfg.MaxSteps
 	sinkOn := v.sink != nil
@@ -274,7 +286,7 @@ func (v *VM) runThreaded(dp *Decoded) (res int64, err error) {
 	fused := v.fused
 	// Counter writeback on every exit path; break inner only re-enters the
 	// outer loop, which never reads them.
-	sync := func() {
+	sync := func() { //halo:hotalloc-ok non-escaping closure, called only below; it never leaves the stack
 		v.steps, v.loads, v.stores = steps, loads, stores
 		v.fused = fused
 	}
@@ -282,7 +294,7 @@ func (v *VM) runThreaded(dp *Decoded) (res int64, err error) {
 	for {
 		if len(v.frames) == 0 {
 			sync()
-			return 0, errors.New("vm: frame stack underflow")
+			return 0, errFrameUnderflow
 		}
 		f := &v.frames[len(v.frames)-1]
 		fc := &dp.funcs[f.fn]
@@ -605,24 +617,24 @@ func (v *VM) runThreaded(dp *Decoded) (res int64, err error) {
 					if t < 0 || t >= int64(len(v.prog.Funcs)) {
 						f.pc = pc
 						sync()
-						return 0, v.trap(*f, "indirect call to bad function index %d", t)
+						return 0, v.trap(*f, "indirect call to bad function index %d", t) //halo:hotalloc-ok cold trap exit: execution ends here
 					}
 					target = int32(t)
 				}
 				if len(v.frames) >= v.cfg.MaxDepth {
 					f.pc = pc
 					sync()
-					return 0, v.trap(*f, "call stack overflow (%d frames)", len(v.frames))
+					return 0, v.trap(*f, "call stack overflow (%d frames)", len(v.frames)) //halo:hotalloc-ok cold trap exit: execution ends here
 				}
 				callee := &dp.funcs[target]
 				if int(in.c) != callee.nparams {
 					f.pc = pc
 					sync()
 					return 0, v.trap(*f, "call to %s with %d args, want %d",
-						v.prog.Funcs[target].Name, in.c, callee.nparams)
+						v.prog.Funcs[target].Name, in.c, callee.nparams) //halo:hotalloc-ok cold trap exit: execution ends here
 				}
 				newBase := len(v.regs)
-				v.regs = append(v.regs, make([]int64, callee.nregs)...)
+				v.regs = append(v.regs, make([]int64, callee.nregs)...) //halo:hotalloc-ok append(s, make(...)...) extends in place; the compiler elides the temporary
 				for i := 0; i < int(in.c); i++ {
 					v.regs[newBase+i] = regs[int(in.b)+i]
 				}

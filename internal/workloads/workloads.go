@@ -106,7 +106,7 @@ func Names() []string {
 func MustGet(name string) Workload {
 	w, ok := Get(name)
 	if !ok {
-		panic(fmt.Sprintf("workloads: unknown workload %q", name))
+		panic(fmt.Sprintf("workloads: unknown workload %q", name)) //halo:errfmt-ok MustGet is the documented panicking variant for harness configuration
 	}
 	return w
 }
