@@ -5,14 +5,20 @@
 //
 // Usage:
 //
-//	halobench [-run all|fig9,fig12,fig13,fig14,fig15,tab1,baseline,roms]
+//	halobench [-run all|fig9,fig12,fig13,fig14,fig15,tab1,baseline,roms,adversarial]
 //	          [-trials N] [-quick] [-workloads a,b,c] [-parallel N]
 //	          [-json out.json] [-v]
 //
+// The "adversarial" experiment runs the hostile-heap workload family (the
+// internal/adversary search engine's discovered sequences) through the
+// full pipeline and reports where grouping helps, hurts (REGRESSED) or is
+// defeated, plus a shadow-heap corruption verdict per workload.
+//
 // The -json document carries the rendered tables plus one flat result
 // record per measured workload×technique pair (miss reduction, speedup,
-// simulated seconds, and ns/op — the wall-clock of one serial measurement
-// run, timed outside the worker pools), per-workload profiling throughput
+// simulated seconds, ns/op — the wall-clock of one serial measurement
+// run, timed outside the worker pools — and a regressed flag set when the
+// technique increased misses over its baseline), per-workload profiling throughput
 // (events consumed by the training run's profiler and events/sec), a
 // per-workload "synthesis" section (the wall-clock of turning the training
 // profile into groups, selectors and the HDS policy), a "metrics" section
@@ -59,7 +65,7 @@ type jsonDoc struct {
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "comma-separated experiment ids (fig9, fig12, fig13, fig14, fig15, tab1, baseline, roms) or 'all'")
+		run       = flag.String("run", "all", "comma-separated experiment ids (fig9, fig12, fig13, fig14, fig15, tab1, baseline, roms, adversarial) or 'all'")
 		trials    = flag.Int("trials", 5, "measured trials per configuration (paper: 10)")
 		quick     = flag.Bool("quick", false, "reduced trials and test-scale inputs")
 		workloads = flag.String("workloads", "", "restrict to a comma-separated workload subset")

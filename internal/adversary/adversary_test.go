@@ -1,0 +1,220 @@
+package adversary
+
+import (
+	"testing"
+
+	"halo/internal/alloc"
+	"halo/internal/mem"
+	"halo/internal/vm"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate("x", 42, GenParams{})
+	b := Generate("x", 42, GenParams{})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same seed produced different sequences")
+	}
+	c := Generate("x", 43, GenParams{})
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+// TestGeneratedSequencesAreValid checks the generator's validity
+// invariants by construction-independent simulation: never free a dead
+// slot, never read an unwritten offset, never write out of bounds, hot
+// refs live through their phase.
+func TestGeneratedSequencesAreValid(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		s := Generate("v", seed, GenParams{Gates: true})
+		type slot struct {
+			live    bool
+			size    int64
+			written map[int64]bool
+		}
+		slots := make([]slot, s.Slots)
+		for pi, ph := range s.Phases {
+			for oi, op := range ph.Ops {
+				sl := &slots[op.Slot]
+				switch op.Kind {
+				case OpAlloc:
+					if sl.live {
+						t.Fatalf("seed %d phase %d op %d: alloc over live slot %d", seed, pi, oi, op.Slot)
+					}
+					*sl = slot{live: true, size: s.SiteSize[op.Site], written: map[int64]bool{0: true}}
+				case OpFree:
+					if !sl.live {
+						t.Fatalf("seed %d phase %d op %d: free of dead slot %d", seed, pi, oi, op.Slot)
+					}
+					sl.live = false
+				case OpWrite:
+					if !sl.live {
+						t.Fatalf("seed %d phase %d op %d: write to dead slot %d", seed, pi, oi, op.Slot)
+					}
+					if op.Off%8 != 0 || op.Off+8 > sl.size {
+						t.Fatalf("seed %d phase %d op %d: write at %d outside %d-byte slot", seed, pi, oi, op.Off, sl.size)
+					}
+					sl.written[op.Off] = true
+				case OpRead:
+					if !sl.live {
+						t.Fatalf("seed %d phase %d op %d: read of dead slot %d", seed, pi, oi, op.Slot)
+					}
+					if !sl.written[op.Off] {
+						t.Fatalf("seed %d phase %d op %d: read of unwritten offset %d", seed, pi, oi, op.Off)
+					}
+				}
+			}
+			for _, hr := range ph.Hot {
+				if !slots[hr.Slot].live {
+					t.Fatalf("seed %d phase %d: hot ref to dead slot %d", seed, pi, hr.Slot)
+				}
+			}
+			for _, c := range ph.Churn {
+				if c.Site < 0 || c.Site >= s.Sites {
+					t.Fatalf("seed %d phase %d: churn site %d out of range", seed, pi, c.Site)
+				}
+			}
+		}
+	}
+}
+
+func TestHeapOpCodecRoundTrip(t *testing.T) {
+	s := Generate("rt", 7, GenParams{})
+	ops := s.HeapOps(3)
+	if len(ops) == 0 {
+		t.Fatal("empty stream")
+	}
+	dec := DecodeHeapOps(EncodeHeapOps(ops))
+	if len(dec) != len(ops) {
+		t.Fatalf("round trip: %d ops, want %d", len(dec), len(ops))
+	}
+	for i := range ops {
+		if dec[i] != ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, dec[i], ops[i])
+		}
+	}
+}
+
+func TestDecodeArbitraryBytes(t *testing.T) {
+	// Any byte string decodes to a sanitised stream.
+	data := make([]byte, 997)
+	r := newRng(3)
+	for i := range data {
+		data[i] = byte(r.next())
+	}
+	for _, op := range DecodeHeapOps(data) {
+		if op.Kind >= numHeapOpKinds || op.Slot >= MaxFuzzSlots || op.Site >= MaxFuzzSites {
+			t.Fatalf("unsanitised op %+v", op)
+		}
+	}
+}
+
+// TestReplayCheckedCleanOnGenerated replays generated streams under every
+// replay configuration with the shadow oracle attached: the allocator must
+// survive all of them with zero corruption.
+func TestReplayCheckedCleanOnGenerated(t *testing.T) {
+	for _, cfg := range ReplayConfigs() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 10; seed++ {
+				s := Generate("rc", seed, GenParams{})
+				if _, err := ReplayChecked(s.HeapOps(4), cfg); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestFragForcerReproducible is an acceptance gate: the fixed-seed search
+// discovers a fragmentation forcer, and the same seed finds the same
+// sequence.
+func TestFragForcerReproducible(t *testing.T) {
+	a := FragForcer(FragForcerSeed)
+	b := FragForcer(FragForcerSeed)
+	if a.Best.Fingerprint() != b.Best.Fingerprint() || a.Fitness != b.Fitness {
+		t.Fatal("fixed-seed search is not reproducible")
+	}
+	if a.Fitness < 80 {
+		t.Fatalf("fragmentation forcer reaches only %.1f%% end fragmentation", a.Fitness)
+	}
+	r := Replay(a.Best.HeapOps(fitnessUnroll), fragSearchConfig())
+	if r.LiveChunks < 4 {
+		t.Fatalf("forcer pins only %d chunks", r.LiveChunks)
+	}
+}
+
+func TestOverflowProbeReproducible(t *testing.T) {
+	a := OverflowProbe(OverflowProbeSeed)
+	b := OverflowProbe(OverflowProbeSeed)
+	if a.Best.Fingerprint() != b.Best.Fingerprint() {
+		t.Fatal("fixed-seed search is not reproducible")
+	}
+	if a.Fitness < 5 {
+		t.Fatalf("probe ends with only %.0f cross-site adjacent pairs", a.Fitness)
+	}
+}
+
+func TestPhaseShiftRotatesHotSites(t *testing.T) {
+	s := PhaseShift(PhaseShiftSeed)
+	if len(s.Phases) < 3 {
+		t.Fatalf("phase-shift has %d phases", len(s.Phases))
+	}
+	// Each phase's dominant hot slots must belong to that phase's own
+	// slot band: the hot working set genuinely rotates.
+	for pi, ph := range s.Phases {
+		own := 0
+		for _, hr := range ph.Hot {
+			if hr.Slot/8 == pi {
+				own++
+			}
+			if hr.Gate == 0 {
+				t.Fatalf("phase %d: ungated hot ref; divergence lever missing", pi)
+			}
+		}
+		if own < 8 {
+			t.Fatalf("phase %d: only %d hot refs in its own band", pi, own)
+		}
+	}
+}
+
+// runCompiled executes a compiled sequence on the plain VM.
+func runCompiled(t *testing.T, s *Sequence, scale int, seed uint64) (int64, uint64) {
+	t.Helper()
+	p := Compile(s, scale)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewMemory()
+	v := vm.New(p, m, alloc.NewSizeSeg(mem.NewOS(m)), nil, vm.Config{Seed: seed})
+	res, err := v.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, v.Steps()
+}
+
+func TestCompileRunsAndScales(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		s := Generate("c", seed, GenParams{Gates: true})
+		r1, steps1 := runCompiled(t, &s, 2, 11)
+		r2, steps2 := runCompiled(t, &s, 2, 11)
+		if r1 != r2 || steps1 != steps2 {
+			t.Fatalf("seed %d: nondeterministic compiled run", seed)
+		}
+		_, steps4 := runCompiled(t, &s, 4, 11)
+		if steps4 <= steps1 {
+			t.Fatalf("seed %d: scale did not grow the run (%d vs %d steps)", seed, steps4, steps1)
+		}
+		a := Compile(&s, 2).CallSites()
+		b := Compile(&s, 4).CallSites()
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: call-site count changed with scale", seed)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: call site %d moved with scale", seed, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package advpipe
+
+import (
+	"testing"
+
+	"halo/internal/adversary"
+)
+
+// TestMissRegressorDiscovery is the acceptance gate for the pipeline
+// search: with its fixed seed it must discover a sequence with negative
+// miss reduction — HALO's grouping adding L1D misses over the jemalloc
+// baseline — and land on the exact pinned winner the adv-regress workload
+// rebuilds, reproducibly.
+func TestMissRegressorDiscovery(t *testing.T) {
+	r := MissRegressor(adversary.MissRegressorSeed)
+	if r.Fitness <= 0 {
+		t.Fatalf("search found no regression: best fitness %.3f", r.Fitness)
+	}
+	if r.Best.Seed != adversary.MissRegressorPinnedSeed {
+		t.Fatalf("search winner seed %#x, want pinned %#x — if the search or generator changed, re-pin MissRegressorPinnedSeed",
+			r.Best.Seed, uint64(adversary.MissRegressorPinnedSeed))
+	}
+	pinned := adversary.MissRegressorSequence()
+	pinned.Name = r.Best.Name // the pin uses the workload name, the search its candidate name
+	if r.Best.Fingerprint() != pinned.Fingerprint() {
+		t.Fatal("pinned sequence does not rebuild the search winner")
+	}
+	// Same seed → same sequence.
+	again := MissRegressor(adversary.MissRegressorSeed)
+	if again.Best.Fingerprint() != r.Best.Fingerprint() || again.Fitness != r.Fitness {
+		t.Fatal("fixed-seed search is not reproducible")
+	}
+}
+
+// TestRegressionIsReal re-measures the pinned winner end to end and
+// asserts the regression (negative miss reduction with real grouping)
+// survives outside the search loop.
+func TestRegressionIsReal(t *testing.T) {
+	s := adversary.MissRegressorSequence()
+	ev, err := EvalPipeline(&s, adversary.MissRegressorScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Grouped == 0 {
+		t.Fatal("grouping never engaged")
+	}
+	if ev.MissReductionPct >= 0 {
+		t.Fatalf("miss reduction %.2f%%, want negative", ev.MissReductionPct)
+	}
+}
+
+// TestPhaseShiftDefeatsGrouping runs the constructed phase-shift scenario
+// through the pipeline: rotating gated hot sets must leave HALO at or
+// below the baseline on misses.
+func TestPhaseShiftDefeatsGrouping(t *testing.T) {
+	s := adversary.PhaseShift(adversary.PhaseShiftSeed)
+	ev, err := EvalPipeline(&s, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.MissReductionPct > 0 {
+		t.Fatalf("phase shift still helped by grouping: %.2f%% miss reduction", ev.MissReductionPct)
+	}
+}

@@ -1,0 +1,165 @@
+package adversary
+
+import "encoding/binary"
+
+// This file defines the portable heap-op stream: a fixed-width byte
+// encoding of allocator-level operations. It is the lingua franca between
+// the adversary and the halloc fuzzer — discovered sequences flatten to op
+// streams checked in as fuzz corpus seeds, and the fuzzer's byte inputs
+// decode to op streams replayed against the allocator under the shadow
+// oracle. Any byte string decodes to a valid stream (decoding sanitises),
+// so the fuzzer's mutations always exercise the allocator rather than the
+// parser.
+
+// HeapOpKind is an allocator-level operation kind.
+type HeapOpKind uint8
+
+// The heap-op stream operations.
+const (
+	// HeapMalloc allocates Slot: malloc(1 + Size%MaxFuzzSize) at site Site.
+	// A live slot is freed first, so malloc never leaks a tracked region.
+	HeapMalloc HeapOpKind = iota
+	// HeapCalloc allocates Slot via calloc. When Aux%13 == 0 the replay
+	// substitutes the n*size-overflow probe and asserts calloc fails.
+	HeapCalloc
+	// HeapRealloc grows or shrinks Slot to 1 + Size%MaxFuzzSize bytes
+	// (plain malloc if the slot is dead).
+	HeapRealloc
+	// HeapFree frees Slot; a no-op if the slot is dead.
+	HeapFree
+	// HeapWrite stores a deterministic word inside Slot at a Size-derived
+	// offset; a no-op if the slot is dead or smaller than a word.
+	HeapWrite
+	// HeapRead loads a word back and lets the oracle verify every byte the
+	// stream previously wrote there.
+	HeapRead
+	// HeapBadFree frees a stale grouped pointer (freed earlier, not since
+	// reissued) and asserts the allocator refuses it loudly — the "never
+	// double-free silently" probe. A no-op until a stale pointer exists.
+	HeapBadFree
+
+	numHeapOpKinds
+)
+
+// HeapOp is one operation of the stream.
+type HeapOp struct {
+	Kind HeapOpKind
+	Slot uint8  // object slot, modulo MaxFuzzSlots
+	Site uint16 // allocation site identity, modulo MaxFuzzSites
+	Size uint32 // size / offset selector, op-dependent
+	Aux  uint32 // secondary selector (calloc n, write value salt)
+}
+
+const (
+	// HeapOpBytes is the encoded width of one op.
+	HeapOpBytes = 12
+	// MaxFuzzSlots bounds the live-object working set of a stream.
+	MaxFuzzSlots = 64
+	// MaxFuzzSites bounds distinct allocation-site identities.
+	MaxFuzzSites = 256
+	// MaxFuzzSize bounds request sizes. It deliberately exceeds the
+	// default MaxGroupedSize so streams exercise the forwarding path.
+	MaxFuzzSize = 8192
+	// MaxFuzzOps caps decoded stream length, bounding replay time however
+	// long the fuzzer's input grows.
+	MaxFuzzOps = 4096
+)
+
+// Encode appends the op's fixed-width encoding to dst.
+func (op HeapOp) Encode(dst []byte) []byte {
+	var b [HeapOpBytes]byte
+	b[0] = byte(op.Kind)
+	b[1] = op.Slot
+	binary.LittleEndian.PutUint16(b[2:], op.Site)
+	binary.LittleEndian.PutUint32(b[4:], op.Size)
+	binary.LittleEndian.PutUint32(b[8:], op.Aux)
+	return append(dst, b[:]...)
+}
+
+// EncodeHeapOps encodes a whole stream.
+func EncodeHeapOps(ops []HeapOp) []byte {
+	out := make([]byte, 0, len(ops)*HeapOpBytes)
+	for _, op := range ops {
+		out = op.Encode(out)
+	}
+	return out
+}
+
+// DecodeHeapOps decodes a byte string into a sanitised op stream: kinds,
+// slots and sites are reduced modulo their domains, trailing partial ops
+// are dropped, and the stream is truncated at MaxFuzzOps.
+func DecodeHeapOps(data []byte) []HeapOp {
+	n := len(data) / HeapOpBytes
+	if n > MaxFuzzOps {
+		n = MaxFuzzOps
+	}
+	ops := make([]HeapOp, 0, n)
+	for i := 0; i < n; i++ {
+		b := data[i*HeapOpBytes:]
+		ops = append(ops, HeapOp{
+			Kind: HeapOpKind(b[0] % byte(numHeapOpKinds)),
+			Slot: b[1] % MaxFuzzSlots,
+			Site: binary.LittleEndian.Uint16(b[2:]) % MaxFuzzSites,
+			Size: binary.LittleEndian.Uint32(b[4:]),
+			Aux:  binary.LittleEndian.Uint32(b[8:]),
+		})
+	}
+	return ops
+}
+
+// HeapOps flattens the sequence to a heap-op stream: setup ops in phase
+// order, each phase's steady-state loop unrolled `unroll` times. Allocation
+// wrappers in the compiled program stamp offset 0 at birth; the flattened
+// stream mirrors that with an explicit write after every alloc, so later
+// reads verify data integrity through the oracle.
+func (s *Sequence) HeapOps(unroll int) []HeapOp {
+	var ops []HeapOp
+	salt := uint32(1)
+	stamp := func(slot int) {
+		ops = append(ops, HeapOp{Kind: HeapWrite, Slot: uint8(slot), Site: 0, Size: 0, Aux: salt})
+		salt++
+	}
+	allocSlot := func(slot, site int) {
+		ops = append(ops, HeapOp{
+			Kind: HeapMalloc,
+			Slot: uint8(slot),
+			Site: uint16(site % MaxFuzzSites),
+			Size: uint32(s.SiteSize[site]-1) % MaxFuzzSize,
+		})
+		stamp(slot)
+	}
+	churnSlot := s.Slots % MaxFuzzSlots // one spare slot beyond the sequence's own
+	for _, ph := range s.Phases {
+		for _, op := range ph.Ops {
+			switch op.Kind {
+			case OpAlloc:
+				allocSlot(op.Slot, op.Site)
+			case OpFree:
+				ops = append(ops, HeapOp{Kind: HeapFree, Slot: uint8(op.Slot)})
+			case OpWrite:
+				ops = append(ops, HeapOp{Kind: HeapWrite, Slot: uint8(op.Slot), Size: uint32(op.Off), Aux: salt})
+				salt++
+			case OpRead:
+				ops = append(ops, HeapOp{Kind: HeapRead, Slot: uint8(op.Slot), Size: uint32(op.Off)})
+			}
+		}
+		for u := 0; u < unroll; u++ {
+			for _, hr := range ph.Hot {
+				// Gates are a training/measurement divergence lever for the
+				// compiled program; the flattened stream takes every touch.
+				ops = append(ops, HeapOp{Kind: HeapRead, Slot: uint8(hr.Slot), Size: 0})
+			}
+			for _, c := range ph.Churn {
+				ops = append(ops, HeapOp{
+					Kind: HeapMalloc,
+					Slot: uint8(churnSlot),
+					Site: uint16((c.Site + s.Sites) % MaxFuzzSites), // distinct from setup sites
+					Size: uint32(s.SiteSize[c.Site]-1) % MaxFuzzSize,
+				})
+				stamp(churnSlot)
+				ops = append(ops, HeapOp{Kind: HeapFree, Slot: uint8(churnSlot)})
+			}
+		}
+	}
+	return ops
+}

@@ -1,0 +1,162 @@
+package adversary
+
+import (
+	"fmt"
+
+	"halo/internal/isa"
+	"halo/internal/prog"
+)
+
+// Compile lowers a sequence to a first-class mini-ISA program with the same
+// shape the SPEC-style workloads have: allocation wrapper functions (one
+// per site, so profiling sees genuine contexts), phased setup, steady-state
+// hot loops, and a final sweep over everything still live. The program's
+// result is a checksum over values the sequence itself wrote, so it is
+// identical under every allocator policy — layout may differ, semantics may
+// not — which is what the differential tests assert.
+//
+// Scale multiplies only the steady-state loop trip counts, which are
+// immediate operands: programs built at different scales are byte-identical
+// apart from immediates, so call-site addresses (and therefore profiles and
+// selectors) carry over between test and ref scale, as the pipeline
+// requires of every workload.
+func Compile(s *Sequence, scale int) *isa.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	b := prog.NewBuilder(s.Name)
+	// Global slots: one pointer per object slot.
+	b.Globals(s.Slots)
+
+	// One allocation wrapper per site: allocates the site's fixed size and
+	// stamps a site-specific marker at offset 0, the word every read of a
+	// freshly allocated object may rely on.
+	for site := 0; site < s.Sites; site++ {
+		f := b.Func(fmt.Sprintf("site_%d", site), 0)
+		p := f.Malloc(f.ConstReg(s.SiteSize[site]))
+		f.StoreWord(p, 0, f.ConstReg(siteMarker(site)))
+		f.Ret(p)
+	}
+
+	// opChunk caps the ops emitted per function so register frames stay
+	// well under isa.MaxRegs (each op costs a handful of registers).
+	const opChunk = 16
+
+	var writeCounter int64
+	for pi, ph := range s.Phases {
+		var chunkNames []string
+		for ci := 0; ci*opChunk < len(ph.Ops); ci++ {
+			name := fmt.Sprintf("p%d_ops%d", pi, ci)
+			chunkNames = append(chunkNames, name)
+			f := b.Func(name, 0)
+			acc := f.ConstReg(0)
+			lo, hi := ci*opChunk, (ci+1)*opChunk
+			if hi > len(ph.Ops) {
+				hi = len(ph.Ops)
+			}
+			for _, op := range ph.Ops[lo:hi] {
+				switch op.Kind {
+				case OpAlloc:
+					p := f.Call(fmt.Sprintf("site_%d", op.Site))
+					f.StoreGlobal(op.Slot, p)
+				case OpFree:
+					p := f.Reg()
+					f.LoadGlobal(p, op.Slot)
+					f.Free(p)
+				case OpWrite:
+					writeCounter++
+					p := f.Reg()
+					f.LoadGlobal(p, op.Slot)
+					f.StoreWord(p, op.Off, f.ConstReg(writeCounter*2654435761+12345))
+				case OpRead:
+					p := f.Reg()
+					f.LoadGlobal(p, op.Slot)
+					v := f.Reg()
+					f.LoadWord(v, p, op.Off)
+					f.Add(acc, acc, v)
+				}
+			}
+			f.Ret(acc)
+		}
+
+		// One churn wrapper per (phase, ref): a distinct allocation site
+		// that allocates, touches and frees a short-lived object.
+		for ri, c := range ph.Churn {
+			f := b.Func(fmt.Sprintf("p%d_churn%d", pi, ri), 0)
+			p := f.Malloc(f.ConstReg(s.SiteSize[c.Site]))
+			f.StoreWord(p, 0, f.ConstReg(siteMarker(c.Site)+int64(pi)*31+int64(ri)))
+			v := f.Reg()
+			f.LoadWord(v, p, 0)
+			f.Free(p)
+			f.Ret(v)
+		}
+
+		// The phase driver: setup chunks, then the steady-state loop.
+		f := b.Func(fmt.Sprintf("phase_%d", pi), 0)
+		acc := f.ConstReg(0)
+		for _, name := range chunkNames {
+			r := f.Call(name)
+			f.Add(acc, acc, r)
+		}
+		f.LoopN(ph.Loops*int64(scale), func(prog.Reg) {
+			for _, hr := range ph.Hot {
+				var skip *prog.Label
+				if hr.Gate > 0 {
+					// A gated touch: taken only when the run's RNG draws 0.
+					// Training runs (profile seed) and measurement runs
+					// (measure seeds) draw different streams, so the hot set
+					// the profile observes is not the hot set measurement
+					// exercises — the phase-shift divergence lever.
+					skip = f.NewLabel()
+					g := f.RandConst(hr.Gate)
+					f.Bnz(g, skip)
+				}
+				p := f.Reg()
+				f.LoadGlobal(p, hr.Slot)
+				v := f.Reg()
+				f.LoadWord(v, p, 0)
+				f.Add(acc, acc, v)
+				if skip != nil {
+					f.Bind(skip)
+				}
+			}
+			for ri := range ph.Churn {
+				r := f.Call(fmt.Sprintf("p%d_churn%d", pi, ri))
+				f.Add(acc, acc, r)
+			}
+		})
+		f.Ret(acc)
+	}
+
+	// The epilogue sweeps every slot still live: read its marker into the
+	// checksum, then free it.
+	{
+		f := b.Func("sweep", 0)
+		acc := f.ConstReg(0)
+		for _, slot := range s.LiveAtEnd() {
+			p := f.Reg()
+			f.LoadGlobal(p, slot)
+			v := f.Reg()
+			f.LoadWord(v, p, 0)
+			f.Add(acc, acc, v)
+			f.Free(p)
+		}
+		f.Ret(acc)
+	}
+
+	f := b.Func("main", 0)
+	acc := f.ConstReg(0)
+	for pi := range s.Phases {
+		r := f.Call(fmt.Sprintf("phase_%d", pi))
+		f.Add(acc, acc, r)
+	}
+	r := f.Call("sweep")
+	f.Add(acc, acc, r)
+	f.Ret(acc)
+	return b.MustBuild()
+}
+
+// siteMarker is the word a site wrapper stamps at offset 0 of each object
+// it allocates: a site-specific constant, so reads are deterministic under
+// any allocator.
+func siteMarker(site int) int64 { return int64(site)*1315423911 + 7 }

@@ -1,0 +1,39 @@
+package adversary
+
+// A Fitness scores a candidate sequence; the search maximises it. The
+// layout fitnesses here replay the flattened heap-op stream directly
+// against the group allocator — milliseconds per candidate. The
+// full-pipeline fitness (profile → synthesis → rewrite → measure) lives in
+// the advpipe subpackage, keeping this package importable by
+// internal/workloads without a cycle through the pipeline stages.
+type Fitness func(s *Sequence) float64
+
+// fitnessUnroll is how many steady-state iterations layout fitnesses
+// replay per phase: enough churn to turn chunks over, small enough to keep
+// a search candidate under a millisecond.
+const fitnessUnroll = 8
+
+// FragFitness scores end-state fragmentation: the share of live chunks'
+// capacity holding no live payload. Maximising it finds fragmentation
+// forcers — sequences that pin many mostly-empty chunks resident.
+func FragFitness(cfg ReplayConfig) Fitness {
+	return func(s *Sequence) float64 {
+		r := Replay(s.HeapOps(fitnessUnroll), cfg)
+		if r.LiveChunks < 2 {
+			return 0 // one chunk's slack is bump-allocator overhead, not fragmentation
+		}
+		return r.EndFragPct
+	}
+}
+
+// AdjacencyFitness scores overflow-adjacent co-allocation: live grouped
+// regions from different sites ending the stream exactly contiguous, so a
+// small overflow of one object lands in another context's data. Maximising
+// it finds the co-allocation probes a CAMP-style hardened allocator must
+// survive.
+func AdjacencyFitness(cfg ReplayConfig) Fitness {
+	return func(s *Sequence) float64 {
+		r := Replay(s.HeapOps(fitnessUnroll), cfg)
+		return float64(r.AdjacentPairs)
+	}
+}

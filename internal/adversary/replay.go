@@ -1,0 +1,361 @@
+package adversary
+
+import (
+	"fmt"
+
+	"halo/internal/alloc"
+	"halo/internal/halloc"
+	"halo/internal/isa"
+	"halo/internal/mem"
+)
+
+// This file replays heap-op streams directly against the group allocator —
+// no VM, no cache model — in two modes. Replay is the fast path the
+// search's layout-fitness functions score candidates with. ReplayChecked is
+// the trust path: every operation is mirrored into the shadow-heap oracle,
+// and the replay fails if the allocator ever hands out overlapping regions,
+// lets a grouped region escape its chunk, aliases a forwarded region with a
+// chunk span, corrupts written bytes, or accepts an invalid free silently.
+
+// ReplayConfig is the allocator configuration a stream replays under.
+type ReplayConfig struct {
+	Name   string
+	Halloc halloc.Config
+	Groups int // distinct groups the site classifier spreads sites over
+	// BoundaryTag forwards ungrouped requests to the boundary-tag fallback
+	// (internal/alloc's ptmalloc stand-in) instead of the size-segregated
+	// one, so layout invariants are checked over both backends.
+	BoundaryTag bool
+}
+
+// ReplayConfigs returns the table of configurations the fuzzer and the
+// property tests replay every stream under: the paper default, the small
+// chunks that force frequent chunk turnover, the no-spare artifact setting,
+// and the PR 4 oversize-clamp regression shape (MaxGroupedSize above what a
+// chunk can hold).
+func ReplayConfigs() []ReplayConfig {
+	return []ReplayConfig{
+		{Name: "default", Halloc: halloc.Config{}, Groups: 4},
+		{Name: "small-chunks", Halloc: halloc.Config{ChunkSize: 1 << 14, SlabSize: 1 << 18}, Groups: 6},
+		{Name: "no-spare", Halloc: halloc.Config{ChunkSize: 1 << 16, SlabSize: 1 << 20, NoSpare: true}, Groups: 3},
+		{Name: "oversize-clamp", Halloc: halloc.Config{ChunkSize: 4096, SlabSize: 64 << 10, MaxGroupedSize: 8192}, Groups: 4},
+		{Name: "always-reuse", Halloc: halloc.Config{ChunkSize: 1 << 14, SlabSize: 1 << 18, AlwaysReuseChunks: true}, Groups: 4},
+	}
+}
+
+// ReplayResult summarises a replayed stream's effect on the allocator.
+type ReplayResult struct {
+	Allocs    uint64 // allocation requests issued
+	Frees     uint64 // frees issued
+	BadFrees  uint64 // invalid frees issued (checked mode only)
+	Grouped   uint64 // requests served from group chunks
+	Forwarded uint64 // requests forwarded to the fallback
+
+	// FragAtPeakPct is the allocator's Table-1 metric for the stream.
+	FragAtPeakPct float64
+	// EndFragPct is end-state fragmentation: the share of live chunks'
+	// capacity not holding live payload when the stream ends. The
+	// fragmentation-forcer fitness maximises it.
+	EndFragPct float64
+	// LiveChunks and LiveBytes describe the end state.
+	LiveChunks int
+	LiveBytes  uint64
+	// AdjacentPairs counts pairs of live grouped regions from different
+	// sites that end the stream exactly contiguous — the overflow-adjacent
+	// co-allocations a CAMP-style hardened allocator must worry about. The
+	// adjacency fitness maximises it.
+	AdjacentPairs int
+}
+
+// siteTable builds the site→group classifier table for a replay: sites
+// spread round-robin over Groups groups, with every fifth site left
+// ungrouped so streams always exercise the forwarding path too.
+func siteTable(groups int) map[isa.Addr]int {
+	t := make(map[isa.Addr]int, MaxFuzzSites)
+	for s := 0; s < MaxFuzzSites; s++ {
+		if s%5 == 4 {
+			continue
+		}
+		t[isa.Addr(s)] = s % groups
+	}
+	return t
+}
+
+// replayer holds one replay's state.
+type replayer struct {
+	a      *halloc.GroupAlloc
+	m      *mem.Memory
+	shadow *halloc.ShadowHeap // nil in unchecked mode
+
+	slots  [MaxFuzzSlots + 1]uint64 // slot -> live base (0 = dead)
+	sizes  [MaxFuzzSlots + 1]uint64 // slot -> live size
+	siteOf map[uint64]uint16        // live grouped base -> site
+	stale  []uint64                 // grouped pointers freed and not reissued
+	salt   uint64                   // deterministic write-value counter
+
+	res ReplayResult
+}
+
+func newReplayer(cfg ReplayConfig, checked bool) *replayer {
+	if cfg.Groups <= 0 {
+		cfg.Groups = 4
+	}
+	m := mem.NewMemory()
+	osm := mem.NewOS(m)
+	var fallback alloc.Allocator = alloc.NewSizeSeg(osm)
+	if cfg.BoundaryTag {
+		fallback = alloc.NewBoundaryTag(osm)
+	}
+	r := &replayer{
+		a:      halloc.New(osm, fallback, halloc.NewSiteClassifier(siteTable(cfg.Groups)), cfg.Halloc),
+		m:      m,
+		siteOf: make(map[uint64]uint16),
+	}
+	if checked {
+		r.shadow = halloc.NewShadowHeap(m)
+	}
+	return r
+}
+
+// Replay runs the stream fast, without the oracle. Invalid-free probes are
+// skipped (only the oracle can prove them safe to issue). It never fails:
+// every decodable stream is a valid workload by construction.
+func Replay(ops []HeapOp, cfg ReplayConfig) ReplayResult {
+	r := newReplayer(cfg, false)
+	for _, op := range ops {
+		// The unchecked step only errors through the oracle, which is absent.
+		_ = r.step(op)
+	}
+	return r.finish()
+}
+
+// ReplayChecked runs the stream with every operation mirrored into the
+// shadow-heap oracle and the layout invariants re-checked periodically. Any
+// error is an allocator correctness finding.
+func ReplayChecked(ops []HeapOp, cfg ReplayConfig) (ReplayResult, error) {
+	r := newReplayer(cfg, true)
+	for i, op := range ops {
+		if err := r.step(op); err != nil {
+			return r.res, fmt.Errorf("op %d (%d): %w", i, op.Kind, err)
+		}
+		if i%64 == 63 {
+			if err := r.shadow.CheckLayout(r.a); err != nil {
+				return r.res, fmt.Errorf("op %d: %w", i, err)
+			}
+		}
+	}
+	if err := r.shadow.CheckLayout(r.a); err != nil {
+		return r.res, err
+	}
+	if err := r.shadow.CheckContents(); err != nil {
+		return r.res, err
+	}
+	return r.finish(), nil
+}
+
+func (r *replayer) alloc(op HeapOp, viaCalloc bool) error {
+	slot := int(op.Slot)
+	if r.slots[slot] != 0 {
+		if err := r.free(slot); err != nil {
+			return err
+		}
+	}
+	size := 1 + uint64(op.Size)%MaxFuzzSize
+	r.a.SetAllocSite(isa.Addr(op.Site))
+	var ptr uint64
+	if viaCalloc {
+		if op.Aux%13 == 0 {
+			// The n*size overflow probe: the product wraps, so a correct
+			// calloc must fail rather than hand back a tiny region.
+			n := ^uint64(0)/16 + 2
+			if got := r.a.Calloc(n, 16); got != 0 {
+				return fmt.Errorf("calloc(%d, 16) overflowed to %#x instead of failing", n, got)
+			}
+			return nil
+		}
+		elems := 1 + uint64(op.Aux)%4
+		elem := (size + elems - 1) / elems
+		size = elems * elem
+		ptr = r.a.Calloc(elems, elem)
+	} else {
+		ptr = r.a.Malloc(size)
+	}
+	r.res.Allocs++
+	grouped := r.a.InChunk(ptr)
+	if grouped {
+		r.res.Grouped++
+		r.siteOf[ptr] = op.Site
+	} else {
+		r.res.Forwarded++
+	}
+	if r.shadow != nil {
+		if err := r.shadow.OnAlloc(ptr, size, viaCalloc); err != nil {
+			return err
+		}
+	}
+	r.slots[slot], r.sizes[slot] = ptr, size
+	r.dropStale(ptr)
+	return nil
+}
+
+func (r *replayer) free(slot int) error {
+	ptr := r.slots[slot]
+	if ptr == 0 {
+		return nil
+	}
+	if r.a.InChunk(ptr) {
+		delete(r.siteOf, ptr)
+		r.stale = append(r.stale, ptr)
+		if len(r.stale) > MaxFuzzSlots {
+			r.stale = r.stale[1:]
+		}
+	}
+	r.a.Free(ptr)
+	r.res.Frees++
+	if r.shadow != nil {
+		if err := r.shadow.OnFree(ptr); err != nil {
+			return err
+		}
+	}
+	r.slots[slot], r.sizes[slot] = 0, 0
+	return nil
+}
+
+// dropStale forgets stale pointers the allocator has reissued: freeing one
+// of those would be a valid (and corrupting) free, not an invalid one.
+func (r *replayer) dropStale(reissued uint64) {
+	out := r.stale[:0]
+	for _, p := range r.stale {
+		if p != reissued {
+			out = append(out, p)
+		}
+	}
+	r.stale = out
+}
+
+func (r *replayer) step(op HeapOp) error {
+	slot := int(op.Slot)
+	switch op.Kind {
+	case HeapMalloc:
+		return r.alloc(op, false)
+	case HeapCalloc:
+		return r.alloc(op, true)
+	case HeapRealloc:
+		ptr := r.slots[slot]
+		if ptr == 0 {
+			return r.alloc(op, false)
+		}
+		size := 1 + uint64(op.Size)%MaxFuzzSize
+		if r.a.InChunk(ptr) {
+			delete(r.siteOf, ptr)
+		}
+		r.a.SetAllocSite(isa.Addr(op.Site))
+		np := r.a.Realloc(ptr, size)
+		r.res.Allocs++
+		if r.a.InChunk(np) {
+			r.res.Grouped++
+			r.siteOf[np] = op.Site
+		} else {
+			r.res.Forwarded++
+		}
+		if r.shadow != nil {
+			if err := r.shadow.OnRealloc(ptr, np, size); err != nil {
+				return err
+			}
+		}
+		r.slots[slot], r.sizes[slot] = np, size
+		r.dropStale(np)
+		return nil
+	case HeapFree:
+		return r.free(slot)
+	case HeapWrite:
+		ptr, size := r.slots[slot], r.sizes[slot]
+		if ptr == 0 || size < 8 {
+			return nil
+		}
+		off := 8 * (uint64(op.Size) % (size / 8))
+		if off+8 > size {
+			off = 0
+		}
+		r.salt++
+		v := r.salt<<32 | uint64(op.Aux)
+		if r.shadow != nil {
+			return r.shadow.Write(ptr, off, 8, v)
+		}
+		r.m.Write(ptr+off, 8, v)
+		return nil
+	case HeapRead:
+		ptr, size := r.slots[slot], r.sizes[slot]
+		if ptr == 0 || size < 8 {
+			return nil
+		}
+		off := 8 * (uint64(op.Size) % (size / 8))
+		if off+8 > size {
+			off = 0
+		}
+		if r.shadow != nil {
+			_, err := r.shadow.Read(ptr, off, 8)
+			return err
+		}
+		r.m.Read(ptr+off, 8)
+		return nil
+	case HeapBadFree:
+		if r.shadow == nil || len(r.stale) == 0 {
+			return nil
+		}
+		p := r.stale[int(uint64(op.Size)%uint64(len(r.stale)))]
+		if !r.a.InChunk(p) || r.shadow.Contains(p) {
+			return nil
+		}
+		r.res.BadFrees++
+		if !panicsOnFree(r.a, p) {
+			return fmt.Errorf("invalid free of stale grouped pointer %#x was accepted silently", p)
+		}
+		return nil
+	}
+	return nil
+}
+
+// panicsOnFree issues a free expected to be invalid and reports whether the
+// allocator trapped it. GroupAlloc's invalid-free panic fires before any
+// bookkeeping mutation, so the replay can safely continue afterwards.
+func panicsOnFree(a *halloc.GroupAlloc, ptr uint64) (panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	a.Free(ptr)
+	return false
+}
+
+func (r *replayer) finish() ReplayResult {
+	r.res.FragAtPeakPct, _ = r.a.FragAtPeak()
+	live := r.a.LiveGrouped()
+	for _, reg := range live {
+		r.res.LiveBytes += reg.Size
+	}
+	for _, c := range r.a.ChunkInfos() {
+		if c.Live > 0 {
+			r.res.LiveChunks++
+		}
+	}
+	if capacity := uint64(r.res.LiveChunks) * (r.a.ChunkSize() - halloc.HeaderSize); capacity > 0 {
+		held := minU64(r.res.LiveBytes, capacity)
+		r.res.EndFragPct = float64(capacity-held) / float64(capacity) * 100
+	}
+	for i := 1; i < len(live); i++ {
+		p, q := live[i-1], live[i]
+		if p.End() == q.Base && r.siteOf[p.Base] != r.siteOf[q.Base] {
+			r.res.AdjacentPairs++
+		}
+	}
+	return r.res
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

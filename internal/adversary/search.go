@@ -1,0 +1,63 @@
+package adversary
+
+import "fmt"
+
+// The search: Heelan-style pseudo-random search over candidate sequences.
+// Rather than mutating op lists (where most mutations produce invalid
+// programs), the search samples the space of generation seeds: every
+// candidate is Generate(deriveSeed(seed, i), params), valid by
+// construction, and the whole search is a pure function of its seed — the
+// reproducibility the acceptance tests pin.
+
+// SearchConfig parameterises a search run.
+type SearchConfig struct {
+	// Seed drives candidate derivation; the same seed, params and budget
+	// always select the same winner.
+	Seed uint64
+	// Candidates is the search budget: how many candidates to score.
+	Candidates int
+	// Params shapes every candidate.
+	Params GenParams
+	// NamePrefix names candidates ("<prefix>-<candidate seed>").
+	NamePrefix string
+	// MinFitness, when non-zero, lets the search stop at the first
+	// candidate scoring at least this much — a found-it threshold for
+	// expensive fitness functions.
+	MinFitness float64
+}
+
+// SearchResult reports a search's winner.
+type SearchResult struct {
+	Best      Sequence
+	Fitness   float64
+	Evaluated int
+}
+
+// Search scores up to cfg.Candidates generated sequences and returns the
+// first maximum (strict improvement replaces the incumbent, so ties go to
+// the earliest candidate — deterministic at any evaluation order, though
+// evaluation here is serial by design).
+func Search(cfg SearchConfig, fit Fitness) SearchResult {
+	if cfg.Candidates <= 0 {
+		cfg.Candidates = 32
+	}
+	if cfg.NamePrefix == "" {
+		cfg.NamePrefix = "adv"
+	}
+	var res SearchResult
+	best := -1e18
+	for i := 0; i < cfg.Candidates; i++ {
+		seed := deriveSeed(cfg.Seed, i)
+		s := Generate(fmt.Sprintf("%s-%016x", cfg.NamePrefix, seed), seed, cfg.Params)
+		f := fit(&s)
+		res.Evaluated++
+		if f > best {
+			best = f
+			res.Best, res.Fitness = s, f
+		}
+		if cfg.MinFitness != 0 && best >= cfg.MinFitness {
+			break
+		}
+	}
+	return res
+}

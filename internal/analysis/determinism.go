@@ -24,6 +24,11 @@ var deterministicPackages = map[string]bool{
 	"halo/internal/sequitur":  true,
 	"halo/internal/profstore": true,
 	"halo/internal/vm":        true,
+	// The adversarial search must rediscover the same sequence from the
+	// same seed on every machine — its pinned-seed regression tests and
+	// the checked-in fuzz corpus depend on it.
+	"halo/internal/adversary":         true,
+	"halo/internal/adversary/advpipe": true,
 }
 
 // randConstructors are the math/rand(/v2) functions that build an

@@ -10,6 +10,11 @@
 //	baseline — jemalloc-like vs ptmalloc-like L1D misses (§5.1)
 //	roms     — affinity-graph nodes vs hot-data-stream counts (§5.2)
 //
+// Beyond the paper, the "adversarial" experiment evaluates the
+// hostile-heap workload family (internal/adversary): where grouping
+// helps, hurts (negative miss reduction), or is defeated, with a
+// shadow-heap corruption verdict per scenario.
+//
 // Absolute numbers come from the cycle model and the cache simulator, not
 // the paper's Xeon, so the reproduction target is the *shape* of each
 // result: who wins, roughly by how much, and where each technique fails.
@@ -174,11 +179,44 @@ func NewEngine(opts Options) *Engine {
 
 func (e *Engine) workloadList() []workloads.Workload {
 	if len(e.opts.Workloads) == 0 {
-		return workloads.All()
+		// The paper-figure experiments run the canonical benchmarks only;
+		// the hostile-heap family has its own experiment ("adversarial").
+		var out []workloads.Workload
+		for _, w := range workloads.All() {
+			if !w.Adversarial {
+				out = append(out, w)
+			}
+		}
+		return out
 	}
 	var out []workloads.Workload
 	for _, name := range e.opts.Workloads {
 		out = append(out, workloads.MustGet(name))
+	}
+	return out
+}
+
+// adversarialList selects the hostile-heap workloads, honouring an
+// explicit -workloads restriction.
+func (e *Engine) adversarialList() []workloads.Workload {
+	var out []workloads.Workload
+	for _, w := range workloads.All() {
+		if !w.Adversarial {
+			continue
+		}
+		if len(e.opts.Workloads) > 0 {
+			found := false
+			for _, name := range e.opts.Workloads {
+				if name == w.Name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+		}
+		out = append(out, w)
 	}
 	return out
 }
@@ -377,6 +415,10 @@ type BenchResult struct {
 	BaselineSeconds  float64 `json:"baseline_seconds"`
 	Seconds          float64 `json:"seconds"`
 	NsPerOp          int64   `json:"ns_per_op"`
+	// Regressed flags results where the technique *hurt*: negative miss
+	// reduction. Easy to misread as noise in a wall of numbers, so it is
+	// surfaced explicitly here and in halobench's rendered table.
+	Regressed bool `json:"regressed"`
 }
 
 // BenchResults renders every measured workload×technique pair from the
@@ -403,7 +445,7 @@ func (e *Engine) BenchResults() []BenchResult {
 			continue
 		}
 		s := e.sums[k]
-		out = append(out, BenchResult{
+		r := BenchResult{
 			Workload:         name,
 			Technique:        label,
 			MissReductionPct: measure.Improvement(base.L1DMiss.Median, s.L1DMiss.Median),
@@ -411,7 +453,9 @@ func (e *Engine) BenchResults() []BenchResult {
 			BaselineSeconds:  base.Seconds.Median,
 			Seconds:          s.Seconds.Median,
 			NsPerOp:          e.wallNs[k],
-		})
+		}
+		r.Regressed = r.MissReductionPct < 0
+		out = append(out, r)
 	}
 	return out
 }
@@ -508,7 +552,7 @@ func (e *Engine) StageStats() []WorkloadStages {
 
 // Run executes the named experiments ("all" for everything) in order.
 func (e *Engine) Run(ids []string) ([]*Table, error) {
-	known := []string{"fig9", "fig12", "fig13", "fig14", "fig15", "tab1", "baseline", "roms"}
+	known := []string{"fig9", "fig12", "fig13", "fig14", "fig15", "tab1", "baseline", "roms", "adversarial"}
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = known
 	}
@@ -535,6 +579,8 @@ func (e *Engine) Run(ids []string) ([]*Table, error) {
 			t, err = e.Baseline()
 		case "roms":
 			t, err = e.RomsStreams()
+		case "adversarial":
+			t, err = e.Adversarial()
 		default:
 			err = fmt.Errorf("unknown experiment %q (known: %s, all)", id, strings.Join(known, ", "))
 		}

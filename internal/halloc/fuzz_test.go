@@ -1,0 +1,140 @@
+package halloc_test
+
+// FuzzHalloc drives the group allocator with byte-decoded heap-op streams
+// (the adversary's portable format: any input decodes to a valid stream)
+// and validates every operation against the shadow-heap oracle, under each
+// replay configuration and both fallback backends. A finding here is an
+// allocator correctness bug: overlapping regions, a grouped region escaping
+// its chunk, a forwarded region aliasing a chunk span, corrupted contents,
+// a silently accepted invalid free, or a calloc overflow handed out.
+//
+// The seed corpus has two halves: the PR 4 regression shapes encoded
+// inline below (double free, n*size overflow, oversize clamp), and the
+// adversary-discovered sequences checked in under testdata/fuzz/FuzzHalloc
+// (regenerate with `go test -run TestWriteFuzzCorpus -write-corpus`).
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"halo/internal/adversary"
+)
+
+// replayAll replays one input under every configuration; fatal on any
+// oracle finding.
+func replayAll(t *testing.T, data []byte) {
+	t.Helper()
+	ops := adversary.DecodeHeapOps(data)
+	for _, cfg := range adversary.ReplayConfigs() {
+		for _, bt := range []bool{false, true} {
+			cfg := cfg
+			cfg.BoundaryTag = bt
+			if _, err := adversary.ReplayChecked(ops, cfg); err != nil {
+				t.Fatalf("config %s (boundary-tag %v): %v", cfg.Name, bt, err)
+			}
+		}
+	}
+}
+
+// pr4Streams encodes the PR 4 hardening regressions as op streams.
+func pr4Streams() [][]byte {
+	enc := adversary.EncodeHeapOps
+	op := func(k adversary.HeapOpKind, slot uint8, site uint16, size, aux uint32) adversary.HeapOp {
+		return adversary.HeapOp{Kind: k, Slot: slot, Site: site, Size: size, Aux: aux}
+	}
+	return [][]byte{
+		// Double free: allocate grouped, free, then probe the stale pointer.
+		enc([]adversary.HeapOp{
+			op(adversary.HeapMalloc, 0, 1, 63, 0),
+			op(adversary.HeapWrite, 0, 0, 0, 9),
+			op(adversary.HeapFree, 0, 0, 0, 0),
+			op(adversary.HeapBadFree, 0, 0, 0, 0),
+			op(adversary.HeapMalloc, 1, 1, 63, 0),
+			op(adversary.HeapBadFree, 1, 0, 1, 0),
+		}),
+		// Calloc n*size overflow (Aux%13 == 0 triggers the wrap probe) next
+		// to ordinary calloc traffic.
+		enc([]adversary.HeapOp{
+			op(adversary.HeapCalloc, 0, 2, 100, 13),
+			op(adversary.HeapCalloc, 1, 2, 100, 7),
+			op(adversary.HeapRead, 1, 0, 0, 0),
+			op(adversary.HeapCalloc, 2, 3, 4000, 26),
+		}),
+		// Oversize clamp: requests above the grouped limit and around the
+		// chunk-capacity boundary, then churn that reuses the chunks.
+		enc([]adversary.HeapOp{
+			op(adversary.HeapMalloc, 0, 1, 4095, 0),
+			op(adversary.HeapMalloc, 1, 1, 4096, 0),
+			op(adversary.HeapMalloc, 2, 1, 8191, 0),
+			op(adversary.HeapWrite, 2, 0, 8, 1),
+			op(adversary.HeapFree, 1, 0, 0, 0),
+			op(adversary.HeapMalloc, 3, 6, 4000, 0),
+			op(adversary.HeapRealloc, 2, 6, 100, 0),
+			op(adversary.HeapRead, 2, 0, 8, 0),
+			op(adversary.HeapFree, 0, 0, 0, 0),
+			op(adversary.HeapFree, 2, 0, 0, 0),
+			op(adversary.HeapFree, 3, 0, 0, 0),
+		}),
+	}
+}
+
+// advStreams flattens the canonical adversarial sequences.
+func advStreams() map[string][]byte {
+	out := make(map[string][]byte)
+	frag := adversary.FragForcer(adversary.FragForcerSeed).Best
+	out["adv-frag"] = adversary.EncodeHeapOps(frag.HeapOps(4))
+	adj := adversary.OverflowProbe(adversary.OverflowProbeSeed).Best
+	out["adv-adjacent"] = adversary.EncodeHeapOps(adj.HeapOps(4))
+	phase := adversary.PhaseShift(adversary.PhaseShiftSeed)
+	out["adv-phase"] = adversary.EncodeHeapOps(phase.HeapOps(4))
+	regress := adversary.MissRegressorSequence()
+	out["adv-regress"] = adversary.EncodeHeapOps(regress.HeapOps(4))
+	return out
+}
+
+func FuzzHalloc(f *testing.F) {
+	for _, s := range pr4Streams() {
+		f.Add(s)
+	}
+	// The committed adversary corpus also lives under testdata/fuzz and is
+	// picked up automatically; adding the freshly derived streams too keeps
+	// the fuzzer honest even if the checked-in files go stale.
+	for _, s := range advStreams() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		replayAll(t, data)
+	})
+}
+
+var writeCorpus = flag.Bool("write-corpus", false, "regenerate testdata/fuzz/FuzzHalloc from the adversary's sequences")
+
+// TestWriteFuzzCorpus regenerates the checked-in adversary corpus when run
+// with -write-corpus; otherwise it verifies the files exist and replay
+// clean (the corpus-replay half of the CI fuzz job runs the whole corpus
+// through `go test` seed-mode anyway; this gives the failure a name).
+func TestWriteFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzHalloc")
+	if *writeCorpus {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range advStreams() {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	for name, data := range advStreams() {
+		path := filepath.Join(dir, name)
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("missing corpus seed %s (regenerate with -write-corpus): %v", name, err)
+		}
+		replayAll(t, data)
+	}
+}

@@ -1,0 +1,57 @@
+package halloc
+
+import (
+	"sort"
+
+	"halo/internal/mem"
+)
+
+// This file is the allocator's inspection surface: read-only views of the
+// chunk registry and the live grouped regions. The shadow-heap oracle, the
+// layout property tests and the adversarial search's fitness functions all
+// consume it — none of them may depend on allocator internals, or a layout
+// bug could hide inside the very bookkeeping that is being checked.
+
+// HeaderSize is the space reserved at the base of every group chunk for the
+// paper's in-chunk header. No grouped region ever starts below it.
+const HeaderSize = chunkHeader
+
+// ChunkInfo is a read-only snapshot of one registered group chunk.
+type ChunkInfo struct {
+	Base  uint64 // chunk base address (ChunkSize-aligned)
+	Group int    // owning group at last use
+	Bump  uint64 // offset of the next free byte
+	Live  uint64 // live regions in the chunk
+}
+
+// ChunkSize reports the resolved chunk size (configuration defaults
+// applied). Every chunk spans [Base, Base+ChunkSize()).
+func (a *GroupAlloc) ChunkSize() uint64 { return a.cfg.ChunkSize }
+
+// ChunkInfos snapshots every chunk the allocator has ever carved, sorted by
+// base address. Spare and purged chunks stay registered, so the list only
+// grows.
+func (a *GroupAlloc) ChunkInfos() []ChunkInfo {
+	out := make([]ChunkInfo, 0, len(a.chunks))
+	for _, c := range a.chunks {
+		out = append(out, ChunkInfo{Base: c.base, Group: c.group, Bump: c.bump, Live: c.live})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}
+
+// InChunk reports whether ptr falls inside a registered group chunk — that
+// is, whether a Free of ptr would be handled by the group allocator rather
+// than forwarded.
+func (a *GroupAlloc) InChunk(ptr uint64) bool { return a.chunkOf(ptr) != nil }
+
+// LiveGrouped returns every live grouped region as [base, base+size)
+// spans, sorted by base address.
+func (a *GroupAlloc) LiveGrouped() []mem.Region {
+	out := make([]mem.Region, 0, len(a.sizes))
+	for base, size := range a.sizes {
+		out = append(out, mem.Region{Base: base, Size: size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}

@@ -1,0 +1,82 @@
+package halloc_test
+
+// The layout property test: for every grouped layout the allocator
+// produces, no two live regions overlap, every grouped region stays inside
+// its chunk's payload span, and forwarded pointers never alias a group
+// chunk — table-driven across both fallback backends in internal/alloc,
+// every replay configuration, and a spread of generated op streams. The
+// shadow-heap oracle carries the invariants; this test drives enough
+// distinct layouts through it to make "for every layout" credible.
+
+import (
+	"testing"
+
+	"halo/internal/adversary"
+)
+
+func TestLayoutPropertiesAcrossBackends(t *testing.T) {
+	backends := []struct {
+		name        string
+		boundaryTag bool
+	}{
+		{"sizeseg", false},
+		{"boundarytag", true},
+	}
+	for _, be := range backends {
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			for _, cfg := range adversary.ReplayConfigs() {
+				cfg := cfg
+				cfg.BoundaryTag = be.boundaryTag
+				t.Run(cfg.Name, func(t *testing.T) {
+					for seed := uint64(1); seed <= 8; seed++ {
+						s := adversary.Generate("prop", seed, adversary.GenParams{
+							Slots:       32,
+							Sites:       10,
+							Phases:      2,
+							OpsPerPhase: 150,
+							HotRefs:     6,
+							ChurnRefs:   3,
+							Loops:       3,
+						})
+						res, err := adversary.ReplayChecked(s.HeapOps(6), cfg)
+						if err != nil {
+							t.Fatalf("seed %d: %v", seed, err)
+						}
+						if res.Grouped == 0 || res.Forwarded == 0 {
+							t.Fatalf("seed %d: degenerate split grouped=%d forwarded=%d — the property was not exercised",
+								seed, res.Grouped, res.Forwarded)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestLayoutPropertiesOnDiscoveredAdversaries replays the canonical
+// adversarial sequences — the ones shipped as workloads and checked into
+// the fuzz corpus — under the oracle on both backends.
+func TestLayoutPropertiesOnDiscoveredAdversaries(t *testing.T) {
+	seqs := map[string]adversary.Sequence{
+		"adv-frag":     adversary.FragForcer(adversary.FragForcerSeed).Best,
+		"adv-adjacent": adversary.OverflowProbe(adversary.OverflowProbeSeed).Best,
+		"adv-phase":    adversary.PhaseShift(adversary.PhaseShiftSeed),
+		"adv-regress":  adversary.MissRegressorSequence(),
+	}
+	for name, s := range seqs {
+		s := s
+		t.Run(name, func(t *testing.T) {
+			ops := s.HeapOps(8)
+			for _, cfg := range adversary.ReplayConfigs() {
+				for _, bt := range []bool{false, true} {
+					cfg := cfg
+					cfg.BoundaryTag = bt
+					if _, err := adversary.ReplayChecked(ops, cfg); err != nil {
+						t.Fatalf("config %s (boundary-tag %v): %v", cfg.Name, bt, err)
+					}
+				}
+			}
+		})
+	}
+}

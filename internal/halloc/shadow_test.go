@@ -1,0 +1,184 @@
+package halloc
+
+import (
+	"strings"
+	"testing"
+
+	"halo/internal/alloc"
+	"halo/internal/mem"
+)
+
+// The oracle is only trustworthy if it actually catches what it claims to
+// catch; these tests corrupt state deliberately and assert detection.
+
+func newShadowFixture(t *testing.T) (*GroupAlloc, *ShadowHeap, *mem.Memory) {
+	t.Helper()
+	m := mem.NewMemory()
+	osm := mem.NewOS(m)
+	a := New(osm, alloc.NewSizeSeg(osm), bucketClassifier{groups: 5},
+		Config{ChunkSize: 1 << 14, SlabSize: 1 << 18})
+	return a, NewShadowHeap(m), m
+}
+
+func mustAlloc(t *testing.T, a *GroupAlloc, s *ShadowHeap, size uint64) uint64 {
+	t.Helper()
+	p := a.Malloc(size)
+	if err := s.OnAlloc(p, size, false); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestShadowDetectsCorruptedByte(t *testing.T) {
+	a, s, m := newShadowFixture(t)
+	p := mustAlloc(t, a, s, 40)
+	if err := s.Write(p, 8, 8, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckContents(); err != nil {
+		t.Fatalf("clean heap flagged: %v", err)
+	}
+	// A stray write behind the oracle's back is exactly what a layout bug
+	// (two regions sharing bytes) would look like.
+	m.Write(p+9, 1, 0x41)
+	if err := s.CheckContents(); err == nil {
+		t.Fatal("corrupted byte not detected")
+	}
+	if _, err := s.Read(p, 8, 8); err == nil {
+		t.Fatal("read did not notice the corrupted byte")
+	}
+}
+
+func TestShadowDetectsOverlap(t *testing.T) {
+	_, s, _ := newShadowFixture(t)
+	if err := s.OnAlloc(0x1000, 64, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OnAlloc(0x1020, 64, false); err == nil {
+		t.Fatal("overlapping allocation not detected")
+	}
+	if err := s.OnAlloc(0x1040, 64, false); err != nil {
+		t.Fatalf("disjoint allocation rejected: %v", err)
+	}
+}
+
+func TestShadowDetectsUnzeroedCalloc(t *testing.T) {
+	a, s, m := newShadowFixture(t)
+	p := a.Malloc(32)
+	m.Write(p+4, 1, 7)
+	if err := s.OnAlloc(p, 32, true); err == nil {
+		t.Fatal("dirty calloc region not detected")
+	}
+}
+
+func TestShadowDetectsDoubleFreeAndDeadAccess(t *testing.T) {
+	a, s, _ := newShadowFixture(t)
+	p := mustAlloc(t, a, s, 24)
+	if err := s.OnFree(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OnFree(p); err == nil {
+		t.Fatal("double free not detected")
+	}
+	if err := s.Write(p, 0, 8, 1); err == nil {
+		t.Fatal("use after free (write) not detected")
+	}
+	if _, err := s.Read(p, 0, 8); err == nil {
+		t.Fatal("use after free (read) not detected")
+	}
+}
+
+func TestShadowDetectsOutOfBounds(t *testing.T) {
+	a, s, _ := newShadowFixture(t)
+	p := mustAlloc(t, a, s, 24)
+	if err := s.Write(p, 24, 8, 1); err == nil {
+		t.Fatal("out-of-bounds write not detected")
+	}
+	if err := s.Write(p, 16, 8, 1); err != nil {
+		t.Fatalf("in-bounds write rejected: %v", err)
+	}
+}
+
+func TestShadowReallocPreservesPrefix(t *testing.T) {
+	a, s, _ := newShadowFixture(t)
+	p := mustAlloc(t, a, s, 32)
+	if err := s.Write(p, 0, 8, 0x0102030405060708); err != nil {
+		t.Fatal(err)
+	}
+	np := a.Realloc(p, 128)
+	if err := s.OnRealloc(p, np, 128); err != nil {
+		t.Fatalf("well-behaved realloc flagged: %v", err)
+	}
+	if v, err := s.Read(np, 0, 8); err != nil || v != 0x0102030405060708 {
+		t.Fatalf("prefix lost: %#x, %v", v, err)
+	}
+}
+
+func TestShadowReallocDetectsLostPrefix(t *testing.T) {
+	a, s, m := newShadowFixture(t)
+	p := mustAlloc(t, a, s, 32)
+	if err := s.Write(p, 0, 8, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	np := a.Realloc(p, 64)
+	m.Write(np, 1, 0) // smash the first moved byte
+	if err := s.OnRealloc(p, np, 64); err == nil {
+		t.Fatal("lost realloc prefix not detected")
+	}
+}
+
+func TestShadowCheckLayoutCleanAndViolated(t *testing.T) {
+	a, s, _ := newShadowFixture(t)
+	for i := 0; i < 40; i++ {
+		mustAlloc(t, a, s, 64+uint64(i%5)*32)
+	}
+	if err := s.CheckLayout(a); err != nil {
+		t.Fatalf("clean layout flagged: %v", err)
+	}
+	// A fabricated region intruding into a chunk header is a layout bug
+	// the oracle must flag.
+	ci := a.ChunkInfos()
+	if len(ci) == 0 {
+		t.Fatal("no chunks")
+	}
+	if err := s.OnAlloc(ci[0].Base+4, 8, false); err != nil {
+		t.Fatal(err)
+	}
+	err := s.CheckLayout(a)
+	if err == nil || !strings.Contains(err.Error(), "header") {
+		t.Fatalf("header intrusion not detected: %v", err)
+	}
+}
+
+func TestShadowDetectsChunkSpanEscape(t *testing.T) {
+	a, s, _ := newShadowFixture(t)
+	mustAlloc(t, a, s, 64) // creates a chunk
+	ci := a.ChunkInfos()
+	// A grouped region straddling its chunk's end: the bug the groupable()
+	// clamp exists to prevent.
+	fake := ci[0].Base + a.ChunkSize() - 32
+	if err := s.OnAlloc(fake, 64, false); err != nil {
+		t.Fatal(err)
+	}
+	err := s.CheckLayout(a)
+	if err == nil || !strings.Contains(err.Error(), "escapes") {
+		t.Fatalf("chunk-span escape not detected: %v", err)
+	}
+}
+
+func TestShadowDetectsForwardedAliasingChunk(t *testing.T) {
+	a, s, _ := newShadowFixture(t)
+	mustAlloc(t, a, s, 64) // creates a chunk
+	ci := a.ChunkInfos()
+	// A region starting outside every chunk (so it reads as forwarded) but
+	// overlapping a chunk's span: grouped bump allocation could later carve
+	// memory out of it.
+	fake := ci[0].Base - 16
+	if err := s.OnAlloc(fake, 64, false); err != nil {
+		t.Fatal(err)
+	}
+	err := s.CheckLayout(a)
+	if err == nil || !strings.Contains(err.Error(), "aliases") {
+		t.Fatalf("forwarded/chunk aliasing not detected: %v", err)
+	}
+}

@@ -185,6 +185,19 @@ func Run(p *isa.Program, policy Policy, seed uint64, machine cache.Config) (RunR
 	return out, nil
 }
 
+// TotalLiveObjects reports objects still live at program exit across the
+// fallback and group allocators — one half of the "final heap contents"
+// the adversarial differential tests compare across policies.
+func (r RunResult) TotalLiveObjects() uint64 {
+	return r.Alloc.LiveObjects + r.GroupStats.LiveObjects
+}
+
+// TotalLiveBytes reports payload bytes still live at program exit across
+// the fallback and group allocators.
+func (r RunResult) TotalLiveBytes() uint64 {
+	return r.Alloc.LiveBytes + r.GroupStats.LiveBytes
+}
+
 // Summary aggregates trials per §5.1: medians with 25th/75th percentiles.
 type Summary struct {
 	Trials  int

@@ -1,0 +1,103 @@
+package workloads
+
+import (
+	"sync"
+
+	"halo/internal/adversary"
+	"halo/internal/isa"
+)
+
+// The adversarial workload family: sequences hostile to HALO's grouping,
+// discovered (or constructed) by internal/adversary and compiled to the
+// same Program interface as the SPEC-style benchmarks, so they flow through
+// the full profile → synthesis → rewrite → measure pipeline. They are
+// excluded from the paper-figure experiments (Adversarial flag) and
+// evaluated by the dedicated adversarial suite instead.
+//
+// The searched entries run their search once, lazily, at first Build —
+// each search is a pure function of its fixed seed, so every process
+// discovers the identical sequence (the reproducibility tests in
+// internal/adversary pin this).
+
+var (
+	advOnce sync.Once
+	advSeqs map[string]adversary.Sequence
+)
+
+// advSequence returns the named canonical adversarial sequence.
+func advSequence(name string) adversary.Sequence {
+	advOnce.Do(func() {
+		frag := adversary.FragForcer(adversary.FragForcerSeed).Best
+		frag.Name = "adv-frag"
+		adj := adversary.OverflowProbe(adversary.OverflowProbeSeed).Best
+		adj.Name = "adv-adjacent"
+		phase := adversary.PhaseShift(adversary.PhaseShiftSeed)
+		phase.Name = "adv-phase"
+		// adv-regress is the pipeline search's pinned winner, rebuilt from
+		// its generation seed: running the search here would drag the whole
+		// pipeline into this package (a test-time import cycle), and the
+		// advpipe discovery test already proves the search finds this exact
+		// sequence.
+		regress := adversary.MissRegressorSequence()
+		advSeqs = map[string]adversary.Sequence{
+			frag.Name:    frag,
+			adj.Name:     adj,
+			phase.Name:   phase,
+			regress.Name: regress,
+		}
+	})
+	s, ok := advSeqs[name]
+	if !ok {
+		panic("workloads: unknown adversarial sequence " + name) //halo:errfmt-ok registration and lookup are both in this file; a miss is a programming error
+	}
+	return s
+}
+
+// AdvSequence exposes the canonical sequence behind an adversarial
+// workload, for the experiments suite's corruption verdict (replaying the
+// flattened stream under the shadow oracle) and for corpus generation.
+func AdvSequence(name string) adversary.Sequence { return advSequence(name) }
+
+func advBuild(name string) func(scale int) *isa.Program {
+	return func(scale int) *isa.Program {
+		s := advSequence(name)
+		return adversary.Compile(&s, scale)
+	}
+}
+
+func init() {
+	register(Workload{
+		Name:        "adv-frag",
+		Description: "searched fragmentation forcer: pins many mostly-empty group chunks resident",
+		Build:       advBuild("adv-frag"),
+		TestScale:   30,
+		RefScale:    120,
+		ChunkSize:   1 << 14,
+		NoSpare:     true,
+		Adversarial: true,
+	})
+	register(Workload{
+		Name:        "adv-adjacent",
+		Description: "searched overflow-adjacent probe: co-allocates distinct contexts exactly contiguous",
+		Build:       advBuild("adv-adjacent"),
+		TestScale:   60,
+		RefScale:    240,
+		Adversarial: true,
+	})
+	register(Workload{
+		Name:        "adv-phase",
+		Description: "phase-shifting server: hot contexts rotate mid-run, training diverges from measurement",
+		Build:       advBuild("adv-phase"),
+		TestScale:   30,
+		RefScale:    120,
+		Adversarial: true,
+	})
+	register(Workload{
+		Name:        "adv-regress",
+		Description: "pipeline-searched regression: grouping increases L1D misses over the baseline",
+		Build:       advBuild("adv-regress"),
+		TestScale:   30,
+		RefScale:    120,
+		Adversarial: true,
+	})
+}

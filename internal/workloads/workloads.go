@@ -48,6 +48,11 @@ type Workload struct {
 	NoSpare     bool   // --max-spare-chunks 0 (omnetpp, xalanc)
 	AlwaysReuse bool   // chunk-reuse limitation (omnetpp, xalanc)
 	MaxGroups   int    // --max-groups (roms: 4); 0 = default
+
+	// Adversarial marks workloads from the hostile-heap family
+	// (internal/adversary): excluded from the paper-figure experiments,
+	// evaluated by the adversarial suite.
+	Adversarial bool
 }
 
 var registry []Workload

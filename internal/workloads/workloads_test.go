@@ -10,7 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"health", "ft", "analyzer", "ammp", "art", "equake",
-		"povray", "omnetpp", "xalanc", "leela", "roms"}
+		"povray", "omnetpp", "xalanc", "leela", "roms",
+		"adv-frag", "adv-adjacent", "adv-phase", "adv-regress"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d workloads, want %d", len(all), len(want))
@@ -18,6 +19,9 @@ func TestRegistryComplete(t *testing.T) {
 	for i, name := range want {
 		if all[i].Name != name {
 			t.Fatalf("order[%d] = %s, want %s", i, all[i].Name, name)
+		}
+		if adv := i >= 11; all[i].Adversarial != adv {
+			t.Fatalf("%s: Adversarial = %v, want %v", name, all[i].Adversarial, adv)
 		}
 	}
 	if _, ok := Get("nonexistent"); ok {
